@@ -1,0 +1,56 @@
+// Ablation: how the total error budget (paper Section IV-C3) moves the code
+// distance, physical qubits, and runtime for the 2048-bit windowed
+// multiplier on qubit_maj_ns_e4 / floquet. Also shows an explicit
+// (logical / tstates / rotations) partition versus the automatic one.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace qre;
+  using namespace qre::bench;
+
+  const LogicalCounts& counts = workload_cache().get(MultiplierKind::kWindowed, 2048);
+  std::printf("Error-budget ablation: windowed 2048-bit, qubit_maj_ns_e4, floquet\n\n");
+  const std::vector<int> widths = {10, 5, 16, 12, 14, 14};
+  print_row({"budget", "d", "physicalQubits", "runtime(s)", "tFactories", "factoryQubits"},
+            widths);
+  for (double budget : {1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
+    EstimationInput input = EstimationInput::for_profile(counts, "qubit_maj_ns_e4", budget);
+    ResourceEstimate e = estimate(input);
+    print_row({format_sci(budget), std::to_string(e.logical_qubit.code_distance),
+               format_sci(static_cast<double>(e.total_physical_qubits)),
+               seconds(e.runtime_ns), std::to_string(e.num_t_factories),
+               format_sci(static_cast<double>(e.physical_qubits_for_tfactories))},
+              widths);
+  }
+
+  std::printf("\nExplicit partition vs automatic split (total 1e-4):\n");
+  print_row({"partition", "d", "physicalQubits", "runtime(s)", "tFactories", "factoryQubits"},
+            widths);
+  {
+    EstimationInput input = EstimationInput::for_profile(counts, "qubit_maj_ns_e4", 1e-4);
+    ResourceEstimate e = estimate(input);
+    print_row({"auto", std::to_string(e.logical_qubit.code_distance),
+               format_sci(static_cast<double>(e.total_physical_qubits)),
+               seconds(e.runtime_ns), std::to_string(e.num_t_factories),
+               format_sci(static_cast<double>(e.physical_qubits_for_tfactories))},
+              widths);
+  }
+  struct Split {
+    const char* name;
+    double logical;
+    double tstates;
+  };
+  for (Split split : {Split{"90/10", 9e-5, 1e-5}, Split{"10/90", 1e-5, 9e-5}}) {
+    EstimationInput input = EstimationInput::for_profile(counts, "qubit_maj_ns_e4", 1e-4);
+    input.budget = ErrorBudget::from_parts(split.logical, split.tstates, 0.0);
+    ResourceEstimate e = estimate(input);
+    print_row({split.name, std::to_string(e.logical_qubit.code_distance),
+               format_sci(static_cast<double>(e.total_physical_qubits)),
+               seconds(e.runtime_ns), std::to_string(e.num_t_factories),
+               format_sci(static_cast<double>(e.physical_qubits_for_tfactories))},
+              widths);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Frontier estimation: the qubit/runtime Pareto trade-off obtained by
+// throttling T-factory parallelism (paper Section IV-C4's "logical cycle
+// slowdown" knob), for the 2048-bit windowed multiplier on two profiles.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace qre;
+  using namespace qre::bench;
+
+  const LogicalCounts& counts = workload_cache().get(MultiplierKind::kWindowed, 2048);
+  for (const char* profile : {"qubit_maj_ns_e4", "qubit_gate_ns_e3"}) {
+    std::printf("Frontier: windowed 2048-bit on %s (budget 1e-4)\n", profile);
+    const std::vector<int> widths = {16, 12, 12, 14, 6};
+    print_row({"physicalQubits", "runtime(s)", "tFactories", "factoryQubits", "d"}, widths);
+    for (const ResourceEstimate& e :
+         estimate_frontier(EstimationInput::for_profile(counts, profile, 1e-4), 10)) {
+      print_row({format_sci(static_cast<double>(e.total_physical_qubits)),
+                 seconds(e.runtime_ns), std::to_string(e.num_t_factories),
+                 format_sci(static_cast<double>(e.physical_qubits_for_tfactories)),
+                 std::to_string(e.logical_qubit.code_distance)},
+                widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation of the QEC scheme choice (paper Section IV-C2): floquet vs
+// Majorana surface code on Majorana hardware, the gate-based surface code,
+// and a custom scheme given as formula strings.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "qec/qec_scheme.hpp"
+
+int main() {
+  using namespace qre;
+  using namespace qre::bench;
+
+  const LogicalCounts& counts = workload_cache().get(MultiplierKind::kWindowed, 2048);
+  std::printf("QEC-scheme ablation: windowed 2048-bit multiplier, budget 1e-4\n\n");
+  const std::vector<int> widths = {18, 22, 5, 10, 16, 12};
+  print_row({"profile", "scheme", "d", "cycle(ns)", "physicalQubits", "runtime(s)"}, widths);
+
+  auto show = [&](const char* profile, QecScheme scheme, const char* label) {
+    EstimationInput input = EstimationInput::for_profile(counts, profile, 1e-4);
+    input.qec = std::move(scheme);
+    ResourceEstimate e = estimate(input);
+    char cycle[32];
+    std::snprintf(cycle, sizeof cycle, "%.0f", e.logical_qubit.cycle_time_ns);
+    print_row({profile, label, std::to_string(e.logical_qubit.code_distance), cycle,
+               format_sci(static_cast<double>(e.total_physical_qubits)),
+               seconds(e.runtime_ns)},
+              widths);
+  };
+
+  show("qubit_maj_ns_e4", QecScheme::floquet_code(), "floquet (default)");
+  show("qubit_maj_ns_e4", QecScheme::surface_code_majorana(), "surface (Majorana)");
+  show("qubit_maj_ns_e6", QecScheme::floquet_code(), "floquet");
+  show("qubit_maj_ns_e6", QecScheme::surface_code_majorana(), "surface (Majorana)");
+  show("qubit_gate_ns_e3", QecScheme::surface_code_gate_based(), "surface (default)");
+  show("qubit_gate_us_e3", QecScheme::surface_code_gate_based(), "surface (default)");
+
+  // A custom scheme: faster cycle, more qubits per patch, lower threshold.
+  json::Value custom = json::parse(R"({
+    "errorCorrectionThreshold": 0.005,
+    "crossingPrefactor": 0.05,
+    "logicalCycleTime": "2 * oneQubitMeasurementTime * codeDistance",
+    "physicalQubitsPerLogicalQubit": "6 * codeDistance * codeDistance"
+  })");
+  show("qubit_maj_ns_e4", QecScheme::from_json(custom, InstructionSet::kMajorana),
+       "custom (JSON)");
+  return 0;
+}

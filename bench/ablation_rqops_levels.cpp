@@ -1,0 +1,36 @@
+// Section II / III-E ablation: rQOPS and quantum computing implementation
+// level as a function of the physical qubit budget, for every default
+// profile. The paper states practical solutions sit between 1e2 and 1e9
+// rQOPS and pegs the first quantum supercomputer at ~1e6 rQOPS with logical
+// error rate 1e-12; this table shows where each hardware profile crosses
+// those lines.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/advantage.hpp"
+
+int main() {
+  using namespace qre;
+  using namespace qre::bench;
+
+  constexpr double kTargetLogicalError = 1e-12;
+  std::printf("rQOPS levels per profile (target logical error 1e-12/operation)\n\n");
+  const std::vector<int> widths = {18, 12, 5, 14, 10, 12, 22};
+  print_row({"profile", "physQubits", "d", "logicalQubits", "rQOPS", "reliableOps",
+             "level"},
+            widths);
+  for (const std::string& name : QubitParams::preset_names()) {
+    QubitParams qubit = QubitParams::from_name(name);
+    QecScheme scheme = QecScheme::default_for(qubit.instruction_set);
+    for (std::uint64_t budget = 10'000; budget <= 1'000'000'000ull; budget *= 100) {
+      MachineCapability cap = machine_capability(qubit, scheme, budget, kTargetLogicalError);
+      print_row({name, format_sci(static_cast<double>(budget), 2),
+                 std::to_string(cap.code_distance), std::to_string(cap.logical_qubits),
+                 format_sci(cap.rqops), format_sci(cap.reliable_operations),
+                 std::string(to_string(cap.level))},
+                widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation of the T-factory machinery (paper Sections III-D and IV-C4/C5):
+//  * maxTFactories and logicalDepthFactor trade qubits against runtime;
+//  * the search objective changes the chosen factory;
+//  * the factory-level Pareto frontier (qubits vs duration);
+//  * a custom distillation unit specified via JSON.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "tfactory/tfactory.hpp"
+
+int main() {
+  using namespace qre;
+  using namespace qre::bench;
+
+  const LogicalCounts& counts = workload_cache().get(MultiplierKind::kWindowed, 2048);
+  EstimationInput base_input = EstimationInput::for_profile(counts, "qubit_maj_ns_e4", 1e-4);
+  ResourceEstimate base = estimate(base_input);
+
+  std::printf("T-factory constraints: windowed 2048-bit, qubit_maj_ns_e4, floquet\n\n");
+  const std::vector<int> widths = {18, 12, 16, 12, 14};
+  print_row({"constraint", "tFactories", "physicalQubits", "runtime(s)", "depthFactor"},
+            widths);
+  auto show = [&](const char* label, const ResourceEstimate& e) {
+    char depth_factor[32];
+    std::snprintf(depth_factor, sizeof depth_factor, "%.2f", e.logical_depth_factor);
+    print_row({label, std::to_string(e.num_t_factories),
+               format_sci(static_cast<double>(e.total_physical_qubits)),
+               seconds(e.runtime_ns), depth_factor},
+              widths);
+  };
+  show("none", base);
+  for (std::uint64_t cap : {16ull, 8ull, 4ull, 2ull, 1ull}) {
+    if (cap >= base.num_t_factories) continue;
+    EstimationInput input = base_input;
+    input.constraints.max_t_factories = cap;
+    char label[40];
+    std::snprintf(label, sizeof label, "maxTFactories=%llu",
+                  static_cast<unsigned long long>(cap));
+    show(label, estimate(input));
+  }
+  for (double factor : {2.0, 4.0, 16.0}) {
+    EstimationInput input = base_input;
+    input.constraints.logical_depth_factor = factor;
+    char label[32];
+    std::snprintf(label, sizeof label, "depthFactor=%.0f", factor);
+    show(label, estimate(input));
+  }
+
+  std::printf("\nFactory search objectives (required T error %.3g):\n",
+              base.required_tstate_error_rate);
+  QubitParams qubit = QubitParams::maj_ns_e4();
+  QecScheme scheme = QecScheme::floquet_code();
+  struct Objective {
+    const char* name;
+    TFactoryOptions::Objective value;
+  };
+  for (Objective obj : {Objective{"min volume", TFactoryOptions::Objective::kMinVolume},
+                        Objective{"min qubits", TFactoryOptions::Objective::kMinQubits},
+                        Objective{"min duration", TFactoryOptions::Objective::kMinDuration}}) {
+    TFactoryOptions options;
+    options.objective = obj.value;
+    auto f = design_tfactory(base.required_tstate_error_rate, qubit, scheme,
+                             DistillationUnit::default_units(), options);
+    if (!f.has_value()) continue;
+    std::printf("  %-14s rounds=%zu qubits=%-8llu duration=%-12s error=%s\n", obj.name,
+                f->rounds.size(), static_cast<unsigned long long>(f->physical_qubits),
+                format_duration_ns(f->duration_ns).c_str(),
+                format_sci(f->output_error_rate).c_str());
+  }
+
+  std::printf("\nFactory Pareto frontier (qubits vs duration):\n");
+  for (const TFactory& f :
+       tfactory_pareto_frontier(base.required_tstate_error_rate, qubit, scheme,
+                                DistillationUnit::default_units())) {
+    std::printf("  qubits=%-8llu duration=%-12s rounds=%zu\n",
+                static_cast<unsigned long long>(f.physical_qubits),
+                format_duration_ns(f.duration_ns).c_str(), f.rounds.size());
+  }
+
+  std::printf("\nCustom distillation unit (JSON, Section IV-C5):\n");
+  json::Value custom = json::parse(R"({
+    "name": "15-to-1 compact",
+    "numInputTs": 15,
+    "numOutputTs": 1,
+    "failureProbabilityFormula": "15 * inputErrorRate + 356 * cliffordErrorRate",
+    "outputErrorRateFormula": "35 * inputErrorRate ^ 3 + 7.1 * cliffordErrorRate",
+    "logicalQubitSpecification": {"numUnitQubits": 12, "durationInLogicalCycles": 20}
+  })");
+  EstimationInput custom_input = base_input;
+  custom_input.distillation_units = {DistillationUnit::from_json(custom)};
+  show("custom unit", estimate(custom_input));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared helpers for the figure/ablation benches: workload cache, table
+// printing, and the paper's Figure 3/4 configuration (qubit_maj_ns_e4,
+// floquet code, total error budget 1e-4).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arith/multipliers.hpp"
+#include "common/format.hpp"
+#include "core/estimator.hpp"
+
+namespace qre::bench {
+
+/// The three algorithms compared in the paper's Section V.
+inline const std::vector<MultiplierKind>& figure_algorithms() {
+  static const std::vector<MultiplierKind> kAlgorithms = {
+      MultiplierKind::kStandard, MultiplierKind::kKaratsuba, MultiplierKind::kWindowed};
+  return kAlgorithms;
+}
+
+/// Memoized multiplier workload counts (tracing the 16384-bit standard
+/// multiplier costs seconds; every bench reuses the cache).
+class WorkloadCache {
+ public:
+  const LogicalCounts& get(MultiplierKind kind, std::uint64_t bits) {
+    std::unique_lock lock(mutex_);
+    auto key = std::make_pair(kind, bits);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    lock.unlock();
+    LogicalCounts counts = multiplier_counts(kind, bits);
+    lock.lock();
+    return cache_.emplace(key, std::move(counts)).first->second;
+  }
+
+  /// Traces all (kind, bits) pairs concurrently.
+  void prefetch(const std::vector<MultiplierKind>& kinds,
+                const std::vector<std::uint64_t>& sizes) {
+    std::vector<std::future<void>> jobs;
+    for (MultiplierKind kind : kinds) {
+      for (std::uint64_t bits : sizes) {
+        jobs.push_back(std::async(std::launch::async,
+                                  [this, kind, bits] { (void)get(kind, bits); }));
+      }
+    }
+    for (auto& job : jobs) job.get();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::pair<MultiplierKind, std::uint64_t>, LogicalCounts> cache_;
+};
+
+inline WorkloadCache& workload_cache() {
+  static WorkloadCache cache;
+  return cache;
+}
+
+/// Figure 3/4 estimator configuration for a named profile.
+inline EstimationInput figure_input(const LogicalCounts& counts, const std::string& profile) {
+  return EstimationInput::for_profile(counts, profile, 1e-4);
+}
+
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", widths[i] + 2, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string seconds(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", ns * 1e-9);
+  return buf;
+}
+
+}  // namespace qre::bench

@@ -1,0 +1,48 @@
+// Figure 3 reproduction: physical qubits and total runtime for the three
+// multiplication algorithms, input sizes 32 .. 16384 bits, on the
+// qubit_maj_ns_e4 profile with the floquet QEC scheme and total error
+// budget 1e-4. The paper's qualitative features to look for in the output:
+//   * the code distance staircase runs 9 (32 bits) -> 17 (16384 bits),
+//     with distance 15 at 2048 bits;
+//   * Karatsuba uses the most physical qubits at every size;
+//   * windowed is the fastest throughout; Karatsuba's runtime first dips
+//     below standard around 4096 bits.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace qre;
+  using namespace qre::bench;
+
+  std::vector<std::uint64_t> sizes;
+  std::uint64_t max_bits = 16384;
+  if (const char* env = std::getenv("QRE_FIG3_MAX_BITS")) {
+    max_bits = std::strtoull(env, nullptr, 10);
+  }
+  for (std::uint64_t n = 32; n <= max_bits; n *= 2) sizes.push_back(n);
+
+  std::printf("Figure 3: multiplication on qubit_maj_ns_e4, floquet code, budget 1e-4\n\n");
+  workload_cache().prefetch(figure_algorithms(), sizes);
+
+  const std::vector<int> widths = {10, 7, 14, 14, 5, 16, 12, 11};
+  print_row({"algorithm", "bits", "logicalQubits", "logicalDepth", "d", "physicalQubits",
+             "runtime(s)", "rQOPS"},
+            widths);
+  for (MultiplierKind kind : figure_algorithms()) {
+    for (std::uint64_t n : sizes) {
+      const LogicalCounts& counts = workload_cache().get(kind, n);
+      ResourceEstimate e = estimate(figure_input(counts, "qubit_maj_ns_e4"));
+      print_row({std::string(to_string(kind)), std::to_string(n),
+                 std::to_string(e.algorithmic_logical_qubits),
+                 format_sci(static_cast<double>(e.logical_depth)),
+                 std::to_string(e.logical_qubit.code_distance),
+                 format_sci(static_cast<double>(e.total_physical_qubits)),
+                 seconds(e.runtime_ns), format_sci(e.rqops)},
+                widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

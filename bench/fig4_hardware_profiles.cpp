@@ -1,0 +1,35 @@
+// Figure 4 reproduction: physical qubits and runtime for the three
+// multiplication algorithms at 2048 bits across the six default hardware
+// profiles (surface code for gate-based profiles, floquet code for Majorana
+// profiles), total error budget 1e-4.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "profiles/qubit_params.hpp"
+
+int main() {
+  using namespace qre;
+  using namespace qre::bench;
+
+  constexpr std::uint64_t kBits = 2048;
+  std::printf("Figure 4: 2048-bit multiplication across hardware profiles, budget 1e-4\n\n");
+  workload_cache().prefetch(figure_algorithms(), {kBits});
+
+  const std::vector<int> widths = {10, 18, 5, 16, 12, 11, 10};
+  print_row({"algorithm", "profile", "d", "physicalQubits", "runtime(s)", "rQOPS",
+             "qecScheme"},
+            widths);
+  for (MultiplierKind kind : figure_algorithms()) {
+    const LogicalCounts& counts = workload_cache().get(kind, kBits);
+    for (const std::string& profile : QubitParams::preset_names()) {
+      ResourceEstimate e = estimate(figure_input(counts, profile));
+      print_row({std::string(to_string(kind)), profile,
+                 std::to_string(e.logical_qubit.code_distance),
+                 format_sci(static_cast<double>(e.total_physical_qubits)),
+                 seconds(e.runtime_ns), format_sci(e.rqops), e.qec.name()},
+                widths);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

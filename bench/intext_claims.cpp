@@ -1,0 +1,96 @@
+// Reproduces the specific in-text numbers of the paper's Section V and
+// reports measured-vs-paper for each:
+//  (a) windowed @2048 bits: ~1.12e11 logical operations, ~20,597 logical
+//      qubits;
+//  (b) windowed @2048 bits runtime across the six profiles: 12 s ... 9e4 s;
+//  (c) rQOPS across profiles: 1.37e6 ... 9.1e9;
+//  (d) Karatsuba first beats standard multiplication around 4096 bits and
+//      is consistently faster only past 16384 bits; Karatsuba uses the most
+//      physical qubits.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "profiles/qubit_params.hpp"
+
+namespace {
+
+void claim(const char* id, const char* description, double paper, double measured,
+           double tolerance_factor) {
+  bool ok = measured >= paper / tolerance_factor && measured <= paper * tolerance_factor;
+  std::printf("  [%s] %-52s paper=%-10s measured=%-10s within %gx: %s\n", id, description,
+              qre::format_sci(paper).c_str(), qre::format_sci(measured).c_str(),
+              tolerance_factor, ok ? "yes" : "NO");
+}
+
+void claim_bool(const char* id, const char* description, bool holds) {
+  std::printf("  [%s] %-52s %s\n", id, description, holds ? "holds" : "DOES NOT HOLD");
+}
+
+}  // namespace
+
+int main() {
+  using namespace qre;
+  using namespace qre::bench;
+
+  std::printf("In-text claims of Section V (paper vs this reproduction)\n\n");
+  workload_cache().prefetch(figure_algorithms(), {2048});
+
+  // --- (a) windowed 2048-bit logical scale --------------------------------.
+  const LogicalCounts& windowed = workload_cache().get(MultiplierKind::kWindowed, 2048);
+  ResourceEstimate maj = estimate(figure_input(windowed, "qubit_maj_ns_e4"));
+  claim("V-a1", "windowed@2048 logical qubits", 20597.0,
+        static_cast<double>(maj.algorithmic_logical_qubits), 1.25);
+  claim("V-a2", "windowed@2048 logical operations (Q*C)", 1.12e11, maj.logical_operations,
+        2.5);
+
+  // --- (b)/(c) runtime and rQOPS ranges across profiles -------------------.
+  double min_runtime = 1e300;
+  double max_runtime = 0.0;
+  double min_rqops = 1e300;
+  double max_rqops = 0.0;
+  for (const std::string& profile : QubitParams::preset_names()) {
+    ResourceEstimate e = estimate(figure_input(windowed, profile));
+    min_runtime = std::min(min_runtime, e.runtime_ns * 1e-9);
+    max_runtime = std::max(max_runtime, e.runtime_ns * 1e-9);
+    min_rqops = std::min(min_rqops, e.rqops);
+    max_rqops = std::max(max_rqops, e.rqops);
+  }
+  claim("V-b1", "fastest profile runtime (s)", 12.0, min_runtime, 3.0);
+  claim("V-b2", "slowest profile runtime (s)", 9e4, max_runtime, 3.0);
+  claim("V-c1", "lowest rQOPS across profiles", 1.37e6, min_rqops, 3.0);
+  claim("V-c2", "highest rQOPS across profiles", 9.1e9, max_rqops, 3.0);
+
+  // --- (d) Karatsuba vs standard ------------------------------------------.
+  std::printf("\n  Karatsuba/standard runtime ratio on qubit_maj_ns_e4:\n");
+  double ratio_2048 = 0.0;
+  double ratio_4096 = 0.0;
+  double ratio_16384 = 0.0;
+  for (std::uint64_t n : {2048ull, 4096ull, 8192ull, 16384ull}) {
+    ResourceEstimate ks = estimate(
+        figure_input(workload_cache().get(MultiplierKind::kKaratsuba, n), "qubit_maj_ns_e4"));
+    ResourceEstimate st = estimate(
+        figure_input(workload_cache().get(MultiplierKind::kStandard, n), "qubit_maj_ns_e4"));
+    double ratio = ks.runtime_ns / st.runtime_ns;
+    std::printf("    n=%-6llu karatsuba/standard runtime = %.3f   qubit ratio = %.2f\n",
+                static_cast<unsigned long long>(n), ratio,
+                static_cast<double>(ks.total_physical_qubits) /
+                    static_cast<double>(st.total_physical_qubits));
+    if (n == 2048) ratio_2048 = ratio;
+    if (n == 4096) ratio_4096 = ratio;
+    if (n == 16384) ratio_16384 = ratio;
+  }
+  claim_bool("V-d1", "Karatsuba slower than standard at 2048 bits", ratio_2048 > 1.0);
+  claim_bool("V-d2", "Karatsuba first competitive around 4096 bits",
+             ratio_4096 < 1.1 && ratio_4096 > 0.5);
+  claim_bool("V-d3", "Karatsuba clearly faster at 16384 bits", ratio_16384 < 0.8);
+
+  ResourceEstimate karatsuba_2048 = estimate(
+      figure_input(workload_cache().get(MultiplierKind::kKaratsuba, 2048), "qubit_maj_ns_e4"));
+  ResourceEstimate standard_2048 = estimate(
+      figure_input(workload_cache().get(MultiplierKind::kStandard, 2048), "qubit_maj_ns_e4"));
+  claim_bool("V-d4", "Karatsuba uses the most physical qubits",
+             karatsuba_2048.total_physical_qubits > standard_2048.total_physical_qubits &&
+                 karatsuba_2048.total_physical_qubits > maj.total_physical_qubits);
+  return 0;
+}

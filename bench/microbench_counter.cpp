@@ -1,0 +1,69 @@
+// Throughput of the tracing layer: gate events per second through the
+// logical counter, and full workload-tracing rates for the arithmetic
+// circuits (this bounds how fast Figure 3 workloads can be generated).
+#include <benchmark/benchmark.h>
+
+#include "arith/multipliers.hpp"
+#include "circuit/builder.hpp"
+#include "counter/logical_counter.hpp"
+
+namespace {
+
+using namespace qre;
+
+void BM_CounterGateEvents(benchmark::State& state) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register q = bld.alloc_register(64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bld.ccix(q[i % 64], q[(i + 1) % 64], q[(i + 2) % 64]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterGateEvents);
+
+void BM_CounterCliffordEvents(benchmark::State& state) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register q = bld.alloc_register(64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bld.cx(q[i % 64], q[(i + 7) % 64]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterCliffordEvents);
+
+void BM_TraceAdder(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    LogicalCounter counter;
+    ProgramBuilder bld(counter);
+    Register a = bld.alloc_register(n);
+    Register b = bld.alloc_register(n);
+    add_into(bld, a, b);
+    benchmark::DoNotOptimize(counter.counts().ccix_count);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TraceAdder)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_TraceMultiplier(benchmark::State& state) {
+  auto kind = static_cast<MultiplierKind>(state.range(0));
+  auto n = static_cast<std::uint64_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multiplier_counts(kind, n).ccix_count);
+  }
+}
+BENCHMARK(BM_TraceMultiplier)
+    ->Args({static_cast<int>(MultiplierKind::kStandard), 256})
+    ->Args({static_cast<int>(MultiplierKind::kStandard), 1024})
+    ->Args({static_cast<int>(MultiplierKind::kWindowed), 1024})
+    ->Args({static_cast<int>(MultiplierKind::kWindowed), 4096})
+    ->Args({static_cast<int>(MultiplierKind::kKaratsuba), 4096})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

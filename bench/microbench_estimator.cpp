@@ -1,0 +1,77 @@
+// Throughput of the estimation pipeline itself: code-distance solving,
+// T-factory search, and complete estimates from logical counts — the
+// operations a resource-estimation service performs per request.
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.hpp"
+#include "tfactory/tfactory.hpp"
+
+namespace {
+
+using namespace qre;
+
+LogicalCounts workload() {
+  LogicalCounts c;
+  c.num_qubits = 10'000;
+  c.t_count = 1'000'000;
+  c.ccz_count = 500'000;
+  c.ccix_count = 500'000;
+  c.measurement_count = 1'500'000;
+  c.rotation_count = 1'000;
+  c.rotation_depth = 400;
+  return c;
+}
+
+void BM_CodeDistanceSolve(benchmark::State& state) {
+  QecScheme scheme = QecScheme::floquet_code();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.code_distance_for(1e-4, 1e-15));
+  }
+}
+BENCHMARK(BM_CodeDistanceSolve);
+
+void BM_TFactorySearch(benchmark::State& state) {
+  QubitParams qubit = QubitParams::maj_ns_e4();
+  QecScheme scheme = QecScheme::floquet_code();
+  std::vector<DistillationUnit> units = DistillationUnit::default_units();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design_tfactory(1e-14, qubit, scheme, units));
+  }
+  state.SetLabel("full unit/distance enumeration, 3 rounds");
+}
+BENCHMARK(BM_TFactorySearch)->Unit(benchmark::kMillisecond);
+
+void BM_FullEstimate(benchmark::State& state) {
+  EstimationInput input =
+      EstimationInput::for_profile(workload(), "qubit_maj_ns_e4", 1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate(input).total_physical_qubits);
+  }
+  state.SetLabel("logical counts -> physical estimate");
+}
+BENCHMARK(BM_FullEstimate)->Unit(benchmark::kMillisecond);
+
+void BM_EstimateAllProfiles(benchmark::State& state) {
+  LogicalCounts counts = workload();
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (const std::string& profile : QubitParams::preset_names()) {
+      total += estimate(EstimationInput::for_profile(counts, profile, 1e-3))
+                   .total_physical_qubits;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel("Figure 4 style: six profiles per iteration");
+}
+BENCHMARK(BM_EstimateAllProfiles)->Unit(benchmark::kMillisecond);
+
+void BM_Frontier(benchmark::State& state) {
+  EstimationInput input =
+      EstimationInput::for_profile(workload(), "qubit_maj_ns_e4", 1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_frontier(input, 8).size());
+  }
+}
+BENCHMARK(BM_Frontier)->Unit(benchmark::kMillisecond);
+
+}  // namespace

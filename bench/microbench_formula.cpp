@@ -1,0 +1,42 @@
+// Throughput of the formula engine: parsing and evaluation of the formula
+// strings the estimator runs inside its code-distance and factory searches.
+#include <benchmark/benchmark.h>
+
+#include "formula/formula.hpp"
+
+namespace {
+
+const char* kCycleFormula = "(4 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance";
+const char* kErrorFormula = "35 * inputErrorRate ^ 3 + 7.1 * cliffordErrorRate";
+
+void BM_FormulaParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qre::Formula::parse(kCycleFormula));
+  }
+}
+BENCHMARK(BM_FormulaParse);
+
+void BM_FormulaEvaluateCycle(benchmark::State& state) {
+  qre::Formula f = qre::Formula::parse(kCycleFormula);
+  qre::Environment env;
+  env.set("twoQubitGateTime", 50.0);
+  env.set("oneQubitMeasurementTime", 100.0);
+  env.set("codeDistance", 13.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.evaluate(env));
+  }
+}
+BENCHMARK(BM_FormulaEvaluateCycle);
+
+void BM_FormulaEvaluateDistillation(benchmark::State& state) {
+  qre::Formula f = qre::Formula::parse(kErrorFormula);
+  qre::Environment env;
+  env.set("inputErrorRate", 5e-3);
+  env.set("cliffordErrorRate", 1e-7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.evaluate(env));
+  }
+}
+BENCHMARK(BM_FormulaEvaluateDistillation);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Sparse-simulator throughput: basis-state gate application, superposition
+// handling, and full verified arithmetic (the adder and windowed-multiplier
+// functional tests run circuits like these).
+#include <benchmark/benchmark.h>
+
+#include "arith/adders.hpp"
+#include "arith/multipliers.hpp"
+#include "circuit/builder.hpp"
+#include "sim/sparse_simulator.hpp"
+
+namespace {
+
+using namespace qre;
+
+void BM_SimBasisStateGates(benchmark::State& state) {
+  SparseSimulator sim;
+  ProgramBuilder bld(sim);
+  Register q = bld.alloc_register(100);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bld.cx(q[i % 100], q[(i + 1) % 100]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimBasisStateGates);
+
+void BM_SimSuperpositionGates(benchmark::State& state) {
+  SparseSimulator sim;
+  ProgramBuilder bld(sim);
+  Register q = bld.alloc_register(16);
+  for (QubitId id : q) bld.h(id);  // 65536 basis states
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bld.cx(q[i % 16], q[(i + 1) % 16]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimSuperpositionGates);
+
+void BM_SimAdder(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SparseSimulator sim(seed++);
+    ProgramBuilder bld(sim);
+    Register a = bld.alloc_register(n);
+    Register b = bld.alloc_register(n);
+    bld.xor_constant(a, 0x5A5A5A5A & ((1ull << n) - 1));
+    bld.xor_constant(b, 0x33CC33CC & ((1ull << n) - 1));
+    add_into(bld, a, b);
+    benchmark::DoNotOptimize(sim.peek_classical(b));
+  }
+}
+BENCHMARK(BM_SimAdder)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SimWindowedMultiplier(benchmark::State& state) {
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    SparseSimulator sim(seed++);
+    ProgramBuilder bld(sim);
+    Register y = bld.alloc_register(8);
+    Register acc = bld.alloc_register(16);
+    bld.xor_constant(y, 0xA7);
+    windowed_mult_add_constant(bld, Constant{0x5B, 8}, y, acc, 3);
+    benchmark::DoNotOptimize(sim.peek_classical(acc));
+  }
+  state.SetLabel("8x8-bit verified product incl. lookup/unlookup");
+}
+BENCHMARK(BM_SimWindowedMultiplier);
+
+}  // namespace

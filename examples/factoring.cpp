@@ -1,0 +1,56 @@
+// Estimating the factoring kernel: modular exponentiation, the quantum part
+// of Shor's algorithm, built here from windowed modular multiplication
+// (Gidney, arXiv:1905.07682). A single controlled modular multiplication is
+// traced and composed 2n times with LogicalCounts::repeated/sequential —
+// the "known logical estimates" workflow of paper Section IV-B3 — so a
+// RSA-2048 estimate takes seconds.
+//
+// For small moduli the very same circuits run on the sparse simulator; this
+// example first demonstrates 7^e mod 15 evaluated by the quantum circuit.
+#include <cstdio>
+
+#include "arith/modular.hpp"
+#include "circuit/builder.hpp"
+#include "common/format.hpp"
+#include "core/estimator.hpp"
+#include "sim/sparse_simulator.hpp"
+
+int main() {
+  using namespace qre;
+
+  // --- 1. Functional check on the simulator -------------------------------.
+  std::printf("Simulated modular exponentiation, 7^e mod 15:\n");
+  for (std::uint64_t e = 0; e < 8; ++e) {
+    SparseSimulator sim(e + 1);
+    ProgramBuilder bld(sim);
+    Register exponent = bld.alloc_register(3);
+    Register acc = bld.alloc_register(4);
+    bld.xor_constant(exponent, e);
+    bld.xor_constant(acc, 1);
+    mod_exp(bld, 7, 15, exponent, acc, 2);
+    std::printf("  e=%llu -> %llu (classical: %llu)\n",
+                static_cast<unsigned long long>(e),
+                static_cast<unsigned long long>(sim.peek_classical(acc)),
+                static_cast<unsigned long long>(mod_pow(7, e, 15)));
+  }
+
+  // --- 2. Resource estimates for cryptographic sizes ----------------------.
+  std::printf("\nFactoring-kernel estimates (budget 1e-3, qubit_maj_ns_e6, floquet):\n");
+  std::printf("%-10s %-14s %-6s %-16s %-12s\n", "modulus", "logicalQubits", "d",
+              "physicalQubits", "runtime");
+  for (std::uint64_t bits : {512ull, 1024ull, 2048ull}) {
+    LogicalCounts counts = factoring_counts(bits);
+    EstimationInput input = EstimationInput::for_profile(counts, "qubit_maj_ns_e6", 1e-3);
+    ResourceEstimate e = estimate(input);
+    std::printf("%-10llu %-14llu %-6llu %-16s %-12s\n",
+                static_cast<unsigned long long>(bits),
+                static_cast<unsigned long long>(e.algorithmic_logical_qubits),
+                static_cast<unsigned long long>(e.logical_qubit.code_distance),
+                format_count(e.total_physical_qubits).c_str(),
+                format_duration_ns(e.runtime_ns).c_str());
+  }
+  std::printf("\nThe estimate composes one traced controlled modular multiplication\n"
+              "2n times via LogicalCounts::repeated — the AccountForEstimates\n"
+              "pattern of paper Section IV-B3.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// The paper's Section II framing from the machine side: what does a device
+// with a given number of physical qubits achieve on each hardware profile?
+// Classifies machines into the three quantum computing implementation
+// levels (foundational / resilient / scale) and reports rQOPS — including
+// the ~1e6 rQOPS "first quantum supercomputer" milestone and the physical
+// qubit budget each profile needs to reach Level 3.
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "core/advantage.hpp"
+
+int main() {
+  using namespace qre;
+
+  constexpr double kTargetLogicalError = 1e-12;  // per logical operation
+
+  std::printf("Machine capability by physical qubit budget (target P_L = 1e-12)\n\n");
+  std::printf("%-18s %-14s %-5s %-14s %-10s %-22s\n", "profile", "physQubits", "d",
+              "logicalQubits", "rQOPS", "level");
+  for (const std::string& name : QubitParams::preset_names()) {
+    QubitParams qubit = QubitParams::from_name(name);
+    QecScheme scheme = QecScheme::default_for(qubit.instruction_set);
+    for (std::uint64_t budget : {10'000ull, 1'000'000ull, 100'000'000ull}) {
+      MachineCapability cap = machine_capability(qubit, scheme, budget, kTargetLogicalError);
+      std::printf("%-18s %-14s %-5llu %-14llu %-10s %-22s\n", name.c_str(),
+                  format_count(budget).c_str(),
+                  static_cast<unsigned long long>(cap.code_distance),
+                  static_cast<unsigned long long>(cap.logical_qubits),
+                  format_sci(cap.rqops).c_str(),
+                  std::string(to_string(cap.level)).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Physical qubits needed to reach Level 3 (1e12 reliable ops, 1e6 s,\n"
+              ">= 1e6 rQOPS):\n");
+  for (const std::string& name : QubitParams::preset_names()) {
+    QubitParams qubit = QubitParams::from_name(name);
+    QecScheme scheme = QecScheme::default_for(qubit.instruction_set);
+    try {
+      std::uint64_t needed = physical_qubits_for_scale(qubit, scheme, kTargetLogicalError);
+      std::printf("  %-18s %s physical qubits\n", name.c_str(),
+                  format_count(needed).c_str());
+    } catch (const Error& e) {
+      std::printf("  %-18s not reachable (%s)\n", name.c_str(), e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// The paper's Section V use case in miniature: estimate the three integer
+// multiplication algorithms (standard long multiplication, Karatsuba,
+// windowed) for a few input sizes on qubit_maj_ns_e4 with the floquet code,
+// and print a comparison — the workload behind Figures 3 and 4.
+#include <cstdio>
+
+#include "arith/multipliers.hpp"
+#include "common/format.hpp"
+#include "core/estimator.hpp"
+
+int main() {
+  using namespace qre;
+
+  std::printf("Multiplication study (qubit_maj_ns_e4, floquet code, budget 1e-4)\n\n");
+  std::printf("%-12s %-6s %-14s %-5s %-16s %-12s\n", "algorithm", "bits", "logicalQubits",
+              "d", "physicalQubits", "runtime");
+
+  for (MultiplierKind kind :
+       {MultiplierKind::kStandard, MultiplierKind::kKaratsuba, MultiplierKind::kWindowed}) {
+    for (std::uint64_t bits : {64ull, 256ull, 1024ull}) {
+      LogicalCounts counts = multiplier_counts(kind, bits);
+      EstimationInput input = EstimationInput::for_profile(counts, "qubit_maj_ns_e4", 1e-4);
+      ResourceEstimate e = estimate(input);
+      std::printf("%-12s %-6llu %-14llu %-5llu %-16s %-12s\n",
+                  std::string(to_string(kind)).c_str(),
+                  static_cast<unsigned long long>(bits),
+                  static_cast<unsigned long long>(e.algorithmic_logical_qubits),
+                  static_cast<unsigned long long>(e.logical_qubit.code_distance),
+                  format_count(e.total_physical_qubits).c_str(),
+                  format_duration_ns(e.runtime_ns).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Conclusion to compare with the paper: even this classically trivial\n"
+              "task needs millions of physical qubits, and the asymptotically best\n"
+              "algorithm (Karatsuba) is not the practical winner at these sizes.\n");
+  return 0;
+}

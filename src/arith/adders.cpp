@@ -1,0 +1,171 @@
+#include "arith/adders.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+namespace {
+
+/// Shared ripple-carry core. Positions [0, |a|) are full adder cells,
+/// positions [|a|, |b|) are half cells (the a operand is an implicit 0).
+/// Cell i computes the carry into position i+1 as
+///   c[i+1] = MAJ(a_i, b_i, c_i) = AND(a_i ^ c_i, b_i ^ c_i) ^ c_i
+/// using one AND; the uncompute sweep rewinds the ANDs and writes the sum
+/// bits b_i ^= a_i ^ c_i.
+void ripple_add(ProgramBuilder& bld, const Register& a, const Register& b,
+                std::optional<QubitId> carry_out) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  QRE_REQUIRE(m <= n, "add_into: addend register is wider than the target");
+  if (m == 0) return;
+
+  if (n == 1) {
+    if (carry_out.has_value()) {
+      bld.compute_and(a[0], b[0], *carry_out);  // exact carry (no incoming carry)
+    }
+    bld.cx(a[0], b[0]);
+    return;
+  }
+
+  // carries[i] = carry into position i+1, for i in [0, n-1); the final carry
+  // (out of position n-1) goes to *carry_out when requested.
+  Register carries = bld.alloc_register(n - 1);
+
+  // --- Forward sweep: compute carries -------------------------------------
+  bld.compute_and(a[0], b[0], carries[0]);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    QubitId c_in = carries[i - 1];
+    if (i < m) {
+      bld.cx(c_in, a[i]);
+      bld.cx(c_in, b[i]);
+      bld.compute_and(a[i], b[i], carries[i]);
+      bld.cx(c_in, carries[i]);
+    } else {
+      bld.compute_and(c_in, b[i], carries[i]);
+    }
+  }
+  if (carry_out.has_value()) {
+    QubitId c_in = carries[n - 2];
+    std::size_t i = n - 1;
+    if (i < m) {
+      bld.cx(c_in, a[i]);
+      bld.cx(c_in, b[i]);
+      bld.compute_and(a[i], b[i], *carry_out);
+      bld.cx(c_in, *carry_out);
+    } else {
+      bld.compute_and(c_in, b[i], *carry_out);
+    }
+  }
+
+  // --- Backward sweep: uncompute carries and write sums -------------------
+  {
+    std::size_t i = n - 1;
+    QubitId c_in = carries[n - 2];
+    if (carry_out.has_value()) {
+      // a_i/b_i currently hold the primed values (for full cells); restore a
+      // and finish the sum. The carry-out ancilla keeps the true carry.
+      if (i < m) {
+        bld.cx(c_in, a[i]);
+        bld.cx(a[i], b[i]);
+      } else {
+        bld.cx(c_in, b[i]);
+      }
+    } else {
+      if (i < m) {
+        bld.cx(c_in, b[i]);
+        bld.cx(a[i], b[i]);
+      } else {
+        bld.cx(c_in, b[i]);
+      }
+    }
+  }
+  for (std::size_t i = n - 2; i >= 1; --i) {
+    QubitId c_in = carries[i - 1];
+    if (i < m) {
+      bld.cx(c_in, carries[i]);
+      bld.uncompute_and(a[i], b[i], carries[i]);
+      bld.cx(c_in, a[i]);
+      bld.cx(a[i], b[i]);
+    } else {
+      bld.uncompute_and(c_in, b[i], carries[i]);
+      bld.cx(c_in, b[i]);
+    }
+  }
+  bld.uncompute_and(a[0], b[0], carries[0]);
+  bld.cx(a[0], b[0]);
+
+  bld.free_register(carries);
+}
+
+}  // namespace
+
+void add_into(ProgramBuilder& bld, const Register& a, const Register& b,
+              std::optional<QubitId> carry_out) {
+  ripple_add(bld, a, b, carry_out);
+}
+
+void sub_into(ProgramBuilder& bld, const Register& a, const Register& b) {
+  // b - a = ~(~b + a) (two's complement identity).
+  for (QubitId q : b) bld.x(q);
+  ripple_add(bld, a, b, std::nullopt);
+  for (QubitId q : b) bld.x(q);
+}
+
+void add_into_controlled(ProgramBuilder& bld, QubitId ctrl, const Register& a,
+                         const Register& b, std::optional<QubitId> carry_out) {
+  // Mask the addend with the control (|a| ANDs), add, unmask.
+  Register masked = bld.alloc_register(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) bld.compute_and(ctrl, a[i], masked[i]);
+  ripple_add(bld, masked, b, carry_out);
+  for (std::size_t i = 0; i < a.size(); ++i) bld.uncompute_and(ctrl, a[i], masked[i]);
+  bld.free_register(masked);
+}
+
+namespace {
+
+/// Loads ctrl-masked (or plain) constant bits into a temp register and adds.
+void constant_add_impl(ProgramBuilder& bld, std::optional<QubitId> ctrl, const Constant& k,
+                       const Register& b, std::optional<QubitId> carry_out) {
+  if (k.bits == 0) return;
+  std::size_t width = std::min(k.bits, b.size());
+  QRE_REQUIRE(bld.counting_only() || k.bits <= 64,
+              "executing backends require constants of at most 64 bits");
+  Register temp = bld.alloc_register(width);
+  auto load = [&]() {
+    if (bld.counting_only()) {
+      // Data-independent Clifford count estimate: half the bits set.
+      bld.backend().on_gate_batch(ctrl.has_value() ? Gate::kCx : Gate::kX,
+                                  std::max<std::uint64_t>(width / 2, 1));
+      return;
+    }
+    for (std::size_t i = 0; i < width; ++i) {
+      if (k.bit(i)) {
+        if (ctrl.has_value()) {
+          bld.cx(*ctrl, temp[i]);
+        } else {
+          bld.x(temp[i]);
+        }
+      }
+    }
+  };
+  load();
+  ripple_add(bld, temp, b, carry_out);
+  load();  // XOR-loading twice restores the temp to |0>
+  bld.free_register(temp);
+}
+
+}  // namespace
+
+void add_constant(ProgramBuilder& bld, const Constant& k, const Register& b,
+                  std::optional<QubitId> carry_out) {
+  constant_add_impl(bld, std::nullopt, k, b, carry_out);
+}
+
+void add_constant_controlled(ProgramBuilder& bld, QubitId ctrl, const Constant& k,
+                             const Register& b, std::optional<QubitId> carry_out) {
+  constant_add_impl(bld, ctrl, k, b, carry_out);
+}
+
+}  // namespace qre

@@ -1,0 +1,52 @@
+// Quantum adders built from the Gidney AND gadget (arXiv:1709.06648).
+//
+// The in-place ripple adder uses one AND (CCiX) per bit position below the
+// top: n-1 ANDs for an n-bit modular addition, n with carry-out. AND
+// ancillas are uncomputed measurement-based (one measurement each, no
+// non-Clifford gates), or unitarily inside taped regions.
+//
+// All registers are least-significant-bit first. Classical constants are
+// described by `Constant` (value + width); counting-only backends never read
+// the value, so constants wider than 64 bits are usable for counting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "circuit/builder.hpp"
+
+namespace qre {
+
+/// A classical constant operand. `bits` may exceed 64 for counting-only
+/// backends (the value is then ignored); executing backends require
+/// bits <= 64.
+struct Constant {
+  std::uint64_t value = 0;
+  std::size_t bits = 0;
+
+  bool bit(std::size_t i) const { return i < 64 && ((value >> i) & 1) != 0; }
+};
+
+/// b += a (mod 2^|b|); requires |a| <= |b|. With `carry_out` the exact sum
+/// extends into the extra qubit (which must be |0>).
+void add_into(ProgramBuilder& bld, const Register& a, const Register& b,
+              std::optional<QubitId> carry_out = std::nullopt);
+
+/// b -= a (mod 2^|b|); requires |a| <= |b|.
+void sub_into(ProgramBuilder& bld, const Register& a, const Register& b);
+
+/// b += a when ctrl is set; costs |a| extra ANDs for the masked copy of a.
+void add_into_controlled(ProgramBuilder& bld, QubitId ctrl, const Register& a,
+                         const Register& b, std::optional<QubitId> carry_out = std::nullopt);
+
+/// b += k (mod 2^|b|, or exact with carry_out).
+void add_constant(ProgramBuilder& bld, const Constant& k, const Register& b,
+                  std::optional<QubitId> carry_out = std::nullopt);
+
+/// b += k when ctrl is set. The masked constant is fanned out with CNOTs
+/// (Clifford), so this costs the same number of ANDs as a plain addition.
+void add_constant_controlled(ProgramBuilder& bld, QubitId ctrl, const Constant& k,
+                             const Register& b,
+                             std::optional<QubitId> carry_out = std::nullopt);
+
+}  // namespace qre

@@ -1,0 +1,92 @@
+#include "arith/comparators.hpp"
+
+#include "common/error.hpp"
+
+namespace qre {
+
+void carry_of_sum(ProgramBuilder& bld, const Register& a, const Register& b, QubitId flag,
+                  bool carry_in) {
+  const std::size_t n = a.size();
+  QRE_REQUIRE(b.size() == n, "carry_of_sum: operands must have equal width");
+  QRE_REQUIRE(n >= 1, "carry_of_sum: empty operands");
+
+  // carries[i] holds the carry into position i+1; the final entry is the
+  // carry-out that feeds the flag.
+  Register carries = bld.alloc_register(n);
+
+  // Cell 0. With carry-in the carry into position 1 is MAJ(a0, b0, 1)
+  // = a0 OR b0 = NOT(AND(~a0, ~b0)).
+  if (carry_in) {
+    bld.x(a[0]);
+    bld.x(b[0]);
+    bld.compute_and(a[0], b[0], carries[0]);
+    bld.x(carries[0]);
+    bld.x(a[0]);
+    bld.x(b[0]);
+  } else {
+    bld.compute_and(a[0], b[0], carries[0]);
+  }
+
+  // Cells 1..n-1: c[i+1] = AND(a_i ^ c_i, b_i ^ c_i) ^ c_i.
+  for (std::size_t i = 1; i < n; ++i) {
+    QubitId c_in = carries[i - 1];
+    bld.cx(c_in, a[i]);
+    bld.cx(c_in, b[i]);
+    bld.compute_and(a[i], b[i], carries[i]);
+    bld.cx(c_in, carries[i]);
+  }
+
+  bld.cx(carries[n - 1], flag);
+
+  // Rewind everything; no sum bits are written, so a and b are restored.
+  for (std::size_t i = n; i-- > 1;) {
+    QubitId c_in = carries[i - 1];
+    bld.cx(c_in, carries[i]);
+    bld.uncompute_and(a[i], b[i], carries[i]);
+    bld.cx(c_in, b[i]);
+    bld.cx(c_in, a[i]);
+  }
+  if (carry_in) {
+    bld.x(a[0]);
+    bld.x(b[0]);
+    bld.x(carries[0]);
+    bld.uncompute_and(a[0], b[0], carries[0]);
+    bld.x(a[0]);
+    bld.x(b[0]);
+  } else {
+    bld.uncompute_and(a[0], b[0], carries[0]);
+  }
+  bld.free_register(carries);
+}
+
+void compare_less(ProgramBuilder& bld, const Register& a, const Register& b, QubitId flag) {
+  QRE_REQUIRE(a.size() == b.size(), "compare_less: operands must have equal width");
+  // [a < b] = NOT carry(a + ~b + 1).
+  for (QubitId q : b) bld.x(q);
+  carry_of_sum(bld, a, b, flag, /*carry_in=*/true);
+  bld.x(flag);
+  for (QubitId q : b) bld.x(q);
+}
+
+void compare_geq_constant(ProgramBuilder& bld, const Register& reg, const Constant& k,
+                          QubitId flag) {
+  const std::size_t n = reg.size();
+  QRE_REQUIRE(k.bits <= n, "compare_geq_constant: constant wider than the register");
+  // [reg >= k] = carry(reg + (2^n - k)) for k >= 1.
+  Register temp = bld.alloc_register(n);
+  auto load = [&]() {
+    if (bld.counting_only()) {
+      bld.backend().on_gate_batch(Gate::kX, std::max<std::uint64_t>(n / 2, 1));
+      return;
+    }
+    QRE_REQUIRE(n <= 63, "executing backends support comparators up to 63 bits");
+    std::uint64_t complement = ((std::uint64_t{1} << n) - k.value) & ((std::uint64_t{1} << n) - 1);
+    bld.xor_constant(temp, complement);
+  };
+  load();
+  carry_of_sum(bld, temp, reg, flag);
+  load();
+  bld.free_register(temp);
+}
+
+}  // namespace qre

@@ -1,0 +1,25 @@
+// Non-destructive comparators built from a carry-only ripple sweep: the
+// forward sweep of the Gidney adder computes the carry chain into ancillas,
+// the carry-out is copied to the flag, and the sweep is rewound without
+// writing sum bits — leaving both operands untouched. One AND per bit
+// position. These are the building blocks of modular reduction.
+#pragma once
+
+#include "arith/adders.hpp"
+#include "circuit/builder.hpp"
+
+namespace qre {
+
+/// flag ^= carry_out(a + b + carry_in); a and b are left unchanged.
+/// Requires |a| == |b| >= 1.
+void carry_of_sum(ProgramBuilder& bld, const Register& a, const Register& b, QubitId flag,
+                  bool carry_in = false);
+
+/// flag ^= [a < b] (unsigned); requires |a| == |b|.
+void compare_less(ProgramBuilder& bld, const Register& a, const Register& b, QubitId flag);
+
+/// flag ^= [reg >= k] for a classical constant 1 <= k <= 2^|reg|.
+void compare_geq_constant(ProgramBuilder& bld, const Register& reg, const Constant& k,
+                          QubitId flag);
+
+}  // namespace qre

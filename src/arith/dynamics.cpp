@@ -1,0 +1,63 @@
+#include "arith/dynamics.hpp"
+
+#include "common/error.hpp"
+#include "counter/logical_counter.hpp"
+
+namespace qre {
+
+namespace {
+
+/// exp(-i * theta/2 * Z.Z) on (a, b).
+void zz_interaction(ProgramBuilder& bld, double theta, QubitId a, QubitId b) {
+  bld.cx(a, b);
+  bld.rz(theta, b);
+  bld.cx(a, b);
+}
+
+}  // namespace
+
+void ising_trotter_evolution(ProgramBuilder& bld, const Register& sites,
+                             const IsingModelSpec& spec) {
+  QRE_REQUIRE(sites.size() == spec.num_sites(),
+              "ising_trotter_evolution: register does not match the lattice");
+  QRE_REQUIRE(spec.trotter_steps >= 1, "ising_trotter_evolution: needs at least one step");
+  const std::size_t w = spec.lattice_width;
+  const std::size_t h = spec.lattice_height;
+  auto site = [&](std::size_t x, std::size_t y) { return sites[y * w + x]; };
+  const double theta_x = 2.0 * spec.dt * spec.transverse_field;
+  const double theta_zz = 2.0 * spec.dt * spec.coupling;
+
+  for (std::size_t step = 0; step < spec.trotter_steps; ++step) {
+    // Transverse field: one parallel rotation layer.
+    for (QubitId q : sites) bld.rx(theta_x, q);
+    // Horizontal then vertical edges, even/odd interleaved so that each
+    // sweep touches disjoint qubit pairs (parallel rotation layers).
+    for (std::size_t parity = 0; parity < 2; ++parity) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = parity; x + 1 < w; x += 2) {
+          zz_interaction(bld, theta_zz, site(x, y), site(x + 1, y));
+        }
+      }
+    }
+    for (std::size_t parity = 0; parity < 2; ++parity) {
+      for (std::size_t y = parity; y + 1 < h; y += 2) {
+        for (std::size_t x = 0; x < w; ++x) {
+          zz_interaction(bld, theta_zz, site(x, y), site(x, y + 1));
+        }
+      }
+    }
+  }
+}
+
+LogicalCounts ising_counts(const IsingModelSpec& spec) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register sites = bld.alloc_register(spec.num_sites());
+  for (QubitId q : sites) bld.h(q);  // prepare |+...+>
+  ising_trotter_evolution(bld, sites, spec);
+  for (QubitId q : sites) bld.mz(q);
+  bld.free_register(sites);
+  return counter.counts();
+}
+
+}  // namespace qre

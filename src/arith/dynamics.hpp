@@ -1,0 +1,38 @@
+// Quantum dynamics workload: first-order Trotter simulation of the 2D
+// transverse-field Ising model — the rotation-dominated application class
+// the estimator's rotation-synthesis path (paper Section III-B) exists for,
+// and one of the three applications the paper's companion study evaluates.
+//
+// Each Trotter step applies Rx(2*dt*h) to every site and
+// exp(-i*dt*J Z.Z) = CX - Rz(2*dt*J) - CX across every lattice edge, with
+// edges ordered so disjoint pairs share rotation layers.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/builder.hpp"
+#include "counter/logical_counts.hpp"
+
+namespace qre {
+
+struct IsingModelSpec {
+  std::size_t lattice_width = 10;
+  std::size_t lattice_height = 10;
+  std::size_t trotter_steps = 100;
+  double dt = 0.1;
+  double transverse_field = 1.0;  // h
+  double coupling = 1.0;          // J
+
+  std::size_t num_sites() const { return lattice_width * lattice_height; }
+};
+
+/// Applies the full Trotterized evolution to `sites` (row-major lattice,
+/// |sites| == spec.num_sites()).
+void ising_trotter_evolution(ProgramBuilder& bld, const Register& sites,
+                             const IsingModelSpec& spec);
+
+/// Traces the evolution (plus a final measurement of every site) and
+/// returns its pre-layout counts.
+LogicalCounts ising_counts(const IsingModelSpec& spec);
+
+}  // namespace qre

@@ -1,0 +1,113 @@
+#include "arith/karatsuba.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arith/adders.hpp"
+#include "arith/multipliers.hpp"
+#include "circuit/tape.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace qre {
+
+void karatsuba_product(ProgramBuilder& bld, const Register& x, const Register& y,
+                       const Register& p, const KaratsubaOptions& options) {
+  const std::size_t n = x.size();
+  QRE_REQUIRE(y.size() == n, "karatsuba_product: operands must have equal width");
+  QRE_REQUIRE(p.size() >= 2 * n, "karatsuba_product: product register too narrow");
+  const std::size_t cutoff = std::max<std::size_t>(options.cutoff, 5);
+
+  // The combination-step slice arithmetic needs 2n >= 3*ceil(n/2) + 2,
+  // which holds for all n >= 6 (n = 5 must not recurse).
+  if (n <= cutoff) {
+    schoolbook_mult_add(bld, x, y, slice(p, 0, 2 * n));
+    return;
+  }
+
+  const std::size_t m = (n + 1) / 2;
+  Register x0 = slice(x, 0, m);
+  Register x1 = slice(x, m, n - m);
+  Register y0 = slice(y, 0, m);
+  Register y1 = slice(y, m, n - m);
+
+  // t1 = x0 + x1, t2 = y0 + y1 (each fits in m+1 bits).
+  Register t1 = bld.alloc_register(m + 1);
+  for (std::size_t j = 0; j < m; ++j) bld.cx(x0[j], t1[j]);
+  add_into(bld, x1, t1);
+  Register t2 = bld.alloc_register(m + 1);
+  for (std::size_t j = 0; j < m; ++j) bld.cx(y0[j], t2[j]);
+  add_into(bld, y1, t2);
+
+  // z1 = (x0+x1)(y0+y1) lands at offset m. p is still clean there, and
+  // z1 < 2^(2m+2), so the window addition is exact without a carry-out.
+  Register pm = bld.alloc_register(2 * m + 2);
+  karatsuba_product(bld, t1, t2, pm, options);
+  add_into(bld, pm, slice(p, m, 2 * m + 2));
+
+  // p += z0 * (1 - 2^m): slice operations with carry propagation to the top
+  // of p implement p +/- z * 2^offset exactly, modulo 2^|p|.
+  Register p0 = bld.alloc_register(2 * m);
+  karatsuba_product(bld, x0, y0, p0, options);
+  add_into(bld, p0, p);
+  sub_into(bld, p0, slice(p, m, p.size() - m));
+
+  // p += z2 * (2^2m - 2^m).
+  Register p2 = bld.alloc_register(2 * (n - m));
+  karatsuba_product(bld, x1, y1, p2, options);
+  add_into(bld, p2, slice(p, 2 * m, p.size() - 2 * m));
+  sub_into(bld, p2, slice(p, m, p.size() - m));
+
+  // t1, t2, pm, p0, p2 intentionally stay allocated: the caller's adjoint
+  // replay rewinds and releases them (keep-alive recursion, see header).
+}
+
+void karatsuba_mult_add(ProgramBuilder& bld, const Register& x, const Register& y,
+                        const Register& acc, const KaratsubaOptions& options) {
+  const std::size_t n = x.size();
+  QRE_REQUIRE(y.size() == n, "karatsuba_mult_add: operands must have equal width");
+  QRE_REQUIRE(acc.size() >= 2 * n, "karatsuba_mult_add: accumulator too narrow");
+  if (n == 0) return;
+  if (n <= std::max<std::size_t>(options.cutoff, 5)) {
+    schoolbook_mult_add(bld, x, y, acc);
+    return;
+  }
+
+  Tape tape(&bld.backend());
+  Backend* real = bld.swap_backend(&tape);
+  bool previous_mode = bld.set_unitary_uncompute(true);
+  Register p = bld.alloc_register(2 * n);
+  karatsuba_product(bld, x, y, p, options);
+  bld.set_unitary_uncompute(previous_mode);
+  bld.swap_backend(real);
+
+  tape.replay(*real);
+  add_into(bld, p, acc);
+  tape.replay_adjoint(*real);
+
+  // The adjoint released the region's surviving workspace at the backend
+  // level; reconcile the builder's bookkeeping.
+  std::vector<QubitId> survivors = tape.live_at_end();
+  for (auto it = survivors.rbegin(); it != survivors.rend(); ++it) bld.reclaim(*it);
+}
+
+double KaratsubaModel::toffoli_count(std::uint64_t n) const {
+  if (n <= cutoff) return base_factor * static_cast<double>(n) * static_cast<double>(n);
+  return 3.0 * toffoli_count((n + 1) / 2) + linear_factor * static_cast<double>(n);
+}
+
+void emit_karatsuba_model(ProgramBuilder& bld, std::uint64_t n_bits,
+                          const KaratsubaModel& model) {
+  QRE_REQUIRE(bld.counting_only(),
+              "the Karatsuba cost model emits batched events and requires a counting backend");
+  auto workspace_size = static_cast<std::size_t>(
+      std::ceil(model.qubit_factor * static_cast<double>(n_bits)));
+  Register workspace = bld.alloc_register(workspace_size);
+  auto toffolis = ceil_to_u64(model.toffoli_count(n_bits));
+  bld.backend().on_gate_batch(Gate::kCcix, toffolis);
+  bld.backend().on_measure_batch(Gate::kMz, toffolis);  // measurement-based unands
+  bld.backend().on_gate_batch(Gate::kCx, 4 * toffolis);  // Clifford bookkeeping estimate
+  bld.free_register(workspace);
+}
+
+}  // namespace qre

@@ -1,0 +1,66 @@
+// Karatsuba multiplication.
+//
+// Two implementations:
+//
+//  * karatsuba_product / karatsuba_mult_add — an exact, simulator-verified
+//    recursive circuit. The product recursion computes each half-product
+//    out-of-place with three recursive calls and O(n) in-place combination
+//    adds (the subtractive middle term is applied as slice additions and
+//    subtractions on the output register, exact by modular arithmetic), and
+//    keeps all workspace alive; the caller's single adjoint pass (via Tape)
+//    uncomputes everything at a uniform factor of two in Toffolis. Toffoli
+//    count follows T(n) = 3 T(ceil(n/2)) + Theta(n); workspace is
+//    Theta(n^{log2 3}), which is why this variant targets small and medium
+//    operand sizes (tests, examples, verification).
+//
+//  * emit_karatsuba_model — a cost-model circuit emitter for large-n
+//    estimation, standing in for Gidney's carry-runway construction
+//    (arXiv:1904.07356) that achieves the same Toffoli recurrence in O(n)
+//    space. It emits batched CCiX/measurement events following
+//    T(n) = 3 T(ceil(n/2)) + linear_factor*n, T(b <= cutoff) =
+//    base_factor*b^2, over a qubit_factor*n workspace. The default constants
+//    are calibrated so the standard-vs-Karatsuba runtime crossover lands
+//    where the paper reports it (~4096 bits); see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/builder.hpp"
+
+namespace qre {
+
+struct KaratsubaOptions {
+  /// Operand width at and below which the recursion falls back to the
+  /// schoolbook product. Clamped to >= 5: the combination-step slice
+  /// arithmetic requires operand width >= 6 to recurse.
+  std::size_t cutoff = 8;
+};
+
+/// p ^= x * y, with p clean on entry; requires |x| == |y| and |p| >= 2|x|.
+/// Must run in unitary-uncompute mode (measurement-free) so the caller can
+/// reverse it; karatsuba_mult_add handles that automatically.
+void karatsuba_product(ProgramBuilder& bld, const Register& x, const Register& y,
+                       const Register& p, const KaratsubaOptions& options = {});
+
+/// acc += x * y using the exact Karatsuba circuit and a taped adjoint for
+/// workspace cleanup. Requires |x| == |y| and |acc| >= |x| + |y|.
+void karatsuba_mult_add(ProgramBuilder& bld, const Register& x, const Register& y,
+                        const Register& acc, const KaratsubaOptions& options = {});
+
+/// Cost-model parameters for large-n Karatsuba estimation.
+struct KaratsubaModel {
+  std::uint64_t cutoff = 32;
+  double base_factor = 5.5;
+  double linear_factor = 20.0;
+  double qubit_factor = 8.0;
+
+  /// T(n) = 3 T(ceil(n/2)) + linear_factor*n; T(n <= cutoff) = base_factor*n^2.
+  double toffoli_count(std::uint64_t n) const;
+};
+
+/// Emits the cost-model event stream (batched CCiX + measurements + Clifford
+/// bookkeeping over a qubit_factor*n workspace) onto a counting backend.
+void emit_karatsuba_model(ProgramBuilder& bld, std::uint64_t n_bits,
+                          const KaratsubaModel& model = {});
+
+}  // namespace qre

@@ -1,0 +1,136 @@
+#include "arith/lookup.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace qre {
+
+namespace {
+
+void walk(ProgramBuilder& bld, const Register& address,
+          const std::function<void(std::optional<QubitId>, std::uint64_t)>& leaf,
+          std::optional<QubitId> ctrl, int bit, std::uint64_t prefix) {
+  if (bit < 0) {
+    leaf(ctrl, prefix);
+    return;
+  }
+  QubitId b = address[static_cast<std::size_t>(bit)];
+  std::uint64_t high = prefix | (std::uint64_t{1} << bit);
+  if (!ctrl.has_value()) {
+    // Root level: control directly on the address bit (no AND needed).
+    bld.x(b);
+    walk(bld, address, leaf, b, bit - 1, prefix);  // b == 0 half
+    bld.x(b);
+    walk(bld, address, leaf, b, bit - 1, high);  // b == 1 half
+    return;
+  }
+  QubitId u = bld.alloc();
+  bld.compute_and(*ctrl, b, u);  // u = ctrl & b
+  walk(bld, address, leaf, u, bit - 1, high);
+  bld.cx(*ctrl, u);  // u = ctrl & ~b
+  walk(bld, address, leaf, u, bit - 1, prefix);
+  bld.cx(*ctrl, u);  // back to ctrl & b
+  bld.uncompute_and(*ctrl, b, u);
+  bld.free(u);
+}
+
+}  // namespace
+
+void select_walk(ProgramBuilder& bld, const Register& address,
+                 const std::function<void(std::optional<QubitId>, std::uint64_t)>& leaf) {
+  walk(bld, address, leaf, std::nullopt, static_cast<int>(address.size()) - 1, 0);
+}
+
+void lookup_xor(ProgramBuilder& bld, const Register& address, const Register& target,
+                const LookupData& data) {
+  QRE_REQUIRE(target.size() == data.data_width || bld.counting_only(),
+              "lookup_xor: target width does not match the table data width");
+  const bool counting = bld.counting_only();
+  if (!counting) {
+    QRE_REQUIRE(address.size() < 64, "lookup_xor: address register too wide to execute");
+    QRE_REQUIRE(data.values.size() == (std::uint64_t{1} << address.size()),
+                "lookup_xor: table must have exactly 2^|address| entries");
+    QRE_REQUIRE(data.data_width <= 64, "lookup_xor: executing backends support <= 64-bit data");
+  }
+  select_walk(bld, address, [&](std::optional<QubitId> ctrl, std::uint64_t k) {
+    if (counting) {
+      // Data-independent Clifford estimate: half the payload bits set.
+      bld.backend().on_gate_batch(ctrl.has_value() ? Gate::kCx : Gate::kX,
+                                  std::max<std::uint64_t>(data.data_width / 2, 1));
+      return;
+    }
+    std::uint64_t value = data.values[k];
+    for (std::size_t j = 0; j < target.size(); ++j) {
+      if ((value >> j) & 1) {
+        if (ctrl.has_value()) {
+          bld.cx(*ctrl, target[j]);
+        } else {
+          bld.x(target[j]);
+        }
+      }
+    }
+  });
+}
+
+void unlookup(ProgramBuilder& bld, const Register& address, const Register& target,
+              const LookupData& data) {
+  const bool counting = bld.counting_only();
+  // X-basis measurement of every target bit; reset leaves the register |0>.
+  std::vector<bool> mask(target.size(), false);
+  for (std::size_t j = 0; j < target.size(); ++j) {
+    bld.h(target[j]);
+    bool m = bld.mz(target[j]);
+    mask[j] = m;
+    if (m) bld.x(target[j]);
+  }
+
+  const std::size_t w = address.size();
+  if (w == 0) return;  // single-entry table: the residual phase is global
+
+  // Residual phase on branch |k> is (-1)^{<mask, data[k]>}; cancel it with a
+  // phase lookup split across the address halves (Gidney, arXiv:1905.07682).
+  auto fixup_bit = [&](std::uint64_t k) -> bool {
+    if (counting) return false;  // mask is all-false on counting backends
+    std::uint64_t v = data.values[k];
+    bool parity = false;
+    for (std::size_t j = 0; j < target.size(); ++j) {
+      if (((v >> j) & 1) && mask[j]) parity = !parity;
+    }
+    return parity;
+  };
+
+  const std::size_t w1 = (w + 1) / 2;  // low half drives the one-hot register
+  Register addr_lo = slice(address, 0, w1);
+  Register addr_hi = slice(address, w1, w - w1);
+
+  const std::uint64_t onehot_size = std::uint64_t{1} << w1;
+  QRE_REQUIRE(counting || onehot_size <= 64,
+              "unlookup: executing backends support address halves of <= 6 bits");
+  Register onehot = bld.alloc_register(onehot_size);
+  LookupData identity;
+  identity.data_width = onehot_size;
+  if (!counting) {
+    identity.values.resize(onehot_size);
+    for (std::uint64_t j = 0; j < onehot_size; ++j) {
+      identity.values[j] = std::uint64_t{1} << j;
+    }
+  }
+  lookup_xor(bld, addr_lo, onehot, identity);  // onehot[j] ^= [addr_lo == j]
+
+  select_walk(bld, addr_hi, [&](std::optional<QubitId> ctrl, std::uint64_t hi) {
+    for (std::uint64_t j = 0; j < onehot_size; ++j) {
+      if (fixup_bit((hi << w1) | j)) {
+        if (ctrl.has_value()) {
+          bld.cz(*ctrl, onehot[j]);
+        } else {
+          bld.z(onehot[j]);
+        }
+      }
+    }
+  });
+
+  lookup_xor(bld, addr_lo, onehot, identity);  // XOR twice clears the one-hot
+  bld.free_register(onehot);
+}
+
+}  // namespace qre

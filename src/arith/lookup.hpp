@@ -1,0 +1,48 @@
+// QROM-style table lookup and measurement-based unlookup
+// (Babbush et al. unary iteration; Gidney, arXiv:1905.07682).
+//
+// lookup_xor writes target ^= data[address] using a select tree with one AND
+// per internal node (~2^w - 2 ANDs for a w-bit address); the data writes are
+// CNOT fan-outs (Clifford). unlookup erases the looked-up value with X-basis
+// measurements of the target and a phase fix-up that costs only
+// ~2*2^(w/2) + 2^(w-w/2) ANDs: the measured mask m leaves a residual phase
+// (-1)^{<m, data[k]>} on each address branch |k>, which is cancelled by a
+// one-hot phase lookup over the low address half.
+//
+// Counting backends never read the table values (LookupData::values may stay
+// empty); the structural ANDs and measurements are emitted either way, and
+// the Clifford payload writes are approximated with batched events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "circuit/builder.hpp"
+
+namespace qre {
+
+struct LookupData {
+  /// Entry k of the table (LSB-first bits). May be empty for counting-only
+  /// backends; executing backends require exactly 2^|address| entries.
+  std::vector<std::uint64_t> values;
+  /// Width of each entry in bits (= |target| for lookup_xor).
+  std::size_t data_width = 0;
+};
+
+/// target ^= data[address].
+void lookup_xor(ProgramBuilder& bld, const Register& address, const Register& target,
+                const LookupData& data);
+
+/// Erases target (holding data[address]) and returns it to |0>.
+void unlookup(ProgramBuilder& bld, const Register& address, const Register& target,
+              const LookupData& data);
+
+/// Unary iteration: invokes leaf(ctrl, k) for every address value k, where
+/// ctrl (when present) is a qubit that is 1 exactly on the |k> branch.
+/// Exposed for tests and for building other select-style primitives.
+void select_walk(ProgramBuilder& bld, const Register& address,
+                 const std::function<void(std::optional<QubitId>, std::uint64_t)>& leaf);
+
+}  // namespace qre

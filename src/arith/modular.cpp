@@ -1,0 +1,209 @@
+#include "arith/modular.hpp"
+
+#include <algorithm>
+
+#include "arith/comparators.hpp"
+#include "arith/lookup.hpp"
+#include "arith/multipliers.hpp"
+#include "circuit/tape.hpp"
+#include "common/error.hpp"
+#include "counter/logical_counter.hpp"
+
+namespace qre {
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp, std::uint64_t modulus) {
+  QRE_REQUIRE(modulus >= 1, "mod_pow: modulus must be positive");
+  unsigned __int128 result = 1 % modulus;
+  unsigned __int128 b = base % modulus;
+  while (exp > 0) {
+    if (exp & 1) result = (result * b) % modulus;
+    b = (b * b) % modulus;
+    exp >>= 1;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+std::uint64_t mod_inverse(std::uint64_t value, std::uint64_t modulus) {
+  // Extended Euclid on (value, modulus).
+  std::int64_t t = 0;
+  std::int64_t new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(modulus);
+  std::int64_t new_r = static_cast<std::int64_t>(value % modulus);
+  while (new_r != 0) {
+    std::int64_t q = r / new_r;
+    std::int64_t tmp = t - q * new_t;
+    t = new_t;
+    new_t = tmp;
+    tmp = r - q * new_r;
+    r = new_r;
+    new_r = tmp;
+  }
+  QRE_REQUIRE(r == 1, "mod_inverse: value is not invertible modulo the modulus");
+  if (t < 0) t += static_cast<std::int64_t>(modulus);
+  return static_cast<std::uint64_t>(t);
+}
+
+void mod_add_constant(ProgramBuilder& bld, std::uint64_t k, std::uint64_t modulus,
+                      const Register& reg) {
+  const std::size_t n = reg.size();
+  const bool counting = bld.counting_only();
+  if (!counting) {
+    QRE_REQUIRE(n <= 60, "executing backends support modular registers up to 60 bits");
+    QRE_REQUIRE(modulus >= 1 && modulus <= (std::uint64_t{1} << n),
+                "mod_add_constant: modulus does not fit the register");
+    QRE_REQUIRE(k < modulus, "mod_add_constant: addend must be reduced");
+    if (k == 0) return;
+  }
+
+  QubitId flag = bld.alloc();
+  // flag = [reg + k >= N]  <=>  [reg >= N - k].
+  compare_geq_constant(bld, reg, Constant{modulus - k, n}, flag);
+  // reg += k, and additionally += 2^n - N when wrapping; both mod 2^n.
+  add_constant(bld, Constant{k, n}, reg);
+  std::uint64_t wrap = counting ? 0
+                                : (((std::uint64_t{1} << n) - modulus) &
+                                   ((n >= 64) ? ~std::uint64_t{0}
+                                              : (std::uint64_t{1} << n) - 1));
+  add_constant_controlled(bld, flag, Constant{wrap, n}, reg);
+  // Uncompute: the sum wrapped exactly when the result is below k.
+  compare_geq_constant(bld, reg, Constant{k, n}, flag);
+  bld.x(flag);
+  bld.free(flag);
+}
+
+void mod_add_into(ProgramBuilder& bld, const Register& t, std::uint64_t modulus,
+                  const Register& acc) {
+  const std::size_t n = acc.size();
+  QRE_REQUIRE(t.size() == n, "mod_add_into: operands must have equal width");
+  const bool counting = bld.counting_only();
+  if (!counting) {
+    QRE_REQUIRE(n <= 60, "executing backends support modular registers up to 60 bits");
+    QRE_REQUIRE(modulus >= 1 && modulus <= (std::uint64_t{1} << n),
+                "mod_add_into: modulus does not fit the register");
+  }
+
+  QubitId top = bld.alloc();
+  Register acc_ext = acc;
+  acc_ext.push_back(top);
+
+  add_into(bld, t, acc_ext);  // exact: acc + t < 2N <= 2^(n+1)
+  QubitId flag = bld.alloc();
+  compare_geq_constant(bld, acc_ext, Constant{modulus, n}, flag);
+  std::uint64_t wrap = counting ? 0 : ((std::uint64_t{1} << (n + 1)) - modulus);
+  add_constant_controlled(bld, flag, Constant{wrap, n + 1}, acc_ext);
+  // The reduced sum is below t exactly when the subtraction fired.
+  compare_less(bld, slice(acc_ext, 0, n), t, flag);
+  bld.free(flag);
+  bld.free(top);  // result < N <= 2^n, so the extension bit ends in |0>
+}
+
+void windowed_mod_mult_add(ProgramBuilder& bld, std::optional<QubitId> control,
+                           std::uint64_t c, std::uint64_t modulus, const Register& y,
+                           const Register& target, std::size_t window_bits) {
+  const std::size_t n = target.size();
+  const bool counting = bld.counting_only();
+  if (!counting) {
+    QRE_REQUIRE(modulus >= 1 && c < modulus,
+                "windowed_mod_mult_add: constant must be reduced mod N");
+  }
+  const std::size_t w = window_bits != 0 ? window_bits : default_window_bits(y.size());
+
+  for (std::size_t i = 0; i < y.size(); i += w) {
+    const std::size_t wa = std::min(w, y.size() - i);
+    Register address = slice(y, i, wa);
+    if (control.has_value()) address.push_back(*control);
+
+    LookupData data;
+    data.data_width = n;
+    if (!counting) {
+      std::uint64_t shift = mod_pow(2, i, modulus);
+      std::size_t entries = std::size_t{1} << address.size();
+      data.values.assign(entries, 0);
+      for (std::uint64_t k = 0; k < (std::uint64_t{1} << wa); ++k) {
+        unsigned __int128 value =
+            (static_cast<unsigned __int128>(c) * k) % modulus * shift % modulus;
+        std::size_t slot = control.has_value() ? static_cast<std::size_t>(k) +
+                                                     (std::size_t{1} << wa)
+                                               : static_cast<std::size_t>(k);
+        data.values[slot] = static_cast<std::uint64_t>(value);
+      }
+    }
+
+    Register tt = bld.alloc_register(n);
+    lookup_xor(bld, address, tt, data);
+    mod_add_into(bld, tt, modulus, target);
+    if (bld.unitary_uncompute()) {
+      lookup_xor(bld, address, tt, data);  // XOR twice clears, measurement-free
+    } else {
+      unlookup(bld, address, tt, data);
+    }
+    bld.free_register(tt);
+  }
+}
+
+void mod_mul_constant_inplace(ProgramBuilder& bld, std::optional<QubitId> control,
+                              std::uint64_t c, std::uint64_t c_inverse, std::uint64_t modulus,
+                              const Register& acc, std::size_t window_bits) {
+  const std::size_t n = acc.size();
+  const bool counting = bld.counting_only();
+  if (!counting) {
+    QRE_REQUIRE(static_cast<unsigned __int128>(c) * c_inverse % modulus == 1,
+                "mod_mul_constant_inplace: c_inverse is not the inverse of c");
+  }
+
+  Register t = bld.alloc_register(n);
+  windowed_mod_mult_add(bld, control, c, modulus, acc, t, window_bits);
+
+  if (control.has_value()) {
+    for (std::size_t i = 0; i < n; ++i) bld.cswap(*control, acc[i], t[i]);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) bld.swap(acc[i], t[i]);
+  }
+
+  // t -= (c^{-1} * acc) mod N, realized as the adjoint of a windowed
+  // multiply-add recorded on a tape (unitary uncompute keeps the region
+  // measurement-free).
+  Tape tape(&bld.backend());
+  Backend* real = bld.swap_backend(&tape);
+  bool previous = bld.set_unitary_uncompute(true);
+  windowed_mod_mult_add(bld, control, c_inverse, modulus, acc, t, window_bits);
+  bld.set_unitary_uncompute(previous);
+  bld.swap_backend(real);
+  QRE_ASSERT(tape.live_at_end().empty());
+  tape.replay_adjoint(*real);
+
+  bld.free_register(t);
+}
+
+void mod_exp(ProgramBuilder& bld, std::uint64_t g, std::uint64_t modulus,
+             const Register& exponent, const Register& acc, std::size_t window_bits) {
+  const bool counting = bld.counting_only();
+  std::uint64_t c = counting ? 0 : (g % modulus);
+  for (std::size_t i = 0; i < exponent.size(); ++i) {
+    std::uint64_t inverse = counting ? 0 : mod_inverse(c, modulus);
+    mod_mul_constant_inplace(bld, exponent[i], c, inverse, modulus, acc, window_bits);
+    if (!counting) {
+      c = static_cast<std::uint64_t>(static_cast<unsigned __int128>(c) * c % modulus);
+    }
+  }
+}
+
+LogicalCounts factoring_counts(std::uint64_t modulus_bits, std::size_t window_bits) {
+  QRE_REQUIRE(modulus_bits >= 2, "factoring_counts: modulus must have at least 2 bits");
+  // Trace one controlled modular multiplication, then compose 2n of them
+  // (the AccountForEstimates pattern) and account for the exponent register.
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  QubitId ctrl = bld.alloc();
+  Register acc = bld.alloc_register(static_cast<std::size_t>(modulus_bits));
+  mod_mul_constant_inplace(bld, ctrl, 0, 0, 0, acc, window_bits);
+  bld.free_register(acc);
+  bld.free(ctrl);
+
+  LogicalCounts one_multiplication = counter.counts();
+  LogicalCounts total = one_multiplication.repeated(2 * modulus_bits);
+  total.num_qubits = one_multiplication.num_qubits - 1 + 2 * modulus_bits;
+  return total;
+}
+
+}  // namespace qre

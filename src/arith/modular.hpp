@@ -1,0 +1,66 @@
+// Modular arithmetic and modular exponentiation — the Shor-style workload
+// windowed arithmetic was designed for (Gidney, arXiv:1905.07682), provided
+// both as verifiable circuits and as an estimation workload generator.
+//
+// Registers hold values in [0, N); the modulus N is classical with
+// 2^(n-1) <= N <= 2^n for n-bit registers (any N < 2^n works). Executing
+// backends require n <= ~60; counting backends work at any width (constants
+// and table payloads are emitted as batched Cliffords).
+//
+// The in-place modular multiply follows the standard structure:
+//   t = (c * acc) mod N  (windowed lookups + modular additions),
+//   swap acc <-> t       (optionally controlled),
+//   t -= (c^{-1} * acc) mod N  (the adjoint of a windowed multiply),
+// so the scratch register returns to |0>. Modular exponentiation chains one
+// controlled multiply per exponent bit with c_i = g^(2^i) mod N.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "arith/adders.hpp"
+#include "circuit/builder.hpp"
+#include "counter/logical_counts.hpp"
+
+namespace qre {
+
+/// reg = (reg + k) mod N, for classical 0 <= k < N. Uses one comparator, a
+/// constant addition, and a flag uncomputation (two more comparators).
+void mod_add_constant(ProgramBuilder& bld, std::uint64_t k, std::uint64_t modulus,
+                      const Register& reg);
+
+/// acc = (acc + t) mod N for quantum t, acc (both < N).
+void mod_add_into(ProgramBuilder& bld, const Register& t, std::uint64_t modulus,
+                  const Register& acc);
+
+/// target = (target + c * y) mod N, windowed over y (classical constant c).
+/// When `control` is given the whole operation is controlled — the control
+/// simply extends the lookup address, so the overhead is one address bit.
+/// window_bits = 0 picks ~log2 |y|.
+void windowed_mod_mult_add(ProgramBuilder& bld, std::optional<QubitId> control,
+                           std::uint64_t c, std::uint64_t modulus, const Register& y,
+                           const Register& target, std::size_t window_bits = 0);
+
+/// acc = (c * acc) mod N in place (controlled when `control` is given);
+/// c_inverse must be the modular inverse of c mod N. gcd(c, N) = 1.
+void mod_mul_constant_inplace(ProgramBuilder& bld, std::optional<QubitId> control,
+                              std::uint64_t c, std::uint64_t c_inverse, std::uint64_t modulus,
+                              const Register& acc, std::size_t window_bits = 0);
+
+/// acc = (g^e * acc) mod N for a quantum exponent register e: one controlled
+/// modular multiplication per exponent bit.
+void mod_exp(ProgramBuilder& bld, std::uint64_t g, std::uint64_t modulus,
+             const Register& exponent, const Register& acc, std::size_t window_bits = 0);
+
+/// Classical helpers (used by the circuits and their tests).
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp, std::uint64_t modulus);
+std::uint64_t mod_inverse(std::uint64_t value, std::uint64_t modulus);  // throws if none
+
+/// Estimation workload: logical counts for a full n-bit modular
+/// exponentiation with a 2n-bit exponent (the factoring kernel). One
+/// controlled modular multiplication is traced and composed 2n times via
+/// LogicalCounts (the AccountForEstimates pattern), so this scales to
+/// RSA-sized moduli in seconds.
+LogicalCounts factoring_counts(std::uint64_t modulus_bits, std::size_t window_bits = 0);
+
+}  // namespace qre

@@ -1,0 +1,159 @@
+#include "arith/multipliers.hpp"
+
+#include <algorithm>
+
+#include "arith/karatsuba.hpp"
+#include "arith/lookup.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "counter/logical_counter.hpp"
+
+namespace qre {
+
+void long_mult_add_constant(ProgramBuilder& bld, const Constant& k, const Register& y,
+                            const Register& acc) {
+  QRE_REQUIRE(acc.size() >= k.bits + y.size(),
+              "long_mult_add_constant: accumulator too narrow for the product");
+  if (k.bits == 0 || y.empty()) return;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    // Partial sums stay below 2^(k.bits + i), so the window [i, i + k.bits)
+    // plus one carry bit absorbs the addition exactly.
+    std::size_t len = std::min(k.bits, acc.size() - i - 1);
+    Register window = slice(acc, i, len);
+    std::optional<QubitId> carry;
+    if (i + len < acc.size()) carry = acc[i + len];
+    add_constant_controlled(bld, y[i], k, window, carry);
+  }
+}
+
+std::size_t default_window_bits(std::size_t n) {
+  std::size_t w = n <= 1 ? 1 : static_cast<std::size_t>(ilog2_floor(n));
+  return std::clamp<std::size_t>(w, 1, 16);
+}
+
+void windowed_mult_add_constant(ProgramBuilder& bld, const Constant& k, const Register& y,
+                                const Register& acc, std::size_t window_bits) {
+  QRE_REQUIRE(acc.size() >= k.bits + y.size(),
+              "windowed_mult_add_constant: accumulator too narrow for the product");
+  if (k.bits == 0 || y.empty()) return;
+  const std::size_t w = window_bits != 0 ? window_bits : default_window_bits(y.size());
+  const bool counting = bld.counting_only();
+
+  for (std::size_t i = 0; i < y.size(); i += w) {
+    const std::size_t wa = std::min(w, y.size() - i);
+    Register address = slice(y, i, wa);
+
+    // Table entry for window value v is k*v, of width k.bits + wa.
+    LookupData data;
+    data.data_width = std::min(k.bits + wa, acc.size() - i);
+    if (!counting) {
+      QRE_REQUIRE(k.bits + wa <= 64,
+                  "windowed multiplication: executing backends need k*window <= 64 bits");
+      data.values.resize(std::uint64_t{1} << wa);
+      for (std::uint64_t v = 0; v < data.values.size(); ++v) data.values[v] = k.value * v;
+    }
+
+    Register t = bld.alloc_register(data.data_width);
+    lookup_xor(bld, address, t, data);
+
+    // acc[i..] bits at and above i + k.bits are zero before this addition
+    // (partial sum < 2^(k.bits + i)), so the window plus carry is exact.
+    std::size_t len = std::min(data.data_width, acc.size() - i - 1);
+    Register window = slice(acc, i, len);
+    std::optional<QubitId> carry;
+    if (i + len < acc.size()) carry = acc[i + len];
+    add_into(bld, slice(t, 0, len), window, carry);
+    if (len < t.size()) {
+      // The top table bit coincides with the carry position; fold it in.
+      QRE_REQUIRE(carry.has_value(), "windowed multiplication: accumulator sizing bug");
+      bld.cx(t[len], *carry);
+    }
+
+    unlookup(bld, address, t, data);
+    bld.free_register(t);
+  }
+}
+
+void schoolbook_mult_add(ProgramBuilder& bld, const Register& x, const Register& y,
+                         const Register& acc) {
+  QRE_REQUIRE(acc.size() >= x.size() + y.size(),
+              "schoolbook_mult_add: accumulator too narrow for the product");
+  if (x.empty() || y.empty()) return;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    std::size_t len = std::min(x.size(), acc.size() - i - 1);
+    Register window = slice(acc, i, len);
+    std::optional<QubitId> carry;
+    if (i + len < acc.size()) carry = acc[i + len];
+    add_into_controlled(bld, y[i], x, window, carry);
+  }
+}
+
+std::string_view to_string(MultiplierKind kind) {
+  switch (kind) {
+    case MultiplierKind::kStandard: return "standard";
+    case MultiplierKind::kWindowed: return "windowed";
+    case MultiplierKind::kKaratsuba: return "karatsuba";
+    case MultiplierKind::kSchoolbookQQ: return "schoolbook-qq";
+    case MultiplierKind::kKaratsubaExact: return "karatsuba-exact";
+  }
+  return "?";
+}
+
+LogicalCounts multiplier_counts(MultiplierKind kind, std::uint64_t n_bits,
+                                const MultiplierOptions& options) {
+  QRE_REQUIRE(n_bits >= 1, "multiplier_counts: operand width must be positive");
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  const auto n = static_cast<std::size_t>(n_bits);
+
+  // A fixed pseudo-random constant pattern; counting backends never read it.
+  Constant k{0x9E3779B97F4A7C15ull, n};
+
+  switch (kind) {
+    case MultiplierKind::kStandard: {
+      Register y = bld.alloc_register(n);
+      Register acc = bld.alloc_register(2 * n);
+      long_mult_add_constant(bld, k, y, acc);
+      bld.free_register(acc);
+      bld.free_register(y);
+      break;
+    }
+    case MultiplierKind::kWindowed: {
+      Register y = bld.alloc_register(n);
+      Register acc = bld.alloc_register(2 * n);
+      windowed_mult_add_constant(bld, k, y, acc, options.window_bits);
+      bld.free_register(acc);
+      bld.free_register(y);
+      break;
+    }
+    case MultiplierKind::kKaratsuba: {
+      emit_karatsuba_model(bld, n_bits, KaratsubaModel{});
+      break;
+    }
+    case MultiplierKind::kSchoolbookQQ: {
+      Register x = bld.alloc_register(n);
+      Register y = bld.alloc_register(n);
+      Register acc = bld.alloc_register(2 * n);
+      schoolbook_mult_add(bld, x, y, acc);
+      bld.free_register(acc);
+      bld.free_register(y);
+      bld.free_register(x);
+      break;
+    }
+    case MultiplierKind::kKaratsubaExact: {
+      Register x = bld.alloc_register(n);
+      Register y = bld.alloc_register(n);
+      Register acc = bld.alloc_register(2 * n);
+      KaratsubaOptions kopts;
+      kopts.cutoff = options.cutoff;
+      karatsuba_mult_add(bld, x, y, acc, kopts);
+      bld.free_register(acc);
+      bld.free_register(y);
+      bld.free_register(x);
+      break;
+    }
+  }
+  return counter.counts();
+}
+
+}  // namespace qre

@@ -1,0 +1,73 @@
+// The three integer multipliers of the paper's Section V use case, plus a
+// quantum-times-quantum schoolbook used by tests and the exact Karatsuba.
+//
+// The paper's comparison (after Hansen, Joshi, and Rarick [15]) covers:
+//
+//  * standard long multiplication — one bit-controlled addition of the
+//    multiplicand per multiplier bit: ~n^2 Toffolis (ANDs);
+//  * windowed multiplication (Gidney, arXiv:1905.07682) — the multiplier is
+//    processed w bits at a time; each window drives a table lookup of a
+//    precomputed multiple of the multiplicand followed by one wide addition:
+//    ~n^2/w + (n/w)*2^w Toffolis;
+//  * Karatsuba multiplication (Gidney, arXiv:1904.07356) — a three-way
+//    recursion with O(n^{log2 3}) Toffolis.
+//
+// The standard and windowed circuits here take a classical multiplicand and
+// a quantum multiplier (acc += k * y), the setting where windowing applies
+// (the lookup tables must be classical). Quantum-times-quantum schoolbook
+// and an exact, simulator-verified Karatsuba (karatsuba.hpp) are provided as
+// well; for large-n Karatsuba estimates a calibrated cost-model emitter
+// reproduces Gidney's published scaling (see DESIGN.md for the calibration).
+#pragma once
+
+#include <cstdint>
+
+#include "arith/adders.hpp"
+#include "circuit/builder.hpp"
+#include "counter/logical_counts.hpp"
+
+namespace qre {
+
+/// acc += k * y (standard long multiplication). Requires
+/// |acc| >= k.bits + |y|.
+void long_mult_add_constant(ProgramBuilder& bld, const Constant& k, const Register& y,
+                            const Register& acc);
+
+/// acc += k * y via windowed lookups; window_bits = 0 picks ~log2|y|.
+/// Requires |acc| >= k.bits + |y|.
+void windowed_mult_add_constant(ProgramBuilder& bld, const Constant& k, const Register& y,
+                                const Register& acc, std::size_t window_bits = 0);
+
+/// acc += x * y (schoolbook, both operands quantum). Requires
+/// |acc| >= |x| + |y|.
+void schoolbook_mult_add(ProgramBuilder& bld, const Register& x, const Register& y,
+                         const Register& acc);
+
+/// Default window size used by windowed_mult_add_constant when
+/// window_bits == 0: floor(log2 n), clamped to [1, 16].
+std::size_t default_window_bits(std::size_t n);
+
+// --- Estimation drivers ----------------------------------------------------
+
+enum class MultiplierKind {
+  kStandard,        // long multiplication, classical constant times quantum
+  kWindowed,        // windowed, classical constant times quantum
+  kKaratsuba,       // Karatsuba cost model (Gidney scaling, calibrated)
+  kSchoolbookQQ,    // schoolbook, quantum times quantum
+  kKaratsubaExact,  // exact recursive Karatsuba circuit (small/medium n)
+};
+
+std::string_view to_string(MultiplierKind kind);
+
+struct MultiplierOptions {
+  std::size_t window_bits = 0;  // 0 = automatic (windowed)
+  std::size_t cutoff = 8;       // recursion cutoff (exact Karatsuba)
+};
+
+/// Traces the multiplier for n-bit operands through a LogicalCounter and
+/// returns the pre-layout counts. This is the workload generator behind the
+/// paper's Figures 3 and 4.
+LogicalCounts multiplier_counts(MultiplierKind kind, std::uint64_t n_bits,
+                                const MultiplierOptions& options = {});
+
+}  // namespace qre

@@ -1,0 +1,33 @@
+#include "arith/qft.hpp"
+
+namespace qre {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+void qft(ProgramBuilder& bld, const Register& reg) {
+  const std::size_t n = reg.size();
+  for (std::size_t i = n; i-- > 0;) {
+    bld.h(reg[i]);
+    for (std::size_t j = i; j-- > 0;) {
+      double angle = kPi / static_cast<double>(std::uint64_t{1} << (i - j));
+      bld.cphase(angle, reg[j], reg[i]);
+    }
+  }
+  for (std::size_t i = 0; i < n / 2; ++i) bld.swap(reg[i], reg[n - 1 - i]);
+}
+
+void qft_adjoint(ProgramBuilder& bld, const Register& reg) {
+  const std::size_t n = reg.size();
+  for (std::size_t i = 0; i < n / 2; ++i) bld.swap(reg[i], reg[n - 1 - i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      double angle = -kPi / static_cast<double>(std::uint64_t{1} << (i - j));
+      bld.cphase(angle, reg[j], reg[i]);
+    }
+    bld.h(reg[i]);
+  }
+}
+
+}  // namespace qre

@@ -1,0 +1,17 @@
+// Quantum Fourier transform — the library's rotation-heavy workload, used to
+// exercise the rotation-synthesis path of the estimator (paper Sections
+// III-B2/III-B4): n(n-1)/2 controlled phases, each decomposed into three
+// arbitrary rotations, plus the usual trailing swaps.
+#pragma once
+
+#include "circuit/builder.hpp"
+
+namespace qre {
+
+/// Applies the QFT to the register (LSB-first convention).
+void qft(ProgramBuilder& bld, const Register& reg);
+
+/// Inverse QFT.
+void qft_adjoint(ProgramBuilder& bld, const Register& reg);
+
+}  // namespace qre

@@ -1,0 +1,27 @@
+#include "circuit/backend.hpp"
+
+#include "common/error.hpp"
+
+namespace qre {
+
+Backend::~Backend() = default;
+
+void Backend::on_allocate(QubitId, std::uint64_t) {}
+void Backend::on_release(QubitId, std::uint64_t) {}
+
+void Backend::on_gate_batch(Gate g, std::uint64_t count) {
+  // Default: replay as individual events on a scratch operand set. Backends
+  // that can handle batches natively (counters) override this; backends that
+  // cannot possibly honor anonymous operands must reject it.
+  (void)g;
+  (void)count;
+  throw_error("this backend does not support batched gate events");
+}
+
+void Backend::on_measure_batch(Gate basis, std::uint64_t count) {
+  (void)basis;
+  (void)count;
+  throw_error("this backend does not support batched measurement events");
+}
+
+}  // namespace qre

@@ -1,0 +1,58 @@
+// Backend interface for traced quantum programs.
+//
+// A Backend consumes the event stream that a ProgramBuilder (or the QIR
+// reader) produces: qubit allocation/release, gate applications, and
+// measurements. Three backends ship with the library:
+//
+//  * counter::LogicalCounter — accumulates pre-layout logical counts
+//    (paper Section III-A);
+//  * sim::SparseSimulator — executes the program on a sparse state vector
+//    (the QDK sparse-simulator equivalent), used to verify circuits;
+//  * qir::QirEmitter — writes the program as QIR base-profile text.
+//
+// Measurements return a classical bit so programs with classical feedback
+// (measurement-based uncomputation) can be traced: the simulator returns the
+// sampled outcome, while counting backends return false deterministically
+// (the skipped branches are Clifford fix-ups, which do not contribute to
+// logical resource estimates).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/gate.hpp"
+
+namespace qre {
+
+class Backend {
+ public:
+  virtual ~Backend();
+
+  /// Qubit lifetime events. `live` is the number of live qubits after the
+  /// event, so backends can track the width high-water mark.
+  virtual void on_allocate(QubitId q, std::uint64_t live);
+  virtual void on_release(QubitId q, std::uint64_t live);
+
+  virtual void on_gate1(Gate g, QubitId q) = 0;
+  virtual void on_rotation(Gate g, double angle, QubitId q) = 0;
+  virtual void on_gate2(Gate g, QubitId a, QubitId b) = 0;
+  virtual void on_gate3(Gate g, QubitId a, QubitId b, QubitId c) = 0;
+
+  /// basis is kMz or kMx; returns the measurement outcome.
+  virtual bool on_measure(Gate basis, QubitId q) = 0;
+  virtual void on_reset(QubitId q) = 0;
+
+  /// Batched anonymous-operand events, used by cost-model circuit emitters
+  /// for very large workloads. Batched gates do not participate in
+  /// rotation-depth layering (they model wide, parallel gate groups).
+  /// Backends that must execute every gate (the simulator) reject these.
+  virtual void on_gate_batch(Gate g, std::uint64_t count);
+  virtual void on_measure_batch(Gate basis, std::uint64_t count);
+
+  /// True when the backend only counts events and never inspects classical
+  /// data values. Circuit generators may skip expensive data-dependent
+  /// Clifford bookkeeping (e.g. lookup-table payload writes) when set, and
+  /// emit equivalent batched Clifford events instead.
+  virtual bool counting_only() const { return false; }
+};
+
+}  // namespace qre

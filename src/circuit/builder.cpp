@@ -1,0 +1,103 @@
+#include "circuit/builder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+Register slice(const Register& reg, std::size_t from, std::size_t len) {
+  QRE_REQUIRE(from + len <= reg.size(), "register slice out of range");
+  return Register(reg.begin() + from, reg.begin() + from + len);
+}
+
+QubitId ProgramBuilder::alloc() {
+  QubitId q;
+  if (!free_list_.empty()) {
+    q = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    q = next_id_++;
+  }
+  ++live_;
+  high_water_ = std::max(high_water_, live_);
+  backend_->on_allocate(q, live_);
+  return q;
+}
+
+Register ProgramBuilder::alloc_register(std::size_t size) {
+  Register reg;
+  reg.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) reg.push_back(alloc());
+  return reg;
+}
+
+void ProgramBuilder::free(QubitId q) {
+  QRE_REQUIRE(live_ > 0, "qubit release without matching allocation");
+  --live_;
+  free_list_.push_back(q);
+  backend_->on_release(q, live_);
+}
+
+void ProgramBuilder::reclaim(QubitId q) {
+  QRE_REQUIRE(live_ > 0, "qubit reclaim without matching allocation");
+  --live_;
+  free_list_.push_back(q);
+}
+
+void ProgramBuilder::free_register(const Register& reg) {
+  // Release in reverse so that re-allocation returns ids in the original
+  // order, which keeps traces deterministic.
+  for (auto it = reg.rbegin(); it != reg.rend(); ++it) free(*it);
+}
+
+Backend* ProgramBuilder::swap_backend(Backend* backend) {
+  QRE_REQUIRE(backend != nullptr, "swap_backend requires a backend");
+  Backend* previous = backend_;
+  backend_ = backend;
+  return previous;
+}
+
+bool ProgramBuilder::set_unitary_uncompute(bool enabled) {
+  bool previous = unitary_uncompute_;
+  unitary_uncompute_ = enabled;
+  return previous;
+}
+
+void ProgramBuilder::cphase(double angle, QubitId a, QubitId b) {
+  // diag(1,1,1,e^{i*angle}) = R1(angle/2) x R1(angle/2), conjugated:
+  // R1(a/2) on both, CX, R1(-a/2) on target, CX.
+  r1(angle / 2, a);
+  r1(angle / 2, b);
+  cx(a, b);
+  r1(-angle / 2, b);
+  cx(a, b);
+}
+
+void ProgramBuilder::cswap(QubitId control, QubitId a, QubitId b) {
+  cx(b, a);
+  ccx(control, a, b);
+  cx(b, a);
+}
+
+void ProgramBuilder::uncompute_and(QubitId c1, QubitId c2, QubitId target) {
+  if (unitary_uncompute_) {
+    ccix(c1, c2, target);
+    return;
+  }
+  h(target);
+  if (mz(target)) {
+    x(target);  // return the ancilla to |0>
+    cz(c1, c2);
+  }
+}
+
+void ProgramBuilder::xor_constant(const Register& reg, std::uint64_t value) {
+  QRE_REQUIRE(reg.size() >= 64 || value < (std::uint64_t{1} << reg.size()),
+              "xor_constant: value does not fit the register");
+  for (std::size_t i = 0; i < reg.size() && i < 64; ++i) {
+    if ((value >> i) & 1) x(reg[i]);
+  }
+}
+
+}  // namespace qre

@@ -1,0 +1,128 @@
+// ProgramBuilder: the high-level program specification DSL.
+//
+// This is the C++ stand-in for the Q#/Qiskit front end of the paper's tool
+// (Section IV-B1): the estimator never interprets language semantics, it
+// consumes the stream of qubit allocation, gate, and measurement events of
+// the compiled program — which is exactly what this builder produces.
+//
+// The builder manages qubit identities with a free list (released qubits are
+// reused, as the tool's QIR tracer does), tracks the live-qubit high-water
+// mark, and offers the derived operations the arithmetic library is built
+// from, most importantly the Gidney AND gadget with measurement-based
+// uncomputation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/backend.hpp"
+#include "circuit/gate.hpp"
+
+namespace qre {
+
+/// A quantum register: an ordered list of qubit ids, least-significant
+/// bit first for arithmetic.
+using Register = std::vector<QubitId>;
+
+/// Returns the sub-register reg[from, from+len).
+Register slice(const Register& reg, std::size_t from, std::size_t len);
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(Backend& backend) : backend_(&backend) {}
+
+  ProgramBuilder(const ProgramBuilder&) = delete;
+  ProgramBuilder& operator=(const ProgramBuilder&) = delete;
+
+  // --- Qubit management -------------------------------------------------
+  QubitId alloc();
+  Register alloc_register(std::size_t size);
+  /// Releases a qubit; the caller must have returned it to |0>.
+  void free(QubitId q);
+  void free_register(const Register& reg);
+
+  /// Marks a qubit as free in the builder's bookkeeping without emitting a
+  /// release event — used after Tape::replay_adjoint(), which already
+  /// released the region's workspace at the backend level.
+  void reclaim(QubitId q);
+
+  std::uint64_t live_qubits() const { return live_; }
+  std::uint64_t high_water() const { return high_water_; }
+
+  Backend& backend() { return *backend_; }
+  bool counting_only() const { return backend_->counting_only(); }
+
+  /// Redirects subsequent events to another backend (used to record taped
+  /// regions for adjoint replay); returns the previous backend.
+  Backend* swap_backend(Backend* backend);
+
+  /// When set, uncompute_and() uses a second CCiX instead of the
+  /// measurement-based gadget, keeping the region measurement-free so it can
+  /// be reversed by Tape::replay_adjoint(). Returns the previous value.
+  bool set_unitary_uncompute(bool enabled);
+  bool unitary_uncompute() const { return unitary_uncompute_; }
+
+  // --- Single-qubit gates ------------------------------------------------
+  void x(QubitId q) { backend_->on_gate1(Gate::kX, q); }
+  void y(QubitId q) { backend_->on_gate1(Gate::kY, q); }
+  void z(QubitId q) { backend_->on_gate1(Gate::kZ, q); }
+  void h(QubitId q) { backend_->on_gate1(Gate::kH, q); }
+  void s(QubitId q) { backend_->on_gate1(Gate::kS, q); }
+  void sdg(QubitId q) { backend_->on_gate1(Gate::kSdg, q); }
+  void t(QubitId q) { backend_->on_gate1(Gate::kT, q); }
+  void tdg(QubitId q) { backend_->on_gate1(Gate::kTdg, q); }
+
+  void rx(double angle, QubitId q) { backend_->on_rotation(Gate::kRx, angle, q); }
+  void ry(double angle, QubitId q) { backend_->on_rotation(Gate::kRy, angle, q); }
+  void rz(double angle, QubitId q) { backend_->on_rotation(Gate::kRz, angle, q); }
+  void r1(double angle, QubitId q) { backend_->on_rotation(Gate::kR1, angle, q); }
+
+  // --- Multi-qubit gates ---------------------------------------------------
+  void cx(QubitId control, QubitId target) { backend_->on_gate2(Gate::kCx, control, target); }
+  void cz(QubitId a, QubitId b) { backend_->on_gate2(Gate::kCz, a, b); }
+  void swap(QubitId a, QubitId b) { backend_->on_gate2(Gate::kSwap, a, b); }
+  void ccx(QubitId c1, QubitId c2, QubitId target) {
+    backend_->on_gate3(Gate::kCcx, c1, c2, target);
+  }
+  void ccz(QubitId a, QubitId b, QubitId c) { backend_->on_gate3(Gate::kCcz, a, b, c); }
+  void ccix(QubitId c1, QubitId c2, QubitId target) {
+    backend_->on_gate3(Gate::kCcix, c1, c2, target);
+  }
+
+  /// Controlled phase, e^{i*angle} on |11>, decomposed into rotations and
+  /// CNOTs (three rotation gates).
+  void cphase(double angle, QubitId a, QubitId b);
+
+  /// Controlled swap (Fredkin), decomposed as CX(b,a) CCX(c,a,b) CX(b,a):
+  /// one Toffoli plus Cliffords.
+  void cswap(QubitId control, QubitId a, QubitId b);
+
+  // --- Measurement, reset, feedback ---------------------------------------
+  bool mz(QubitId q) { return backend_->on_measure(Gate::kMz, q); }
+  bool mx(QubitId q) { return backend_->on_measure(Gate::kMx, q); }
+  void reset(QubitId q) { backend_->on_reset(q); }
+
+  // --- Gidney AND gadget ---------------------------------------------------
+  /// target (fresh |0>) becomes |c1 AND c2>. Counted as one CCiX.
+  void compute_and(QubitId c1, QubitId c2, QubitId target) { ccix(c1, c2, target); }
+
+  /// Uncomputes an AND ancilla, leaving `target` in |0>. Default: X-basis
+  /// measurement plus a classically controlled CZ fix-up (Gidney,
+  /// arXiv:1709.06648) — one measurement, no non-Clifford gates. In
+  /// unitary-uncompute mode a second CCiX is used instead.
+  void uncompute_and(QubitId c1, QubitId c2, QubitId target);
+
+  // --- Classical-constant initialization -----------------------------------
+  /// XORs the bits of `value` into the register (X gates on set bits).
+  void xor_constant(const Register& reg, std::uint64_t value);
+
+ private:
+  Backend* backend_;
+  std::vector<QubitId> free_list_;
+  QubitId next_id_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t high_water_ = 0;
+  bool unitary_uncompute_ = false;
+};
+
+}  // namespace qre

@@ -1,0 +1,85 @@
+#include "circuit/gate.hpp"
+
+#include "common/error.hpp"
+
+namespace qre {
+
+int gate_arity(Gate g) {
+  switch (g) {
+    case Gate::kX:
+    case Gate::kY:
+    case Gate::kZ:
+    case Gate::kH:
+    case Gate::kS:
+    case Gate::kSdg:
+    case Gate::kT:
+    case Gate::kTdg:
+    case Gate::kRx:
+    case Gate::kRy:
+    case Gate::kRz:
+    case Gate::kR1:
+    case Gate::kMz:
+    case Gate::kMx:
+    case Gate::kReset:
+      return 1;
+    case Gate::kCx:
+    case Gate::kCz:
+    case Gate::kSwap:
+      return 2;
+    case Gate::kCcx:
+    case Gate::kCcz:
+    case Gate::kCcix:
+      return 3;
+  }
+  QRE_ASSERT(false);
+}
+
+bool is_clifford(Gate g) {
+  switch (g) {
+    case Gate::kX:
+    case Gate::kY:
+    case Gate::kZ:
+    case Gate::kH:
+    case Gate::kS:
+    case Gate::kSdg:
+    case Gate::kCx:
+    case Gate::kCz:
+    case Gate::kSwap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_rotation(Gate g) {
+  return g == Gate::kRx || g == Gate::kRy || g == Gate::kRz || g == Gate::kR1;
+}
+
+std::string_view gate_name(Gate g) {
+  switch (g) {
+    case Gate::kX: return "x";
+    case Gate::kY: return "y";
+    case Gate::kZ: return "z";
+    case Gate::kH: return "h";
+    case Gate::kS: return "s";
+    case Gate::kSdg: return "s_adj";
+    case Gate::kT: return "t";
+    case Gate::kTdg: return "t_adj";
+    case Gate::kRx: return "rx";
+    case Gate::kRy: return "ry";
+    case Gate::kRz: return "rz";
+    case Gate::kR1: return "r1";
+    case Gate::kCx: return "cnot";
+    case Gate::kCz: return "cz";
+    case Gate::kSwap: return "swap";
+    case Gate::kCcx: return "ccx";
+    case Gate::kCcz: return "ccz";
+    case Gate::kCcix: return "ccix";
+    case Gate::kMz: return "mz";
+    case Gate::kMx: return "mx";
+    case Gate::kReset: return "reset";
+  }
+  QRE_ASSERT(false);
+}
+
+}  // namespace qre

@@ -1,0 +1,62 @@
+// The planar quantum ISA gate set (paper Section III and Figure 1).
+//
+// Programs are traced as streams of these operations. The non-Clifford
+// operations (T, arbitrary rotations, CCZ, CCiX) and measurements are what
+// the logical resource estimates are built from; Clifford operations are
+// free at the logical level but are still traced so that the simulator and
+// QIR backends can execute/emit complete programs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace qre {
+
+using QubitId = std::uint32_t;
+
+enum class Gate : std::uint8_t {
+  // Single-qubit Cliffords.
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  // Single-qubit non-Cliffords.
+  kT,
+  kTdg,
+  // Arbitrary-angle rotations (non-Clifford for generic angles).
+  kRx,
+  kRy,
+  kRz,
+  kR1,  // phase on |1>, diag(1, e^{i*theta})
+  // Two-qubit Cliffords.
+  kCx,
+  kCz,
+  kSwap,
+  // Three-qubit non-Cliffords. CCiX is the AND-style Toffoli variant the
+  // tool counts separately from CCZ; its computational-basis action here is
+  // the Toffoli (the relative phase is absorbed into the Clifford frame of
+  // the Gidney AND gadget this library uses it for).
+  kCcx,
+  kCcz,
+  kCcix,
+  // Measurements and reset.
+  kMz,
+  kMx,
+  kReset,
+};
+
+/// Number of qubit operands of the gate (1, 2, or 3).
+int gate_arity(Gate g);
+
+/// True for X/Y/Z/H/S/Sdg/CX/CZ/SWAP (free at the logical level).
+bool is_clifford(Gate g);
+
+/// True for Rx/Ry/Rz/R1.
+bool is_rotation(Gate g);
+
+/// Short lowercase mnemonic ("ccz", "rz", "mz", ...).
+std::string_view gate_name(Gate g);
+
+}  // namespace qre

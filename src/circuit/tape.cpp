@@ -1,0 +1,108 @@
+#include "circuit/tape.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+Gate inverse_gate(Gate g) {
+  switch (g) {
+    case Gate::kS: return Gate::kSdg;
+    case Gate::kSdg: return Gate::kS;
+    case Gate::kT: return Gate::kTdg;
+    case Gate::kTdg: return Gate::kT;
+    default: return g;  // self-inverse in the Toffoli-semantics gate set
+  }
+}
+
+void Tape::on_allocate(QubitId q, std::uint64_t live) {
+  ops_.push_back({Kind::kAlloc, Gate::kX, {q, 0, 0}, 0.0, live});
+}
+
+void Tape::on_release(QubitId q, std::uint64_t live) {
+  ops_.push_back({Kind::kRelease, Gate::kX, {q, 0, 0}, 0.0, live});
+}
+
+void Tape::on_gate1(Gate g, QubitId q) {
+  ops_.push_back({Kind::kGate1, g, {q, 0, 0}, 0.0, 0});
+}
+
+void Tape::on_rotation(Gate g, double angle, QubitId q) {
+  ops_.push_back({Kind::kRotation, g, {q, 0, 0}, angle, 0});
+}
+
+void Tape::on_gate2(Gate g, QubitId a, QubitId b) {
+  ops_.push_back({Kind::kGate2, g, {a, b, 0}, 0.0, 0});
+}
+
+void Tape::on_gate3(Gate g, QubitId a, QubitId b, QubitId c) {
+  ops_.push_back({Kind::kGate3, g, {a, b, c}, 0.0, 0});
+}
+
+bool Tape::on_measure(Gate, QubitId) {
+  throw_error("taped regions must be measurement-free (use unitary uncompute)");
+}
+
+void Tape::on_reset(QubitId) { throw_error("taped regions cannot contain reset"); }
+
+void Tape::on_gate_batch(Gate g, std::uint64_t count) {
+  ops_.push_back({Kind::kBatch, g, {0, 0, 0}, 0.0, count});
+}
+
+void Tape::on_measure_batch(Gate, std::uint64_t) {
+  throw_error("taped regions must be measurement-free (use unitary uncompute)");
+}
+
+void Tape::replay(Backend& backend) const {
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case Kind::kAlloc: backend.on_allocate(op.q[0], op.count); break;
+      case Kind::kRelease: backend.on_release(op.q[0], op.count); break;
+      case Kind::kGate1: backend.on_gate1(op.gate, op.q[0]); break;
+      case Kind::kRotation: backend.on_rotation(op.gate, op.angle, op.q[0]); break;
+      case Kind::kGate2: backend.on_gate2(op.gate, op.q[0], op.q[1]); break;
+      case Kind::kGate3: backend.on_gate3(op.gate, op.q[0], op.q[1], op.q[2]); break;
+      case Kind::kBatch: backend.on_gate_batch(op.gate, op.count); break;
+    }
+  }
+}
+
+void Tape::replay_adjoint(Backend& backend) const {
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    const Op& op = *it;
+    switch (op.kind) {
+      case Kind::kAlloc:
+        // Reversing an allocation releases the (now rewound to |0>) qubit.
+        backend.on_release(op.q[0], op.count - 1);
+        break;
+      case Kind::kRelease:
+        // Reversing a release brings the ancilla back for the rewind.
+        backend.on_allocate(op.q[0], op.count + 1);
+        break;
+      case Kind::kGate1: backend.on_gate1(inverse_gate(op.gate), op.q[0]); break;
+      case Kind::kRotation: backend.on_rotation(op.gate, -op.angle, op.q[0]); break;
+      case Kind::kGate2: backend.on_gate2(inverse_gate(op.gate), op.q[0], op.q[1]); break;
+      case Kind::kGate3:
+        backend.on_gate3(inverse_gate(op.gate), op.q[0], op.q[1], op.q[2]);
+        break;
+      case Kind::kBatch: backend.on_gate_batch(inverse_gate(op.gate), op.count); break;
+    }
+  }
+}
+
+std::vector<QubitId> Tape::live_at_end() const {
+  std::vector<QubitId> live;
+  for (const Op& op : ops_) {
+    if (op.kind == Kind::kAlloc) {
+      live.push_back(op.q[0]);
+    } else if (op.kind == Kind::kRelease) {
+      auto it = std::find(live.rbegin(), live.rend(), op.q[0]);
+      QRE_ASSERT(it != live.rend());
+      live.erase(std::next(it).base());
+    }
+  }
+  return live;
+}
+
+}  // namespace qre

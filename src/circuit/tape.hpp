@@ -1,0 +1,74 @@
+// Tape: records a measurement-free region of a program so that it can be
+// replayed forward and, crucially, in reverse with inverted gates — the
+// adjoint. The Karatsuba multiplier uses this to bulk-uncompute its
+// workspace after accumulating the product.
+//
+// Lifetime events are handled symmetrically: the adjoint re-allocates where
+// the forward pass released and releases where the forward pass allocated,
+// so ancillas that lived inside the region are rewound correctly and the
+// region's surviving workspace is released exactly when the adjoint has
+// returned it to |0>. The recording builder's bookkeeping is reconciled via
+// ProgramBuilder::reclaim().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/backend.hpp"
+
+namespace qre {
+
+class Tape final : public Backend {
+ public:
+  /// `underlying` is the backend the recording will eventually be replayed
+  /// onto; the tape mirrors its counting_only() so circuit generators make
+  /// the same data-vs-structure decisions while recording.
+  explicit Tape(const Backend* underlying = nullptr) : underlying_(underlying) {}
+
+  bool counting_only() const override {
+    return underlying_ != nullptr && underlying_->counting_only();
+  }
+
+  void on_allocate(QubitId q, std::uint64_t live) override;
+  void on_release(QubitId q, std::uint64_t live) override;
+  void on_gate1(Gate g, QubitId q) override;
+  void on_rotation(Gate g, double angle, QubitId q) override;
+  void on_gate2(Gate g, QubitId a, QubitId b) override;
+  void on_gate3(Gate g, QubitId a, QubitId b, QubitId c) override;
+  bool on_measure(Gate basis, QubitId q) override;  // throws: not reversible
+  void on_reset(QubitId q) override;                // throws: not reversible
+  void on_gate_batch(Gate g, std::uint64_t count) override;
+  void on_measure_batch(Gate basis, std::uint64_t count) override;  // throws
+
+  /// Emits the recorded events (including lifetime events) in order.
+  void replay(Backend& backend) const;
+
+  /// Emits the region's adjoint: gates in reverse order and inverted,
+  /// releases for forward allocations, allocations for forward releases.
+  void replay_adjoint(Backend& backend) const;
+
+  /// Qubits still allocated at the end of the region, in allocation order.
+  /// After replay_adjoint() these have been released at the backend level;
+  /// the owning builder should reclaim() them.
+  std::vector<QubitId> live_at_end() const;
+
+ private:
+  enum class Kind : std::uint8_t { kAlloc, kRelease, kGate1, kRotation, kGate2, kGate3, kBatch };
+  struct Op {
+    Kind kind;
+    Gate gate;
+    QubitId q[3] = {0, 0, 0};
+    double angle = 0.0;       // rotations
+    std::uint64_t count = 0;  // live count for alloc/release, count for batches
+  };
+
+  std::vector<Op> ops_;
+  const Backend* underlying_ = nullptr;
+};
+
+/// Inverse of a unitary gate in this library's gate set (T <-> Tdg,
+/// S <-> Sdg, everything else self-inverse); rotations are handled by angle
+/// negation in Tape.
+Gate inverse_gate(Gate g);
+
+}  // namespace qre

@@ -1,0 +1,18 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace qre {
+
+void throw_error(const std::string& message) { throw Error(message); }
+
+namespace detail {
+
+void assertion_failed(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "qre internal assertion failed: " << expr << " at " << file << ":" << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace qre

@@ -1,0 +1,38 @@
+// Error handling for the qre library.
+//
+// All user-facing failures (bad input programs, infeasible hardware
+// specifications, malformed formulas/JSON) throw qre::Error with a message
+// that names the offending input. Internal invariant violations use
+// QRE_ASSERT and indicate a library bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qre {
+
+/// Exception thrown for all recoverable, user-facing failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throw_error(const std::string& message);
+
+namespace detail {
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace qre
+
+/// Validates a user-facing precondition; throws qre::Error on failure.
+#define QRE_REQUIRE(cond, message)        \
+  do {                                    \
+    if (!(cond)) ::qre::throw_error(message); \
+  } while (false)
+
+/// Internal invariant check; failure indicates a bug in qre itself.
+#define QRE_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::qre::detail::assertion_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

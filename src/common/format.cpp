@@ -1,0 +1,56 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qre {
+
+std::string format_duration_ns(double nanoseconds) {
+  struct Unit {
+    double scale;
+    const char* name;
+  };
+  static constexpr Unit kUnits[] = {
+      {1.0, "ns"},      {1e3, "us"},         {1e6, "ms"},
+      {1e9, "s"},       {60e9, "mins"},      {3600e9, "hours"},
+      {86400e9, "days"}, {31557600e9, "years"},
+  };
+  const Unit* best = &kUnits[0];
+  for (const Unit& u : kUnits) {
+    if (nanoseconds >= u.scale) best = &u;
+  }
+  char buf[64];
+  double v = nanoseconds / best->scale;
+  if (v >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, best->name);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, best->name);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t count) {
+  std::string digits = std::to_string(count);
+  std::string out;
+  int pos = static_cast<int>(digits.size());
+  for (char c : digits) {
+    out.push_back(c);
+    --pos;
+    if (pos > 0 && pos % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+std::string format_sci(double value, int significant_digits) {
+  char buf[64];
+  if (value == 0.0) return "0";
+  double mag = std::fabs(value);
+  if (mag >= 1e-3 && mag < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.*g", significant_digits, value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*e", significant_digits - 1, value);
+  }
+  return buf;
+}
+
+}  // namespace qre

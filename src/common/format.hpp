@@ -1,0 +1,21 @@
+// Human-readable formatting of physical quantities used in reports and
+// benchmark tables: durations given in nanoseconds, large counts, SI powers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qre {
+
+/// Formats a duration in nanoseconds as the most natural unit
+/// ("340 ns", "12.4 ms", "1.3 hours", "2.1 days").
+std::string format_duration_ns(double nanoseconds);
+
+/// Formats a count with thousands separators ("20597" -> "20,597").
+std::string format_count(std::uint64_t count);
+
+/// Formats a value in engineering style with the given number of significant
+/// digits ("1.12e11", "0.000100").
+std::string format_sci(double value, int significant_digits = 3);
+
+}  // namespace qre

@@ -1,0 +1,59 @@
+// Small integer/floating-point helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+/// Number of bits needed to represent v (bit_length(0) == 0).
+constexpr int bit_length(std::uint64_t v) {
+  int n = 0;
+  while (v != 0) {
+    ++n;
+    v >>= 1;
+  }
+  return n;
+}
+
+/// floor(log2(v)) for v >= 1.
+constexpr int ilog2_floor(std::uint64_t v) { return bit_length(v) - 1; }
+
+/// ceil(log2(v)) for v >= 1.
+constexpr int ilog2_ceil(std::uint64_t v) {
+  if (v <= 1) return 0;
+  return bit_length(v - 1);
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Rounds an integer up to the next odd value (odd inputs unchanged).
+constexpr std::uint64_t next_odd(std::uint64_t v) { return (v % 2 == 0) ? v + 1 : v; }
+
+/// ceil() that is robust against values that are integral up to fp noise.
+inline std::uint64_t ceil_to_u64(double v) {
+  QRE_REQUIRE(v >= 0.0 && std::isfinite(v), "ceil_to_u64: value must be finite and non-negative");
+  const double eps = 1e-9;
+  double c = std::ceil(v - eps);
+  if (c < 0.0) c = 0.0;
+  QRE_REQUIRE(c <= static_cast<double>(std::numeric_limits<std::uint64_t>::max()),
+              "ceil_to_u64: value out of range");
+  return static_cast<std::uint64_t>(c);
+}
+
+}  // namespace qre

@@ -1,0 +1,114 @@
+#include "core/advantage.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+std::string_view to_string(ComputingLevel level) {
+  switch (level) {
+    case ComputingLevel::kFoundational: return "Level 1 (foundational)";
+    case ComputingLevel::kResilient: return "Level 2 (resilient)";
+    case ComputingLevel::kScale: return "Level 3 (scale)";
+  }
+  return "?";
+}
+
+json::Value MachineCapability::to_json() const {
+  json::Object o;
+  o.emplace_back("physicalQubits", physical_qubits);
+  o.emplace_back("codeDistance", code_distance);
+  o.emplace_back("logicalQubits", logical_qubits);
+  o.emplace_back("logicalErrorRate", logical_error_rate);
+  o.emplace_back("logicalCycleTime", logical_cycle_time_ns);
+  o.emplace_back("rqops", rqops);
+  o.emplace_back("reliableOperations", reliable_operations);
+  o.emplace_back("level", std::string(to_string(level)));
+  return json::Value(std::move(o));
+}
+
+MachineCapability machine_capability(const QubitParams& qubit, const QecScheme& scheme,
+                                     std::uint64_t physical_qubit_budget,
+                                     double target_logical_error_per_operation,
+                                     const AdvantageThresholds& thresholds) {
+  QRE_REQUIRE(physical_qubit_budget > 0, "machine capability requires a physical qubit budget");
+  QRE_REQUIRE(target_logical_error_per_operation > 0.0 &&
+                  target_logical_error_per_operation < 1.0,
+              "target logical error rate must be in (0, 1)");
+  qubit.validate();
+
+  MachineCapability cap;
+  cap.physical_qubits = physical_qubit_budget;
+
+  const double physical_error = qubit.clifford_error_rate();
+  std::uint64_t distance = 0;
+  try {
+    distance = scheme.code_distance_for(physical_error, target_logical_error_per_operation);
+  } catch (const Error&) {
+    // Below threshold or distance out of range: the machine stays at
+    // Level 1 regardless of size.
+    cap.level = ComputingLevel::kFoundational;
+    cap.logical_error_rate = physical_error;
+    return cap;
+  }
+
+  cap.code_distance = distance;
+  std::uint64_t per_patch = scheme.physical_qubits_per_logical_qubit(distance);
+  cap.logical_qubits = physical_qubit_budget / per_patch;
+  cap.logical_error_rate = scheme.logical_error_rate(physical_error, distance);
+  cap.logical_cycle_time_ns = scheme.logical_cycle_time_ns(qubit, distance);
+
+  if (cap.logical_qubits == 0) {
+    // Not even one patch fits: still foundational hardware.
+    cap.level = ComputingLevel::kFoundational;
+    return cap;
+  }
+
+  cap.rqops = static_cast<double>(cap.logical_qubits) * (1e9 / cap.logical_cycle_time_ns);
+  // Reliable capacity: how many logical operations before the accumulated
+  // logical error reaches 1/2, additionally capped by what the clock can
+  // execute within the runtime budget.
+  double by_reliability = 0.5 / cap.logical_error_rate;
+  double by_runtime = cap.rqops * thresholds.runtime_budget_s;
+  cap.reliable_operations = std::min(by_reliability, by_runtime);
+
+  bool resilient = cap.logical_error_rate < physical_error;
+  if (!resilient) {
+    cap.level = ComputingLevel::kFoundational;
+  } else if (cap.reliable_operations >= thresholds.required_operations &&
+             cap.rqops >= thresholds.supercomputer_rqops &&
+             cap.logical_qubits >= thresholds.min_logical_qubits) {
+    cap.level = ComputingLevel::kScale;
+  } else {
+    cap.level = ComputingLevel::kResilient;
+  }
+  return cap;
+}
+
+std::uint64_t physical_qubits_for_scale(const QubitParams& qubit, const QecScheme& scheme,
+                                        double target_logical_error_per_operation,
+                                        const AdvantageThresholds& thresholds,
+                                        std::uint64_t budget_cap) {
+  // The capability is monotone in the budget (same distance, more patches):
+  // binary search for the smallest Level 3 budget.
+  MachineCapability at_cap = machine_capability(qubit, scheme, budget_cap,
+                                                target_logical_error_per_operation, thresholds);
+  QRE_REQUIRE(at_cap.level == ComputingLevel::kScale,
+              "profile '" + qubit.name + "' does not reach Level 3 within the budget cap");
+  std::uint64_t lo = 1;
+  std::uint64_t hi = budget_cap;
+  while (lo < hi) {
+    std::uint64_t mid = lo + (hi - lo) / 2;
+    MachineCapability cap = machine_capability(qubit, scheme, mid,
+                                               target_logical_error_per_operation, thresholds);
+    if (cap.level == ComputingLevel::kScale) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace qre

@@ -1,0 +1,84 @@
+// Quantum computing implementation levels and machine capability
+// (paper Sections II and III-E).
+//
+// The paper frames progress with three levels:
+//   Level 1 — foundational (NISQ): logical qubits are no better than the
+//             physical qubits they are built from;
+//   Level 2 — resilient: error-corrected logical qubits outperform the
+//             physical error rates;
+//   Level 3 — scale: enough reliable logical qubits and clock speed for a
+//             practical quantum advantage, which the paper pegs at the
+//             capability to run ~1e12 reliable quantum operations within
+//             ~1e6 seconds (and rQOPS between 1e2 and 1e9 for practical
+//             solutions, up to ~1e6 rQOPS for the first supercomputer).
+//
+// machine_capability() inverts the estimator's direction: instead of asking
+// what a given algorithm needs, it asks what a machine with a given physical
+// qubit budget can do — how many logical qubits fit at the code distance
+// required for a target logical error rate, the resulting logical clock
+// rate, rQOPS, and how many operations it can run reliably.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "json/json.hpp"
+#include "profiles/qubit_params.hpp"
+#include "qec/qec_scheme.hpp"
+
+namespace qre {
+
+enum class ComputingLevel {
+  kFoundational = 1,  // Level 1: noisy, pre-error-correction
+  kResilient = 2,     // Level 2: logical beats physical
+  kScale = 3,         // Level 3: quantum supercomputer at scale
+};
+
+std::string_view to_string(ComputingLevel level);
+
+struct MachineCapability {
+  std::uint64_t physical_qubits = 0;  // the budget
+  std::uint64_t code_distance = 0;
+  std::uint64_t logical_qubits = 0;
+  double logical_error_rate = 0.0;    // per logical qubit per cycle
+  double logical_cycle_time_ns = 0.0;
+  double rqops = 0.0;
+  /// Logical operations executable with total failure probability <= 1/2
+  /// (reliable operations capacity: 0.5 / logical_error_rate, capped by the
+  /// runtime budget rqops * runtime).
+  double reliable_operations = 0.0;
+  ComputingLevel level = ComputingLevel::kFoundational;
+
+  json::Value to_json() const;
+};
+
+struct AdvantageThresholds {
+  /// Operations needed for practical quantum advantage (paper Section II).
+  double required_operations = 1e12;
+  /// Practical runtime budget in seconds.
+  double runtime_budget_s = 1e6;
+  /// rQOPS of the first quantum supercomputer milestone.
+  double supercomputer_rqops = 1e6;
+  /// Simultaneous logical qubits a practical application workspace needs
+  /// (the smallest practical workloads in Beverland et al. use ~1e2).
+  std::uint64_t min_logical_qubits = 100;
+};
+
+/// Capability of a machine with `physical_qubit_budget` physical qubits:
+/// chooses the smallest code distance whose logical error rate supports
+/// `target_logical_error_per_operation`, fills the budget with logical
+/// qubits, and classifies the machine's level against the thresholds.
+MachineCapability machine_capability(const QubitParams& qubit, const QecScheme& scheme,
+                                     std::uint64_t physical_qubit_budget,
+                                     double target_logical_error_per_operation,
+                                     const AdvantageThresholds& thresholds = {});
+
+/// Smallest physical-qubit budget (same distance selection) at which the
+/// profile reaches Level 3 for the thresholds; throws when the profile
+/// cannot reach it below `budget_cap`.
+std::uint64_t physical_qubits_for_scale(const QubitParams& qubit, const QecScheme& scheme,
+                                        double target_logical_error_per_operation,
+                                        const AdvantageThresholds& thresholds = {},
+                                        std::uint64_t budget_cap = 1'000'000'000'000ull);
+
+}  // namespace qre

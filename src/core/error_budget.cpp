@@ -1,0 +1,67 @@
+#include "core/error_budget.hpp"
+
+#include "common/error.hpp"
+
+namespace qre {
+
+ErrorBudget ErrorBudget::from_total(double total) {
+  QRE_REQUIRE(total > 0.0 && total < 1.0, "error budget total must be in (0, 1)");
+  ErrorBudget b;
+  b.total_ = total;
+  return b;
+}
+
+ErrorBudget ErrorBudget::from_parts(double logical, double tstates, double rotations) {
+  QRE_REQUIRE(logical > 0.0, "error budget: logical part must be positive");
+  QRE_REQUIRE(tstates >= 0.0 && rotations >= 0.0,
+              "error budget: parts must be non-negative");
+  ErrorBudget b;
+  b.explicit_parts_ = ErrorBudgetPartition{logical, tstates, rotations};
+  b.total_ = b.explicit_parts_->total();
+  QRE_REQUIRE(b.total_ < 1.0, "error budget total must be below 1");
+  return b;
+}
+
+ErrorBudget ErrorBudget::from_json(const json::Value& v) {
+  if (v.is_number()) return from_total(v.as_double());
+  if (const json::Value* total = v.find("total")) return from_total(total->as_double());
+  return from_parts(v.at("logical").as_double(), v.at("tstates").as_double(),
+                    v.at("rotations").as_double());
+}
+
+json::Value ErrorBudget::to_json() const {
+  json::Object o;
+  o.emplace_back("total", total_);
+  if (explicit_parts_.has_value()) {
+    o.emplace_back("logical", explicit_parts_->logical);
+    o.emplace_back("tstates", explicit_parts_->tstates);
+    o.emplace_back("rotations", explicit_parts_->rotations);
+  }
+  return json::Value(std::move(o));
+}
+
+double ErrorBudget::total() const { return total_; }
+
+ErrorBudgetPartition ErrorBudget::resolve(bool has_tstates, bool has_rotations) const {
+  if (explicit_parts_.has_value()) {
+    QRE_REQUIRE(!has_rotations || explicit_parts_->rotations > 0.0,
+                "error budget: program has rotations but the rotation budget is zero");
+    QRE_REQUIRE(!has_tstates || explicit_parts_->tstates > 0.0,
+                "error budget: program consumes T states but the T-state budget is zero");
+    return *explicit_parts_;
+  }
+  ErrorBudgetPartition p;
+  if (has_rotations) {
+    p.logical = total_ / 3.0;
+    p.tstates = total_ / 3.0;
+    p.rotations = total_ / 3.0;
+  } else if (has_tstates) {
+    p.logical = total_ / 2.0;
+    p.tstates = total_ / 2.0;
+  } else {
+    p.logical = total_;
+  }
+  return p;
+}
+
+}  // namespace qre

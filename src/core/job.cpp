@@ -1,0 +1,98 @@
+#include "core/job.hpp"
+
+#include "common/error.hpp"
+#include "report/report.hpp"
+
+namespace qre {
+
+namespace {
+
+/// Merges `overlay` onto `base` (top-level keys only): item fields override
+/// the job-level defaults.
+json::Value merge_job(const json::Value& base, const json::Value& overlay) {
+  json::Value merged = base;
+  if (merged.find("items") != nullptr) {
+    json::Object pruned;
+    for (const auto& [k, v] : merged.as_object()) {
+      if (k != "items") pruned.emplace_back(k, v);
+    }
+    merged = json::Value(std::move(pruned));
+  }
+  for (const auto& [k, v] : overlay.as_object()) merged.set(k, v);
+  return merged;
+}
+
+}  // namespace
+
+EstimationInput estimation_input_from_json(const json::Value& job) {
+  QRE_REQUIRE(job.is_object(), "estimation job must be a JSON object");
+  EstimationInput input;
+  input.counts = LogicalCounts::from_json(job.at("logicalCounts"));
+  if (const json::Value* qubit = job.find("qubitParams")) {
+    input.qubit = QubitParams::from_json(*qubit);
+  }
+  input.qec = QecScheme::default_for(input.qubit.instruction_set);
+  if (const json::Value* qec = job.find("qecScheme")) {
+    input.qec = QecScheme::from_json(*qec, input.qubit.instruction_set);
+  }
+  if (const json::Value* budget = job.find("errorBudget")) {
+    input.budget = ErrorBudget::from_json(*budget);
+  }
+  if (const json::Value* constraints = job.find("constraints")) {
+    input.constraints = Constraints::from_json(*constraints);
+  }
+  if (const json::Value* units = job.find("distillationUnitSpecifications")) {
+    input.distillation_units.clear();
+    for (const json::Value& unit : units->as_array()) {
+      input.distillation_units.push_back(DistillationUnit::from_json(unit));
+    }
+    QRE_REQUIRE(!input.distillation_units.empty(),
+                "distillationUnitSpecifications must not be empty");
+  }
+  return input;
+}
+
+json::Value run_job(const json::Value& job) {
+  QRE_REQUIRE(job.is_object(), "estimation job must be a JSON object");
+
+  if (const json::Value* items = job.find("items")) {
+    json::Array results;
+    for (const json::Value& item : items->as_array()) {
+      json::Value merged = merge_job(job, item);
+      try {
+        results.push_back(run_job(merged));
+      } catch (const Error& e) {
+        json::Object failure;
+        failure.emplace_back("error", std::string(e.what()));
+        results.push_back(json::Value(std::move(failure)));
+      }
+    }
+    json::Object out;
+    out.emplace_back("results", json::Value(std::move(results)));
+    return json::Value(std::move(out));
+  }
+
+  EstimationInput input = estimation_input_from_json(job);
+  std::string estimate_type = "singlePoint";
+  if (const json::Value* type = job.find("estimateType")) {
+    estimate_type = type->as_string();
+  }
+  if (estimate_type == "singlePoint") {
+    return report_to_json(estimate(input));
+  }
+  if (estimate_type == "frontier") {
+    json::Array points;
+    for (const ResourceEstimate& e : estimate_frontier(input)) {
+      points.push_back(report_to_json(e));
+    }
+    json::Object out;
+    out.emplace_back("frontier", json::Value(std::move(points)));
+    return json::Value(std::move(out));
+  }
+  throw_error("unknown estimateType '" + estimate_type +
+              "' (expected singlePoint or frontier)");
+}
+
+json::Value run_job_file(const std::string& path) { return run_job(json::parse_file(path)); }
+
+}  // namespace qre

@@ -1,0 +1,44 @@
+// Service-style job interface (paper Section IV-A).
+//
+// Azure Quantum exposes the estimator as a cloud target: a job carries the
+// algorithm specification and estimation parameters as JSON and returns the
+// result groups as JSON. This module is that interface: one self-describing
+// JSON document in, one out, covering single estimates, frontier estimates,
+// and batched parameter sweeps.
+//
+// Job schema:
+//   {
+//     "logicalCounts": { "numQubits": ..., "tCount": ..., ... },  // required
+//     "qubitParams":  { "name": "qubit_gate_ns_e3", ...overrides },
+//     "qecScheme":    { "name": "surface_code", ...overrides },
+//     "errorBudget":  1e-3 | { "total": ... } | { "logical": ..., ... },
+//     "constraints":  { "maxTFactories": ..., "logicalDepthFactor": ..., ... },
+//     "distillationUnitSpecifications": [ { ...unit... }, ... ],
+//     "estimateType": "singlePoint" | "frontier"
+//   }
+//
+// Batched jobs wrap per-item overrides:
+//   { "items": [ {..job..}, {..job..} ] }  ->  { "results": [ ... ] }
+// Each item inherits the top-level fields and overrides whichever it sets,
+// which is how the paper's Figure 4 style sweeps are expressed.
+#pragma once
+
+#include "core/estimator.hpp"
+#include "json/json.hpp"
+
+namespace qre {
+
+/// Builds an EstimationInput from a job document (without "items").
+EstimationInput estimation_input_from_json(const json::Value& job);
+
+/// Runs a job document and returns the result document. Single jobs yield
+/// the report object (estimateType "singlePoint", the default) or
+/// {"frontier": [...]} (estimateType "frontier"); batched jobs yield
+/// {"results": [...]} in item order. Per-item failures are reported as
+/// {"error": "..."} entries instead of aborting the batch.
+json::Value run_job(const json::Value& job);
+
+/// Reads a job file and runs it.
+json::Value run_job_file(const std::string& path);
+
+}  // namespace qre

@@ -1,0 +1,107 @@
+#include "counter/logical_counter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+void LogicalCounter::on_allocate(QubitId q, std::uint64_t live) {
+  counts_.num_qubits = std::max(counts_.num_qubits, live);
+  if (q >= layer_of_qubit_.size()) layer_of_qubit_.resize(q + 1, 0);
+}
+
+void LogicalCounter::on_release(QubitId, std::uint64_t) {}
+
+std::uint64_t LogicalCounter::advance_layer(const QubitId* qubits, int n) {
+  std::uint64_t layer = 0;
+  for (int i = 0; i < n; ++i) {
+    QubitId q = qubits[i];
+    if (q >= layer_of_qubit_.size()) layer_of_qubit_.resize(q + 1, 0);
+    layer = std::max(layer, layer_of_qubit_[q]);
+  }
+  ++layer;
+  for (int i = 0; i < n; ++i) layer_of_qubit_[qubits[i]] = layer;
+  return layer;
+}
+
+void LogicalCounter::count_gate(Gate g, const QubitId* qubits, int n) {
+  if (is_clifford(g)) {
+    ++counts_.clifford_count;
+    return;
+  }
+  std::uint64_t layer = advance_layer(qubits, n);
+  switch (g) {
+    case Gate::kT:
+    case Gate::kTdg:
+      ++counts_.t_count;
+      break;
+    case Gate::kRx:
+    case Gate::kRy:
+    case Gate::kRz:
+    case Gate::kR1:
+      ++counts_.rotation_count;
+      rotation_layers_.insert(layer);
+      counts_.rotation_depth = rotation_layers_.size();
+      break;
+    case Gate::kCcx:  // Toffoli is costed as a CCZ (H-conjugate on the target)
+    case Gate::kCcz:
+      ++counts_.ccz_count;
+      break;
+    case Gate::kCcix:
+      ++counts_.ccix_count;
+      break;
+    default:
+      QRE_ASSERT(false);
+  }
+}
+
+void LogicalCounter::on_gate1(Gate g, QubitId q) { count_gate(g, &q, 1); }
+
+void LogicalCounter::on_rotation(Gate g, double, QubitId q) { count_gate(g, &q, 1); }
+
+void LogicalCounter::on_gate2(Gate g, QubitId a, QubitId b) {
+  QubitId qs[2] = {a, b};
+  count_gate(g, qs, 2);
+}
+
+void LogicalCounter::on_gate3(Gate g, QubitId a, QubitId b, QubitId c) {
+  QubitId qs[3] = {a, b, c};
+  count_gate(g, qs, 3);
+}
+
+bool LogicalCounter::on_measure(Gate, QubitId q) {
+  ++counts_.measurement_count;
+  advance_layer(&q, 1);
+  return false;
+}
+
+void LogicalCounter::on_reset(QubitId) {}
+
+void LogicalCounter::on_gate_batch(Gate g, std::uint64_t count) {
+  if (is_clifford(g)) {
+    counts_.clifford_count += count;
+    return;
+  }
+  switch (g) {
+    case Gate::kT:
+    case Gate::kTdg:
+      counts_.t_count += count;
+      break;
+    case Gate::kCcx:
+    case Gate::kCcz:
+      counts_.ccz_count += count;
+      break;
+    case Gate::kCcix:
+      counts_.ccix_count += count;
+      break;
+    default:
+      throw_error("batched gate events support only T/CCZ/CCiX/Clifford gates");
+  }
+}
+
+void LogicalCounter::on_measure_batch(Gate, std::uint64_t count) {
+  counts_.measurement_count += count;
+}
+
+}  // namespace qre

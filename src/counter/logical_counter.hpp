@@ -1,0 +1,59 @@
+// The logical resource counter backend (paper Section III-A).
+//
+// Consumes a program's event stream and accumulates LogicalCounts. This is
+// the step the tool performs when it "goes through the code and tracks qubit
+// allocation, qubit release, gate application, and measurement events"
+// (Section IV-B1).
+//
+// Rotation depth is computed with an ASAP layering of the non-transparent
+// operations: Clifford gates are transparent; T gates, rotations, CCZ/CCiX
+// gates, and measurements occupy a layer one past the last layer of any of
+// their operands. The rotation depth is the number of distinct layers that
+// contain at least one rotation — "the number of non-Clifford layers of
+// gates in which each layer contains at least one arbitrary rotation gate"
+// (Section III-B2).
+//
+// Measurements return false deterministically, so classically controlled
+// fix-ups (all Clifford in the supported gadgets) are skipped and counts are
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "circuit/backend.hpp"
+#include "counter/logical_counts.hpp"
+
+namespace qre {
+
+class LogicalCounter final : public Backend {
+ public:
+  LogicalCounter() = default;
+
+  void on_allocate(QubitId q, std::uint64_t live) override;
+  void on_release(QubitId q, std::uint64_t live) override;
+  void on_gate1(Gate g, QubitId q) override;
+  void on_rotation(Gate g, double angle, QubitId q) override;
+  void on_gate2(Gate g, QubitId a, QubitId b) override;
+  void on_gate3(Gate g, QubitId a, QubitId b, QubitId c) override;
+  bool on_measure(Gate basis, QubitId q) override;
+  void on_reset(QubitId q) override;
+  void on_gate_batch(Gate g, std::uint64_t count) override;
+  void on_measure_batch(Gate basis, std::uint64_t count) override;
+  bool counting_only() const override { return true; }
+
+  const LogicalCounts& counts() const { return counts_; }
+
+ private:
+  /// Advances the layer clock for a counted (non-transparent) operation and
+  /// returns the layer it lands in.
+  std::uint64_t advance_layer(const QubitId* qubits, int n);
+  void count_gate(Gate g, const QubitId* qubits, int n);
+
+  LogicalCounts counts_;
+  std::vector<std::uint64_t> layer_of_qubit_;
+  std::unordered_set<std::uint64_t> rotation_layers_;
+};
+
+}  // namespace qre

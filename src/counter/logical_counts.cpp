@@ -1,0 +1,73 @@
+#include "counter/logical_counts.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+LogicalCounts LogicalCounts::from_json(const json::Value& v) {
+  LogicalCounts c;
+  c.num_qubits = v.at("numQubits").as_uint();
+  QRE_REQUIRE(c.num_qubits > 0, "LogicalCounts: numQubits must be positive");
+  auto field = [&v](const char* key) -> std::uint64_t {
+    const json::Value* f = v.find(key);
+    return f != nullptr ? f->as_uint() : 0;
+  };
+  c.t_count = field("tCount");
+  c.rotation_count = field("rotationCount");
+  c.rotation_depth = field("rotationDepth");
+  c.ccz_count = field("cczCount");
+  c.ccix_count = field("ccixCount");
+  c.measurement_count = field("measurementCount");
+  c.clifford_count = field("cliffordCount");
+  QRE_REQUIRE(c.rotation_depth <= c.rotation_count,
+              "LogicalCounts: rotationDepth cannot exceed rotationCount");
+  QRE_REQUIRE(c.rotation_count == 0 || c.rotation_depth > 0,
+              "LogicalCounts: rotationDepth must be positive when rotations are present");
+  return c;
+}
+
+LogicalCounts LogicalCounts::sequential(const std::vector<LogicalCounts>& parts) {
+  QRE_REQUIRE(!parts.empty(), "LogicalCounts::sequential requires at least one part");
+  LogicalCounts total;
+  for (const LogicalCounts& p : parts) {
+    total.num_qubits = std::max(total.num_qubits, p.num_qubits);
+    total.t_count += p.t_count;
+    total.rotation_count += p.rotation_count;
+    total.rotation_depth += p.rotation_depth;
+    total.ccz_count += p.ccz_count;
+    total.ccix_count += p.ccix_count;
+    total.measurement_count += p.measurement_count;
+    total.clifford_count += p.clifford_count;
+  }
+  return total;
+}
+
+LogicalCounts LogicalCounts::repeated(std::uint64_t times) const {
+  QRE_REQUIRE(times >= 1, "LogicalCounts::repeated requires times >= 1");
+  LogicalCounts total = *this;
+  total.t_count *= times;
+  total.rotation_count *= times;
+  total.rotation_depth *= times;
+  total.ccz_count *= times;
+  total.ccix_count *= times;
+  total.measurement_count *= times;
+  total.clifford_count *= times;
+  return total;
+}
+
+json::Value LogicalCounts::to_json() const {
+  json::Object o;
+  o.emplace_back("numQubits", num_qubits);
+  o.emplace_back("tCount", t_count);
+  o.emplace_back("rotationCount", rotation_count);
+  o.emplace_back("rotationDepth", rotation_depth);
+  o.emplace_back("cczCount", ccz_count);
+  o.emplace_back("ccixCount", ccix_count);
+  o.emplace_back("measurementCount", measurement_count);
+  o.emplace_back("cliffordCount", clifford_count);
+  return json::Value(std::move(o));
+}
+
+}  // namespace qre

@@ -1,0 +1,91 @@
+// Minimal JSON value / parser / writer.
+//
+// The estimator's external interface mirrors the Azure Quantum Resource
+// Estimator job schema: job parameters (qubit model, QEC scheme, error
+// budget, constraints, distillation units) arrive as JSON, and results are
+// emitted as JSON grouped exactly like the tool's output (Section IV-D of
+// the paper). This module implements the small JSON subset needed for that,
+// with insertion-ordered objects so emitted reports are stable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace qre::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object representation.
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/// A JSON document node. Numbers are stored as double plus an exact-integer
+/// flag so counts such as physical qubit numbers round-trip without a
+/// trailing ".0".
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(std::uint64_t i);
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(data_) || std::holds_alternative<std::int64_t>(data_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  /// Typed accessors; each throws qre::Error on a type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object field lookup; returns nullptr when absent (or when not an object).
+  const Value* find(std::string_view key) const;
+  /// Object field lookup; throws qre::Error naming the key when absent.
+  const Value& at(std::string_view key) const;
+  /// Inserts or replaces an object field (value must be an object).
+  void set(std::string_view key, Value v);
+
+  /// Serializes compactly (no whitespace).
+  std::string dump() const;
+  /// Serializes with 2-space indentation.
+  std::string pretty() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document; throws qre::Error with line/column info.
+Value parse(std::string_view text);
+
+/// Reads and parses a JSON file; throws qre::Error on I/O or parse failure.
+Value parse_file(const std::string& path);
+
+}  // namespace qre::json

@@ -1,0 +1,16 @@
+#include "layout/layout.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace qre {
+
+std::uint64_t post_layout_logical_qubits(std::uint64_t algorithmic_qubits) {
+  QRE_REQUIRE(algorithmic_qubits > 0, "layout requires at least one algorithmic qubit");
+  double root = std::sqrt(8.0 * static_cast<double>(algorithmic_qubits));
+  return 2 * algorithmic_qubits + ceil_to_u64(root) + 1;
+}
+
+}  // namespace qre

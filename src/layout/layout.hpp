@@ -1,0 +1,23 @@
+// Planar-ISA layout overhead (paper Section III-B1).
+//
+// The estimator assumes 2D nearest-neighbor connectivity. To emulate the
+// all-to-all connectivity a program requires, rows of algorithmic logical
+// qubits alternate with rows of auxiliary logical qubits used to route
+// multi-qubit Pauli measurements, giving (Beverland et al., arXiv:2211.07629)
+//
+//     Q_logical = 2 * Q_alg + ceil(sqrt(8 * Q_alg)) + 1.
+//
+// The tool does not analyze program connectivity to shrink this bound
+// (paper: "does not (yet) analyze the qubit connectivity used in the
+// algorithm"), and neither do we.
+#pragma once
+
+#include <cstdint>
+
+namespace qre {
+
+/// Number of logical qubits after layout for a program using
+/// `algorithmic_qubits` logical qubits before layout.
+std::uint64_t post_layout_logical_qubits(std::uint64_t algorithmic_qubits);
+
+}  // namespace qre

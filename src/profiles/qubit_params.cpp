@@ -1,0 +1,192 @@
+#include "profiles/qubit_params.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+std::string_view to_string(InstructionSet s) {
+  switch (s) {
+    case InstructionSet::kGateBased: return "GateBased";
+    case InstructionSet::kMajorana: return "Majorana";
+  }
+  return "?";
+}
+
+namespace {
+
+QubitParams gate_based(std::string name, double gate_ns, double meas_ns, double clifford_err,
+                       double t_err) {
+  QubitParams q;
+  q.name = std::move(name);
+  q.instruction_set = InstructionSet::kGateBased;
+  q.one_qubit_measurement_time_ns = meas_ns;
+  q.one_qubit_gate_time_ns = gate_ns;
+  q.two_qubit_gate_time_ns = gate_ns;
+  q.t_gate_time_ns = gate_ns;
+  q.one_qubit_measurement_error_rate = clifford_err;
+  q.one_qubit_gate_error_rate = clifford_err;
+  q.two_qubit_gate_error_rate = clifford_err;
+  q.t_gate_error_rate = t_err;
+  q.idle_error_rate = clifford_err;
+  return q;
+}
+
+QubitParams majorana(std::string name, double meas_ns, double clifford_err, double t_err) {
+  QubitParams q;
+  q.name = std::move(name);
+  q.instruction_set = InstructionSet::kMajorana;
+  q.one_qubit_measurement_time_ns = meas_ns;
+  q.two_qubit_joint_measurement_time_ns = meas_ns;
+  q.t_gate_time_ns = meas_ns;
+  q.one_qubit_measurement_error_rate = clifford_err;
+  q.two_qubit_joint_measurement_error_rate = clifford_err;
+  q.t_gate_error_rate = t_err;
+  q.idle_error_rate = clifford_err;
+  return q;
+}
+
+}  // namespace
+
+QubitParams QubitParams::gate_ns_e3() {
+  return gate_based("qubit_gate_ns_e3", 50.0, 100.0, 1e-3, 1e-3);
+}
+QubitParams QubitParams::gate_ns_e4() {
+  return gate_based("qubit_gate_ns_e4", 50.0, 100.0, 1e-4, 1e-4);
+}
+QubitParams QubitParams::gate_us_e3() {
+  return gate_based("qubit_gate_us_e3", 100e3, 100e3, 1e-3, 1e-6);
+}
+QubitParams QubitParams::gate_us_e4() {
+  return gate_based("qubit_gate_us_e4", 100e3, 100e3, 1e-4, 1e-6);
+}
+QubitParams QubitParams::maj_ns_e4() { return majorana("qubit_maj_ns_e4", 100.0, 1e-4, 5e-2); }
+QubitParams QubitParams::maj_ns_e6() { return majorana("qubit_maj_ns_e6", 100.0, 1e-6, 1e-2); }
+
+const std::vector<std::string>& QubitParams::preset_names() {
+  static const std::vector<std::string> kNames = {
+      "qubit_gate_ns_e3", "qubit_gate_ns_e4", "qubit_gate_us_e3",
+      "qubit_gate_us_e4", "qubit_maj_ns_e4",  "qubit_maj_ns_e6",
+  };
+  return kNames;
+}
+
+QubitParams QubitParams::from_name(std::string_view name) {
+  if (name == "qubit_gate_ns_e3") return gate_ns_e3();
+  if (name == "qubit_gate_ns_e4") return gate_ns_e4();
+  if (name == "qubit_gate_us_e3") return gate_us_e3();
+  if (name == "qubit_gate_us_e4") return gate_us_e4();
+  if (name == "qubit_maj_ns_e4") return maj_ns_e4();
+  if (name == "qubit_maj_ns_e6") return maj_ns_e6();
+  throw_error("unknown qubit model '" + std::string(name) +
+              "'; known presets: qubit_gate_ns_e3, qubit_gate_ns_e4, qubit_gate_us_e3, "
+              "qubit_gate_us_e4, qubit_maj_ns_e4, qubit_maj_ns_e6");
+}
+
+QubitParams QubitParams::from_json(const json::Value& v) {
+  QubitParams q;
+  bool have_preset = false;
+  if (const json::Value* name = v.find("name")) {
+    const std::string& n = name->as_string();
+    bool known = std::find(preset_names().begin(), preset_names().end(), n) !=
+                 preset_names().end();
+    if (known) {
+      q = from_name(n);
+      have_preset = true;
+    } else {
+      q.name = n;
+    }
+  }
+  if (const json::Value* is = v.find("instructionSet")) {
+    const std::string& s = is->as_string();
+    if (s == "GateBased" || s == "gate_based" || s == "gateBased") {
+      q.instruction_set = InstructionSet::kGateBased;
+    } else if (s == "Majorana" || s == "majorana") {
+      q.instruction_set = InstructionSet::kMajorana;
+    } else {
+      throw_error("unknown instructionSet '" + s + "' (expected GateBased or Majorana)");
+    }
+  } else if (!have_preset) {
+    throw_error("custom qubit model requires 'instructionSet'");
+  }
+
+  auto override_field = [&v](const char* key, double& field) {
+    if (const json::Value* f = v.find(key)) field = f->as_double();
+  };
+  override_field("oneQubitMeasurementTime", q.one_qubit_measurement_time_ns);
+  override_field("oneQubitGateTime", q.one_qubit_gate_time_ns);
+  override_field("twoQubitGateTime", q.two_qubit_gate_time_ns);
+  override_field("twoQubitJointMeasurementTime", q.two_qubit_joint_measurement_time_ns);
+  override_field("tGateTime", q.t_gate_time_ns);
+  override_field("oneQubitMeasurementErrorRate", q.one_qubit_measurement_error_rate);
+  override_field("oneQubitGateErrorRate", q.one_qubit_gate_error_rate);
+  override_field("twoQubitGateErrorRate", q.two_qubit_gate_error_rate);
+  override_field("twoQubitJointMeasurementErrorRate", q.two_qubit_joint_measurement_error_rate);
+  override_field("tGateErrorRate", q.t_gate_error_rate);
+  override_field("idleErrorRate", q.idle_error_rate);
+  q.validate();
+  return q;
+}
+
+json::Value QubitParams::to_json() const {
+  json::Object o;
+  o.emplace_back("name", name);
+  o.emplace_back("instructionSet", std::string(to_string(instruction_set)));
+  o.emplace_back("oneQubitMeasurementTime", one_qubit_measurement_time_ns);
+  if (instruction_set == InstructionSet::kGateBased) {
+    o.emplace_back("oneQubitGateTime", one_qubit_gate_time_ns);
+    o.emplace_back("twoQubitGateTime", two_qubit_gate_time_ns);
+  } else {
+    o.emplace_back("twoQubitJointMeasurementTime", two_qubit_joint_measurement_time_ns);
+  }
+  o.emplace_back("tGateTime", t_gate_time_ns);
+  o.emplace_back("oneQubitMeasurementErrorRate", one_qubit_measurement_error_rate);
+  if (instruction_set == InstructionSet::kGateBased) {
+    o.emplace_back("oneQubitGateErrorRate", one_qubit_gate_error_rate);
+    o.emplace_back("twoQubitGateErrorRate", two_qubit_gate_error_rate);
+  } else {
+    o.emplace_back("twoQubitJointMeasurementErrorRate", two_qubit_joint_measurement_error_rate);
+  }
+  o.emplace_back("tGateErrorRate", t_gate_error_rate);
+  o.emplace_back("idleErrorRate", idle_error_rate);
+  return json::Value(std::move(o));
+}
+
+double QubitParams::clifford_error_rate() const {
+  double worst = std::max(one_qubit_measurement_error_rate, idle_error_rate);
+  if (instruction_set == InstructionSet::kGateBased) {
+    worst = std::max({worst, one_qubit_gate_error_rate, two_qubit_gate_error_rate});
+  } else {
+    worst = std::max(worst, two_qubit_joint_measurement_error_rate);
+  }
+  return worst;
+}
+
+double QubitParams::readout_error_rate() const { return one_qubit_measurement_error_rate; }
+
+void QubitParams::validate() const {
+  auto check_time = [this](double t, const char* what) {
+    QRE_REQUIRE(t > 0.0, "qubit model '" + name + "': " + what + " must be positive");
+  };
+  auto check_rate = [this](double r, const char* what) {
+    QRE_REQUIRE(r > 0.0 && r < 1.0,
+                "qubit model '" + name + "': " + what + " must be in (0, 1)");
+  };
+  check_time(one_qubit_measurement_time_ns, "oneQubitMeasurementTime");
+  check_time(t_gate_time_ns, "tGateTime");
+  check_rate(one_qubit_measurement_error_rate, "oneQubitMeasurementErrorRate");
+  check_rate(t_gate_error_rate, "tGateErrorRate");
+  check_rate(idle_error_rate, "idleErrorRate");
+  if (instruction_set == InstructionSet::kGateBased) {
+    check_time(one_qubit_gate_time_ns, "oneQubitGateTime");
+    check_time(two_qubit_gate_time_ns, "twoQubitGateTime");
+    check_rate(one_qubit_gate_error_rate, "oneQubitGateErrorRate");
+    check_rate(two_qubit_gate_error_rate, "twoQubitGateErrorRate");
+  } else {
+    check_time(two_qubit_joint_measurement_time_ns, "twoQubitJointMeasurementTime");
+    check_rate(two_qubit_joint_measurement_error_rate, "twoQubitJointMeasurementErrorRate");
+  }
+}
+
+}  // namespace qre

@@ -1,0 +1,172 @@
+#include "qec/qec_scheme.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace qre {
+
+QecScheme::QecScheme(std::string name, double threshold, double prefactor, Formula cycle_time,
+                     Formula physical_qubits)
+    : name_(std::move(name)),
+      threshold_(threshold),
+      crossing_prefactor_(prefactor),
+      logical_cycle_time_(std::move(cycle_time)),
+      physical_qubits_per_logical_qubit_(std::move(physical_qubits)) {}
+
+QecScheme QecScheme::surface_code_gate_based() {
+  return QecScheme(
+      "surface_code", 0.01, 0.03,
+      Formula::parse("(4 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance"),
+      Formula::parse("2 * codeDistance * codeDistance"));
+}
+
+QecScheme QecScheme::surface_code_majorana() {
+  return QecScheme("surface_code", 0.0015, 0.08,
+                   Formula::parse("20 * oneQubitMeasurementTime * codeDistance"),
+                   Formula::parse("2 * codeDistance * codeDistance"));
+}
+
+QecScheme QecScheme::floquet_code() {
+  return QecScheme("floquet_code", 0.01, 0.07,
+                   Formula::parse("3 * oneQubitMeasurementTime * codeDistance"),
+                   Formula::parse("4 * codeDistance * codeDistance + 8 * (codeDistance - 1)"));
+}
+
+QecScheme QecScheme::default_for(InstructionSet set) {
+  return set == InstructionSet::kGateBased ? surface_code_gate_based() : floquet_code();
+}
+
+QecScheme QecScheme::from_name(std::string_view name, InstructionSet set) {
+  if (name == "surface_code") {
+    return set == InstructionSet::kGateBased ? surface_code_gate_based()
+                                             : surface_code_majorana();
+  }
+  if (name == "floquet_code") {
+    QRE_REQUIRE(set == InstructionSet::kMajorana,
+                "the floquet_code QEC scheme requires Majorana hardware");
+    return floquet_code();
+  }
+  throw_error("unknown QEC scheme '" + std::string(name) +
+              "'; known schemes: surface_code, floquet_code");
+}
+
+QecScheme QecScheme::from_json(const json::Value& v, InstructionSet set) {
+  QecScheme scheme = default_for(set);
+  if (const json::Value* name = v.find("name")) {
+    scheme = from_name(name->as_string(), set);
+  }
+  if (const json::Value* t = v.find("errorCorrectionThreshold")) {
+    scheme.threshold_ = t->as_double();
+  }
+  if (const json::Value* a = v.find("crossingPrefactor")) {
+    scheme.crossing_prefactor_ = a->as_double();
+  }
+  if (const json::Value* f = v.find("logicalCycleTime")) {
+    scheme.logical_cycle_time_ = Formula::parse(f->as_string());
+  }
+  if (const json::Value* f = v.find("physicalQubitsPerLogicalQubit")) {
+    scheme.physical_qubits_per_logical_qubit_ = Formula::parse(f->as_string());
+  }
+  if (const json::Value* m = v.find("maxCodeDistance")) {
+    scheme.max_code_distance_ = m->as_uint();
+  }
+  QRE_REQUIRE(scheme.threshold_ > 0.0 && scheme.threshold_ < 1.0,
+              "QEC errorCorrectionThreshold must be in (0, 1)");
+  QRE_REQUIRE(scheme.crossing_prefactor_ > 0.0, "QEC crossingPrefactor must be positive");
+  return scheme;
+}
+
+json::Value QecScheme::to_json() const {
+  json::Object o;
+  o.emplace_back("name", name_);
+  o.emplace_back("errorCorrectionThreshold", threshold_);
+  o.emplace_back("crossingPrefactor", crossing_prefactor_);
+  o.emplace_back("logicalCycleTime", logical_cycle_time_.text());
+  o.emplace_back("physicalQubitsPerLogicalQubit", physical_qubits_per_logical_qubit_.text());
+  o.emplace_back("maxCodeDistance", max_code_distance_);
+  return json::Value(std::move(o));
+}
+
+double QecScheme::logical_error_rate(double physical_error_rate,
+                                     std::uint64_t code_distance) const {
+  QRE_REQUIRE(physical_error_rate > 0.0, "physical error rate must be positive");
+  double ratio = physical_error_rate / threshold_;
+  double exponent = static_cast<double>(code_distance + 1) / 2.0;
+  return crossing_prefactor_ * std::pow(ratio, exponent);
+}
+
+std::uint64_t QecScheme::code_distance_for(double physical_error_rate,
+                                           double required_logical_error_rate) const {
+  QRE_REQUIRE(required_logical_error_rate > 0.0, "required logical error rate must be positive");
+  if (physical_error_rate >= threshold_) {
+    std::ostringstream os;
+    os << "QEC scheme '" << name_ << "': physical error rate " << physical_error_rate
+       << " is not below the threshold " << threshold_
+       << "; error correction cannot reach the target logical error rate";
+    throw_error(os.str());
+  }
+  for (std::uint64_t d = 1; d <= max_code_distance_; d += 2) {
+    if (logical_error_rate(physical_error_rate, d) <= required_logical_error_rate) return d;
+  }
+  std::ostringstream os;
+  os << "QEC scheme '" << name_ << "': required logical error rate "
+     << required_logical_error_rate << " needs a code distance above the maximum "
+     << max_code_distance_;
+  throw_error(os.str());
+}
+
+Environment qec_formula_environment(const QubitParams& qubit, std::uint64_t code_distance) {
+  Environment env;
+  env.set("codeDistance", static_cast<double>(code_distance));
+  env.set("oneQubitMeasurementTime", qubit.one_qubit_measurement_time_ns);
+  env.set("tGateTime", qubit.t_gate_time_ns);
+  if (qubit.instruction_set == InstructionSet::kGateBased) {
+    env.set("oneQubitGateTime", qubit.one_qubit_gate_time_ns);
+    env.set("twoQubitGateTime", qubit.two_qubit_gate_time_ns);
+  } else {
+    env.set("twoQubitJointMeasurementTime", qubit.two_qubit_joint_measurement_time_ns);
+  }
+  return env;
+}
+
+double QecScheme::logical_cycle_time_ns(const QubitParams& qubit,
+                                        std::uint64_t code_distance) const {
+  Environment env = qec_formula_environment(qubit, code_distance);
+  double t = logical_cycle_time_.evaluate(env);
+  QRE_REQUIRE(t > 0.0, "QEC scheme '" + name_ + "': logical cycle time must be positive");
+  return t;
+}
+
+std::uint64_t QecScheme::physical_qubits_per_logical_qubit(std::uint64_t code_distance) const {
+  Environment env;
+  env.set("codeDistance", static_cast<double>(code_distance));
+  double q = physical_qubits_per_logical_qubit_.evaluate(env);
+  QRE_REQUIRE(q >= 1.0,
+              "QEC scheme '" + name_ + "': physical qubits per logical qubit must be >= 1");
+  return ceil_to_u64(q);
+}
+
+LogicalQubit LogicalQubit::create(const QubitParams& qubit, const QecScheme& scheme,
+                                  std::uint64_t code_distance) {
+  LogicalQubit lq;
+  lq.code_distance = code_distance;
+  lq.physical_qubits = scheme.physical_qubits_per_logical_qubit(code_distance);
+  lq.cycle_time_ns = scheme.logical_cycle_time_ns(qubit, code_distance);
+  lq.logical_error_rate = scheme.logical_error_rate(qubit.clifford_error_rate(), code_distance);
+  return lq;
+}
+
+json::Value LogicalQubit::to_json() const {
+  json::Object o;
+  o.emplace_back("codeDistance", code_distance);
+  o.emplace_back("physicalQubits", physical_qubits);
+  o.emplace_back("logicalCycleTime", cycle_time_ns);
+  o.emplace_back("logicalErrorRate", logical_error_rate);
+  o.emplace_back("logicalClockFrequency", clock_frequency_hz());
+  return json::Value(std::move(o));
+}
+
+}  // namespace qre

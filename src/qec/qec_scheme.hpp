@@ -1,0 +1,114 @@
+// Quantum error correction schemes (paper Sections III-C and IV-C2).
+//
+// A QEC scheme is described by two numeric parameters — the error-correction
+// threshold p* and the crossing pre-factor a — and two formula parameters:
+// the logical cycle time and the number of physical qubits per logical
+// qubit, both functions of the code distance and the physical operation
+// times. The logical error rate per logical qubit per logical cycle at code
+// distance d is modelled as
+//
+//     P(d) = a * (p / p*) ^ ((d + 1) / 2)
+//
+// where p is the representative physical (Clifford) error rate. Given a
+// target logical error rate, the scheme computes the smallest odd code
+// distance d with P(d) <= target.
+//
+// Defaults match the tool's presets: the surface code for both instruction
+// sets and the floquet (Hastings-Haah) code for Majorana hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "formula/formula.hpp"
+#include "json/json.hpp"
+#include "profiles/qubit_params.hpp"
+
+namespace qre {
+
+/// A quantum error correction scheme with formula-driven overheads.
+class QecScheme {
+ public:
+  /// Gate-based surface code: p* = 0.01, a = 0.03,
+  /// cycle = (4*t_2q + 2*t_meas)*d, qubits = 2*d^2.
+  static QecScheme surface_code_gate_based();
+
+  /// Majorana surface code: p* = 0.0015, a = 0.08,
+  /// cycle = 20*t_meas*d, qubits = 2*d^2.
+  static QecScheme surface_code_majorana();
+
+  /// Floquet / Hastings-Haah code (Majorana hardware): p* = 0.01, a = 0.07,
+  /// cycle = 3*t_meas*d, qubits = 4*d^2 + 8*(d-1).
+  static QecScheme floquet_code();
+
+  /// Default scheme for an instruction set: surface code for gate-based,
+  /// floquet code for Majorana (as used in the paper's Figures 3 and 4).
+  static QecScheme default_for(InstructionSet set);
+
+  /// Lookup by name: "surface_code" (instruction-set dependent) or
+  /// "floquet_code" (Majorana only; throws for gate-based).
+  static QecScheme from_name(std::string_view name, InstructionSet set);
+
+  /// Customization from JSON: an optional "name" preset plus any of
+  /// "errorCorrectionThreshold", "crossingPrefactor", "logicalCycleTime",
+  /// "physicalQubitsPerLogicalQubit", "maxCodeDistance" overrides.
+  static QecScheme from_json(const json::Value& v, InstructionSet set);
+
+  json::Value to_json() const;
+
+  const std::string& name() const { return name_; }
+  double threshold() const { return threshold_; }
+  double crossing_prefactor() const { return crossing_prefactor_; }
+  std::uint64_t max_code_distance() const { return max_code_distance_; }
+
+  /// P(d) for the given physical error rate; requires p < p*.
+  double logical_error_rate(double physical_error_rate, std::uint64_t code_distance) const;
+
+  /// Smallest odd distance d with P(d) <= required; throws qre::Error when
+  /// the physical error rate is at/above threshold or when the distance
+  /// would exceed max_code_distance().
+  std::uint64_t code_distance_for(double physical_error_rate,
+                                  double required_logical_error_rate) const;
+
+  /// Logical cycle duration in nanoseconds at the given distance.
+  double logical_cycle_time_ns(const QubitParams& qubit, std::uint64_t code_distance) const;
+
+  /// Physical qubits making up one logical qubit at the given distance.
+  std::uint64_t physical_qubits_per_logical_qubit(std::uint64_t code_distance) const;
+
+ private:
+  QecScheme(std::string name, double threshold, double prefactor, Formula cycle_time,
+            Formula physical_qubits);
+
+  std::string name_;
+  double threshold_;
+  double crossing_prefactor_;
+  Formula logical_cycle_time_;
+  Formula physical_qubits_per_logical_qubit_;
+  std::uint64_t max_code_distance_ = 51;
+};
+
+/// One logical qubit patch: the QEC parameters the estimator reports
+/// (paper Section IV-D3).
+struct LogicalQubit {
+  std::uint64_t code_distance = 0;
+  std::uint64_t physical_qubits = 0;
+  double cycle_time_ns = 0.0;
+  /// Error rate per logical qubit per logical cycle.
+  double logical_error_rate = 0.0;
+
+  /// Logical clock frequency in Hz (inverse cycle time).
+  double clock_frequency_hz() const { return 1e9 / cycle_time_ns; }
+
+  static LogicalQubit create(const QubitParams& qubit, const QecScheme& scheme,
+                             std::uint64_t code_distance);
+
+  json::Value to_json() const;
+};
+
+/// Binds the formula variables (operation times and code distance) for a
+/// qubit model; exposed for custom formulas in tests and examples.
+Environment qec_formula_environment(const QubitParams& qubit, std::uint64_t code_distance);
+
+}  // namespace qre

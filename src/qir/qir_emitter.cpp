@@ -1,0 +1,134 @@
+#include "qir/qir_emitter.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qre::qir {
+
+QirEmitter::QirEmitter(std::string entry_name) : entry_name_(std::move(entry_name)) {}
+
+std::string QirEmitter::qubit_arg(QubitId q) {
+  num_qubits_ = std::max<std::uint64_t>(num_qubits_, static_cast<std::uint64_t>(q) + 1);
+  std::ostringstream os;
+  os << "%Qubit* inttoptr (i64 " << q << " to %Qubit*)";
+  return os.str();
+}
+
+void QirEmitter::call(std::string_view intrinsic, std::string_view args) {
+  body_ += "  call void @__quantum__qis__";
+  body_ += intrinsic;
+  body_ += "(";
+  body_ += args;
+  body_ += ")\n";
+}
+
+void QirEmitter::on_gate1(Gate g, QubitId q) {
+  std::string name;
+  switch (g) {
+    case Gate::kX: name = "x__body"; break;
+    case Gate::kY: name = "y__body"; break;
+    case Gate::kZ: name = "z__body"; break;
+    case Gate::kH: name = "h__body"; break;
+    case Gate::kS: name = "s__body"; break;
+    case Gate::kSdg: name = "s__adj"; break;
+    case Gate::kT: name = "t__body"; break;
+    case Gate::kTdg: name = "t__adj"; break;
+    default: throw_error("QIR emitter: unsupported single-qubit gate");
+  }
+  call(name, qubit_arg(q));
+}
+
+void QirEmitter::on_rotation(Gate g, double angle, QubitId q) {
+  std::string name;
+  switch (g) {
+    case Gate::kRx: name = "rx__body"; break;
+    case Gate::kRy: name = "ry__body"; break;
+    case Gate::kRz: name = "rz__body"; break;
+    case Gate::kR1: name = "r1__body"; break;
+    default: throw_error("QIR emitter: unsupported rotation gate");
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "double %.17g, ", angle);
+  call(name, buf + qubit_arg(q));
+}
+
+void QirEmitter::on_gate2(Gate g, QubitId a, QubitId b) {
+  std::string name;
+  switch (g) {
+    case Gate::kCx: name = "cnot__body"; break;
+    case Gate::kCz: name = "cz__body"; break;
+    case Gate::kSwap: name = "swap__body"; break;
+    default: throw_error("QIR emitter: unsupported two-qubit gate");
+  }
+  call(name, qubit_arg(a) + ", " + qubit_arg(b));
+}
+
+void QirEmitter::on_gate3(Gate g, QubitId a, QubitId b, QubitId c) {
+  std::string name;
+  switch (g) {
+    case Gate::kCcx: name = "ccx__body"; break;
+    case Gate::kCcz: name = "ccz__body"; break;
+    case Gate::kCcix: name = "ccix__body"; break;
+    default: throw_error("QIR emitter: unsupported three-qubit gate");
+  }
+  call(name, qubit_arg(a) + ", " + qubit_arg(b) + ", " + qubit_arg(c));
+}
+
+bool QirEmitter::on_measure(Gate basis, QubitId q) {
+  std::ostringstream result;
+  result << ", %Result* inttoptr (i64 " << num_results_++ << " to %Result*)";
+  call(basis == Gate::kMz ? "mz__body" : "mx__body", qubit_arg(q) + result.str());
+  return false;
+}
+
+void QirEmitter::on_reset(QubitId q) { call("reset__body", qubit_arg(q)); }
+
+std::string QirEmitter::finish() const {
+  std::ostringstream os;
+  os << "; QIR base-profile module emitted by qre\n";
+  os << "%Qubit = type opaque\n%Result = type opaque\n\n";
+  os << "define void @" << entry_name_ << "() #0 {\nentry:\n";
+  os << body_;
+  os << "  ret void\n}\n\n";
+  // Declarations for every intrinsic referenced in the body.
+  std::set<std::string> intrinsics;
+  std::size_t pos = 0;
+  static constexpr std::string_view kPrefix = "@__quantum__qis__";
+  while ((pos = body_.find(kPrefix, pos)) != std::string::npos) {
+    std::size_t name_start = pos + 1;  // include "__quantum..." without '@'
+    std::size_t paren = body_.find('(', pos);
+    intrinsics.insert(body_.substr(name_start, paren - name_start));
+    pos = paren;
+  }
+  for (const std::string& name : intrinsics) {
+    os << "declare void @" << name << "(";
+    bool has_angle = name.find("rx") != std::string::npos ||
+                     name.find("ry") != std::string::npos ||
+                     name.find("rz") != std::string::npos ||
+                     name.find("r1") != std::string::npos;
+    bool has_result =
+        name.find("mz") != std::string::npos || name.find("mx") != std::string::npos;
+    if (has_angle) os << "double, ";
+    os << "%Qubit*";
+    std::string short_name = name;
+    if (name.find("cnot") != std::string::npos || name.find("cz__") != std::string::npos ||
+        name.find("swap") != std::string::npos) {
+      os << ", %Qubit*";
+    }
+    if (name.find("ccx") != std::string::npos || name.find("ccz") != std::string::npos ||
+        name.find("ccix") != std::string::npos) {
+      os << ", %Qubit*, %Qubit*";
+    }
+    if (has_result) os << ", %Result*";
+    os << ")\n";
+  }
+  os << "\nattributes #0 = { \"entry_point\" \"required_num_qubits\"=\"" << num_qubits_
+     << "\" \"required_num_results\"=\"" << num_results_ << "\" }\n";
+  return os.str();
+}
+
+}  // namespace qre::qir

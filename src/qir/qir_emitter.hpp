@@ -1,0 +1,45 @@
+// QIR emitter: writes a traced program as QIR base-profile text.
+//
+// Together with the reader this round-trips programs through the
+// intermediate representation, mirroring how the tool lowers high-level
+// programs to QIR before counting (paper Section IV-B1). Measurements are
+// emitted with fresh %Result operands and report outcome `false` to the
+// caller (like the counting backend), so classically controlled fix-ups are
+// skipped — they are Clifford-only in this library's gadgets and do not
+// affect estimates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/backend.hpp"
+
+namespace qre::qir {
+
+class QirEmitter final : public Backend {
+ public:
+  /// `entry_name` is the LLVM function name of the entry point.
+  explicit QirEmitter(std::string entry_name = "main");
+
+  void on_gate1(Gate g, QubitId q) override;
+  void on_rotation(Gate g, double angle, QubitId q) override;
+  void on_gate2(Gate g, QubitId a, QubitId b) override;
+  void on_gate3(Gate g, QubitId a, QubitId b, QubitId c) override;
+  bool on_measure(Gate basis, QubitId q) override;
+  void on_reset(QubitId q) override;
+  bool counting_only() const override { return true; }
+
+  /// Assembles the complete module text.
+  std::string finish() const;
+
+ private:
+  void call(std::string_view intrinsic, std::string_view args);
+  std::string qubit_arg(QubitId q);
+
+  std::string entry_name_;
+  std::string body_;
+  std::uint64_t num_qubits_ = 0;
+  std::uint64_t num_results_ = 0;
+};
+
+}  // namespace qre::qir

@@ -1,0 +1,235 @@
+#include "qir/qir_reader.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qre::qir {
+
+namespace {
+
+struct Call {
+  std::string name;                 // intrinsic short name, e.g. "cnot"
+  std::vector<QubitId> qubits;      // qubit operands in order
+  std::optional<double> angle;      // first double operand if present
+};
+
+/// Extracts the next intrinsic call from a line, if any.
+std::optional<Call> parse_line(std::string_view line, std::size_t line_no) {
+  static constexpr std::string_view kPrefix = "@__quantum__qis__";
+  std::size_t at = line.find(kPrefix);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t name_start = at + kPrefix.size();
+  std::size_t paren = line.find('(', name_start);
+  QRE_REQUIRE(paren != std::string_view::npos,
+              "QIR line " + std::to_string(line_no) + ": intrinsic call without '('");
+  std::string name(line.substr(name_start, paren - name_start));
+  // Strip the __body suffix; keep __adj distinct (t__adj, s__adj).
+  static constexpr std::string_view kBody = "__body";
+  if (name.size() > kBody.size() &&
+      name.compare(name.size() - kBody.size(), kBody.size(), kBody) == 0) {
+    name.resize(name.size() - kBody.size());
+  }
+
+  // Find the matching close paren (args may contain nested parens from
+  // inttoptr expressions).
+  int depth = 1;
+  std::size_t pos = paren + 1;
+  std::size_t args_end = std::string_view::npos;
+  for (; pos < line.size(); ++pos) {
+    if (line[pos] == '(') ++depth;
+    if (line[pos] == ')') {
+      --depth;
+      if (depth == 0) {
+        args_end = pos;
+        break;
+      }
+    }
+  }
+  QRE_REQUIRE(args_end != std::string_view::npos,
+              "QIR line " + std::to_string(line_no) + ": unterminated argument list");
+  std::string_view args = line.substr(paren + 1, args_end - paren - 1);
+
+  Call call;
+  call.name = std::move(name);
+
+  // Split on top-level commas.
+  depth = 0;
+  std::size_t start = 0;
+  std::vector<std::string_view> parts;
+  for (std::size_t i = 0; i <= args.size(); ++i) {
+    if (i == args.size() || (args[i] == ',' && depth == 0)) {
+      if (i > start) parts.push_back(args.substr(start, i - start));
+      start = i + 1;
+    } else if (args[i] == '(') {
+      ++depth;
+    } else if (args[i] == ')') {
+      --depth;
+    }
+  }
+
+  for (std::string_view part : parts) {
+    if (part.find("%Result") != std::string_view::npos) continue;  // result operand
+    if (part.find("%Qubit") != std::string_view::npos) {
+      std::uint64_t id = 0;
+      std::size_t ip = part.find("inttoptr");
+      if (ip == std::string_view::npos) {
+        // "%Qubit* null" denotes qubit 0.
+        QRE_REQUIRE(part.find("null") != std::string_view::npos,
+                    "QIR line " + std::to_string(line_no) + ": unsupported qubit operand");
+      } else {
+        std::size_t i64 = part.find("i64", ip);
+        QRE_REQUIRE(i64 != std::string_view::npos,
+                    "QIR line " + std::to_string(line_no) + ": malformed inttoptr operand");
+        std::size_t p = i64 + 3;
+        while (p < part.size() && std::isspace(static_cast<unsigned char>(part[p]))) ++p;
+        std::size_t digits_start = p;
+        while (p < part.size() && std::isdigit(static_cast<unsigned char>(part[p]))) ++p;
+        QRE_REQUIRE(p > digits_start,
+                    "QIR line " + std::to_string(line_no) + ": missing qubit index");
+        id = std::stoull(std::string(part.substr(digits_start, p - digits_start)));
+      }
+      call.qubits.push_back(static_cast<QubitId>(id));
+      continue;
+    }
+    std::size_t dbl = part.find("double");
+    if (dbl != std::string_view::npos) {
+      std::string text(part.substr(dbl + 6));
+      try {
+        call.angle = std::stod(text);
+      } catch (const std::exception&) {
+        throw_error("QIR line " + std::to_string(line_no) + ": malformed double operand '" +
+                    text + "'");
+      }
+      continue;
+    }
+    // Other operand kinds (i64 immediates etc.) are not used by the
+    // recognized intrinsics.
+  }
+  return call;
+}
+
+void require_qubits(const Call& c, std::size_t n, std::size_t line_no) {
+  QRE_REQUIRE(c.qubits.size() == n, "QIR line " + std::to_string(line_no) + ": intrinsic '" +
+                                        c.name + "' expects " + std::to_string(n) +
+                                        " qubit operand(s)");
+}
+
+}  // namespace
+
+void replay(std::string_view qir_text, Backend& backend) {
+  // First pass: collect calls and the maximum qubit id.
+  std::vector<std::pair<Call, std::size_t>> calls;
+  std::uint64_t max_qubit = 0;
+  bool any_qubit = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= qir_text.size()) {
+    std::size_t eol = qir_text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = qir_text.size();
+    std::string_view line = qir_text.substr(pos, eol - pos);
+    ++line_no;
+    pos = eol + 1;
+    // Runtime calls (array/result bookkeeping) are transport, not gates, and
+    // declarations merely name intrinsics without invoking them.
+    if (line.find("@__quantum__rt__") != std::string_view::npos) continue;
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string_view::npos && line.substr(first, 8) == "declare ") continue;
+    std::optional<Call> call = parse_line(line, line_no);
+    if (!call.has_value()) continue;
+    for (QubitId q : call->qubits) {
+      max_qubit = std::max<std::uint64_t>(max_qubit, q);
+      any_qubit = true;
+    }
+    calls.emplace_back(std::move(*call), line_no);
+    if (pos > qir_text.size()) break;
+  }
+
+  std::uint64_t num_qubits = any_qubit ? max_qubit + 1 : 0;
+  for (std::uint64_t q = 0; q < num_qubits; ++q) {
+    backend.on_allocate(static_cast<QubitId>(q), q + 1);
+  }
+
+  for (const auto& [c, ln] : calls) {
+    const std::string& n = c.name;
+    auto q = [&](std::size_t i) { return c.qubits[i]; };
+    if (n == "x" || n == "y" || n == "z" || n == "h" || n == "s" || n == "t") {
+      require_qubits(c, 1, ln);
+      Gate g = n == "x"   ? Gate::kX
+               : n == "y" ? Gate::kY
+               : n == "z" ? Gate::kZ
+               : n == "h" ? Gate::kH
+               : n == "s" ? Gate::kS
+                          : Gate::kT;
+      backend.on_gate1(g, q(0));
+    } else if (n == "s__adj") {
+      require_qubits(c, 1, ln);
+      backend.on_gate1(Gate::kSdg, q(0));
+    } else if (n == "t__adj") {
+      require_qubits(c, 1, ln);
+      backend.on_gate1(Gate::kTdg, q(0));
+    } else if (n == "rx" || n == "ry" || n == "rz" || n == "r1") {
+      require_qubits(c, 1, ln);
+      QRE_REQUIRE(c.angle.has_value(),
+                  "QIR line " + std::to_string(ln) + ": rotation without angle");
+      Gate g = n == "rx"   ? Gate::kRx
+               : n == "ry" ? Gate::kRy
+               : n == "rz" ? Gate::kRz
+                           : Gate::kR1;
+      backend.on_rotation(g, *c.angle, q(0));
+    } else if (n == "cnot" || n == "cx") {
+      require_qubits(c, 2, ln);
+      backend.on_gate2(Gate::kCx, q(0), q(1));
+    } else if (n == "cz") {
+      require_qubits(c, 2, ln);
+      backend.on_gate2(Gate::kCz, q(0), q(1));
+    } else if (n == "swap") {
+      require_qubits(c, 2, ln);
+      backend.on_gate2(Gate::kSwap, q(0), q(1));
+    } else if (n == "ccx" || n == "toffoli") {
+      require_qubits(c, 3, ln);
+      backend.on_gate3(Gate::kCcx, q(0), q(1), q(2));
+    } else if (n == "ccz") {
+      require_qubits(c, 3, ln);
+      backend.on_gate3(Gate::kCcz, q(0), q(1), q(2));
+    } else if (n == "ccix") {
+      require_qubits(c, 3, ln);
+      backend.on_gate3(Gate::kCcix, q(0), q(1), q(2));
+    } else if (n == "mz" || n == "m" || n == "measure") {
+      require_qubits(c, 1, ln);
+      backend.on_measure(Gate::kMz, q(0));
+    } else if (n == "mresetz") {
+      require_qubits(c, 1, ln);
+      backend.on_measure(Gate::kMz, q(0));
+      backend.on_reset(q(0));
+    } else if (n == "mx") {
+      require_qubits(c, 1, ln);
+      backend.on_measure(Gate::kMx, q(0));
+    } else if (n == "reset") {
+      require_qubits(c, 1, ln);
+      backend.on_reset(q(0));
+    } else {
+      throw_error("QIR line " + std::to_string(ln) + ": unknown intrinsic '__quantum__qis__" +
+                  n + "'");
+    }
+  }
+
+  for (std::uint64_t q = num_qubits; q > 0; --q) {
+    backend.on_release(static_cast<QubitId>(q - 1), q - 1);
+  }
+}
+
+void replay_file(const std::string& path, Backend& backend) {
+  std::ifstream in(path, std::ios::binary);
+  QRE_REQUIRE(in.good(), "cannot open QIR file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string text = ss.str();
+  replay(text, backend);
+}
+
+}  // namespace qre::qir

@@ -1,0 +1,31 @@
+// QIR reader (paper Section IV-B2).
+//
+// The tool accepts programs as Quantum Intermediate Representation; this
+// reader consumes the QIR *base profile* textual form — fully unrolled
+// modules whose bodies are sequences of `call @__quantum__qis__*` intrinsic
+// invocations with pointer-literal qubit/result operands — and replays them
+// onto a Backend. That covers QIR emitted by PyQIR-style generators and by
+// this library's own QirEmitter.
+//
+// Recognized intrinsics: x, y, z, h, s, s__adj, t, t__adj, rx, ry, rz, r1,
+// cnot/cx, cz, swap, ccx, ccz, ccix, mz/m/mresetz, mx, reset.
+// Lines that are not intrinsic calls (declarations, attributes, labels,
+// comments) are ignored, as are `__quantum__rt__` runtime calls.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "circuit/backend.hpp"
+
+namespace qre::qir {
+
+/// Replays QIR text onto the backend: allocates the module's qubits,
+/// replays all intrinsic calls, then releases the qubits. Throws qre::Error
+/// on malformed intrinsic calls or unknown __quantum__qis__ intrinsics.
+void replay(std::string_view qir_text, Backend& backend);
+
+/// Reads the file and replays it.
+void replay_file(const std::string& path, Backend& backend);
+
+}  // namespace qre::qir

@@ -1,0 +1,172 @@
+#include "report/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/format.hpp"
+
+namespace qre {
+
+const std::vector<std::string>& estimator_assumptions() {
+  static const std::vector<std::string> kAssumptions = {
+      "Uniform, independent physical noise at the specified rates.",
+      "Planar quantum ISA: 2D nearest-neighbor connectivity with alternating "
+      "algorithmic and auxiliary logical qubit rows; program connectivity is "
+      "not analyzed to reduce the layout overhead.",
+      "Logical error rate model P(d) = a * (p/p*)^((d+1)/2).",
+      "Each CCZ/CCiX consumes 4 T states and 3 logical cycles; T gates and "
+      "measurements take 1 logical cycle each.",
+      "Arbitrary rotations are synthesized with ceil(0.53*log2(R/eps) + 5.3) "
+      "T gates per rotation.",
+      "T factories run in parallel with the algorithm and rounds reuse "
+      "qubits; unit failures are handled in expectation.",
+      "Distillation unit footprints are the reconstructed defaults described "
+      "in DESIGN.md.",
+  };
+  return kAssumptions;
+}
+
+json::Value report_to_json(const ResourceEstimate& e) {
+  json::Object root;
+
+  json::Object physical;
+  physical.emplace_back("physicalQubits", e.total_physical_qubits);
+  physical.emplace_back("runtime", e.runtime_ns);
+  physical.emplace_back("rqops", e.rqops);
+  root.emplace_back("physicalCounts", json::Value(std::move(physical)));
+
+  json::Object breakdown;
+  breakdown.emplace_back("algorithmicLogicalQubits", e.algorithmic_logical_qubits);
+  breakdown.emplace_back("algorithmicLogicalDepth", e.algorithmic_logical_depth);
+  breakdown.emplace_back("logicalDepth", e.logical_depth);
+  breakdown.emplace_back("logicalDepthFactor", e.logical_depth_factor);
+  breakdown.emplace_back("numTstates", e.num_tstates);
+  breakdown.emplace_back("numTfactories", e.num_t_factories);
+  breakdown.emplace_back("numTfactoryRuns", e.num_t_factory_invocations);
+  breakdown.emplace_back("numInvocationsPerTfactory", e.num_invocations_per_factory);
+  breakdown.emplace_back("physicalQubitsForAlgorithm", e.physical_qubits_for_algorithm);
+  breakdown.emplace_back("physicalQubitsForTfactories", e.physical_qubits_for_tfactories);
+  breakdown.emplace_back("requiredLogicalQubitErrorRate", e.required_logical_qubit_error_rate);
+  breakdown.emplace_back("requiredTstateErrorRate", e.required_tstate_error_rate);
+  breakdown.emplace_back("numTsPerRotation", e.num_ts_per_rotation);
+  breakdown.emplace_back("clockFrequency", e.clock_frequency_hz);
+  breakdown.emplace_back("logicalOperations", e.logical_operations);
+  root.emplace_back("physicalCountsBreakdown", json::Value(std::move(breakdown)));
+
+  root.emplace_back("logicalQubit", e.logical_qubit.to_json());
+  if (e.tfactory.has_value()) {
+    root.emplace_back("tfactory", e.tfactory->to_json());
+  } else {
+    root.emplace_back("tfactory", json::Value(nullptr));
+  }
+  root.emplace_back("logicalCounts", e.pre_layout.to_json());
+
+  json::Object budget;
+  budget.emplace_back("logical", e.budget.logical);
+  budget.emplace_back("tstates", e.budget.tstates);
+  budget.emplace_back("rotations", e.budget.rotations);
+  budget.emplace_back("achievedLogical", e.achieved_logical_error);
+  budget.emplace_back("achievedTstates", e.achieved_tstate_error);
+  root.emplace_back("errorBudget", json::Value(std::move(budget)));
+
+  root.emplace_back("physicalQubitParameters", e.qubit.to_json());
+  root.emplace_back("qecScheme", e.qec.to_json());
+
+  json::Array assumptions;
+  for (const std::string& a : estimator_assumptions()) assumptions.emplace_back(a);
+  root.emplace_back("assumptions", json::Value(std::move(assumptions)));
+
+  return json::Value(std::move(root));
+}
+
+std::string report_to_text(const ResourceEstimate& e) {
+  std::ostringstream os;
+  os << "=== Physical resource estimates ===\n";
+  os << "  Physical qubits:           " << format_count(e.total_physical_qubits) << "\n";
+  os << "  Runtime:                   " << format_duration_ns(e.runtime_ns) << "\n";
+  os << "  rQOPS:                     " << format_sci(e.rqops) << "\n";
+
+  os << "=== Resource estimates breakdown ===\n";
+  os << "  Logical qubits (layout):   " << format_count(e.algorithmic_logical_qubits) << "\n";
+  os << "  Algorithmic depth:         " << format_count(e.algorithmic_logical_depth) << "\n";
+  os << "  Logical depth:             " << format_count(e.logical_depth) << "\n";
+  os << "  Logical operations:        " << format_sci(e.logical_operations) << "\n";
+  os << "  Clock frequency:           " << format_sci(e.clock_frequency_hz) << " Hz\n";
+  os << "  T states:                  " << format_count(e.num_tstates) << "\n";
+  os << "  T factories:               " << format_count(e.num_t_factories) << "\n";
+  os << "  T factory runs:            " << format_count(e.num_t_factory_invocations) << "\n";
+  os << "  Qubits (algorithm):        " << format_count(e.physical_qubits_for_algorithm) << "\n";
+  os << "  Qubits (T factories):      " << format_count(e.physical_qubits_for_tfactories)
+     << "\n";
+  if (e.num_ts_per_rotation > 0) {
+    os << "  T states per rotation:     " << e.num_ts_per_rotation << "\n";
+  }
+
+  os << "=== Logical qubit parameters ===\n";
+  os << "  QEC scheme:                " << e.qec.name() << "\n";
+  os << "  Code distance:             " << e.logical_qubit.code_distance << "\n";
+  os << "  Physical qubits/logical:   " << format_count(e.logical_qubit.physical_qubits)
+     << "\n";
+  os << "  Logical cycle time:        " << format_duration_ns(e.logical_qubit.cycle_time_ns)
+     << "\n";
+  os << "  Logical error rate:        " << format_sci(e.logical_qubit.logical_error_rate)
+     << "\n";
+
+  if (e.tfactory.has_value() && !e.tfactory->no_distillation()) {
+    const TFactory& f = *e.tfactory;
+    os << "=== T factory parameters ===\n";
+    os << "  Rounds:                    " << f.rounds.size() << "\n";
+    for (std::size_t i = 0; i < f.rounds.size(); ++i) {
+      const DistillationRound& r = f.rounds[i];
+      os << "    round " << (i + 1) << ": " << r.unit_name << " x" << r.num_units
+         << (r.physical ? " [physical]" : " [d=" + std::to_string(r.code_distance) + "]")
+         << ", " << format_count(r.physical_qubits) << " qubits, "
+         << format_duration_ns(r.duration_ns) << "\n";
+    }
+    os << "  Factory qubits:            " << format_count(f.physical_qubits) << "\n";
+    os << "  Factory duration:          " << format_duration_ns(f.duration_ns) << "\n";
+    os << "  Output T error rate:       " << format_sci(f.output_error_rate) << "\n";
+  }
+
+  os << "=== Pre-layout logical resources ===\n";
+  os << "  Logical qubits (pre):      " << format_count(e.pre_layout.num_qubits) << "\n";
+  os << "  T gates:                   " << format_count(e.pre_layout.t_count) << "\n";
+  os << "  Rotation gates:            " << format_count(e.pre_layout.rotation_count) << "\n";
+  os << "  Rotation depth:            " << format_count(e.pre_layout.rotation_depth) << "\n";
+  os << "  CCZ gates:                 " << format_count(e.pre_layout.ccz_count) << "\n";
+  os << "  CCiX gates:                " << format_count(e.pre_layout.ccix_count) << "\n";
+  os << "  Measurements:              " << format_count(e.pre_layout.measurement_count) << "\n";
+
+  os << "=== Assumed error budget ===\n";
+  os << "  Logical:                   " << format_sci(e.budget.logical) << " (achieved "
+     << format_sci(e.achieved_logical_error) << ")\n";
+  os << "  T states:                  " << format_sci(e.budget.tstates) << " (achieved "
+     << format_sci(e.achieved_tstate_error) << ")\n";
+  os << "  Rotation synthesis:        " << format_sci(e.budget.rotations) << "\n";
+
+  os << "=== Physical qubit parameters ===\n";
+  os << "  Model:                     " << e.qubit.name << " ("
+     << to_string(e.qubit.instruction_set) << ")\n";
+  os << "  Clifford error rate:       " << format_sci(e.qubit.clifford_error_rate()) << "\n";
+  os << "  T gate error rate:         " << format_sci(e.qubit.t_gate_error_rate) << "\n";
+  return os.str();
+}
+
+std::string space_diagram(const ResourceEstimate& e) {
+  std::ostringstream os;
+  double total = static_cast<double>(e.total_physical_qubits);
+  double alg = static_cast<double>(e.physical_qubits_for_algorithm);
+  double fac = static_cast<double>(e.physical_qubits_for_tfactories);
+  int alg_cells = total > 0 ? static_cast<int>(std::lround(40.0 * alg / total)) : 0;
+  os << "physical qubits: " << format_count(e.total_physical_qubits) << "\n";
+  os << "[";
+  for (int i = 0; i < 40; ++i) os << (i < alg_cells ? '#' : '.');
+  os << "]\n";
+  os << "# algorithm   " << format_count(e.physical_qubits_for_algorithm) << " ("
+     << format_sci(total > 0 ? 100.0 * alg / total : 0.0, 3) << "%)\n";
+  os << ". T factories " << format_count(e.physical_qubits_for_tfactories) << " ("
+     << format_sci(total > 0 ? 100.0 * fac / total : 0.0, 3) << "%)\n";
+  return os.str();
+}
+
+}  // namespace qre

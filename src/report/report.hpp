@@ -1,0 +1,31 @@
+// Result reporting (paper Section IV-D).
+//
+// Renders a ResourceEstimate into the tool's eight output groups:
+//   1. physical resource estimates (runtime, rQOPS, physical qubits),
+//   2. resource estimates breakdown,
+//   3. logical qubit parameters,
+//   4. T factory parameters,
+//   5. pre-layout logical resources,
+//   6. assumed error budget,
+//   7. physical qubit parameters,
+//   8. assumptions.
+// Output is available as JSON (the service response shape) and as a
+// human-readable text report; space_diagram() summarizes the physical qubit
+// split between algorithm and T factories.
+#pragma once
+
+#include <string>
+
+#include "core/estimator.hpp"
+#include "json/json.hpp"
+
+namespace qre {
+
+json::Value report_to_json(const ResourceEstimate& estimate);
+std::string report_to_text(const ResourceEstimate& estimate);
+std::string space_diagram(const ResourceEstimate& estimate);
+
+/// The fixed list of modeling assumptions (output group 8).
+const std::vector<std::string>& estimator_assumptions();
+
+}  // namespace qre

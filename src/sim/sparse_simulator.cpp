@@ -1,0 +1,258 @@
+#include "sim/sparse_simulator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+namespace {
+constexpr double kPruneEps = 1e-14;  // squared-amplitude cutoff
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+SparseSimulator::SparseSimulator(std::uint64_t seed) : rng_(seed) {
+  state_.emplace(BasisState{}, Amp(1.0, 0.0));
+}
+
+int SparseSimulator::bit_of(QubitId q) const {
+  QRE_REQUIRE(q < bit_map_.size() && bit_map_[q] >= 0,
+              "simulator: operation on an unallocated qubit");
+  return bit_map_[q];
+}
+
+void SparseSimulator::on_allocate(QubitId q, std::uint64_t) {
+  if (q >= bit_map_.size()) bit_map_.resize(q + 1, -1);
+  QRE_REQUIRE(bit_map_[q] < 0, "simulator: qubit allocated twice");
+  int bit;
+  if (!free_bits_.empty()) {
+    bit = free_bits_.back();
+    free_bits_.pop_back();
+  } else {
+    QRE_REQUIRE(next_bit_ < 128, "simulator: more than 128 simultaneously live qubits");
+    bit = next_bit_++;
+  }
+  bit_map_[q] = bit;
+}
+
+void SparseSimulator::on_release(QubitId q, std::uint64_t) {
+  int bit = bit_of(q);
+  BasisState mask = BasisState::bit(bit);
+  for (const auto& [k, a] : state_) {
+    if (k.any(mask) && std::norm(a) > kPruneEps) {
+      throw_error("simulator: qubit released while not in |0> (uncomputation bug)");
+    }
+  }
+  bit_map_[q] = -1;
+  free_bits_.push_back(bit);
+}
+
+void SparseSimulator::prune() {
+  for (auto it = state_.begin(); it != state_.end();) {
+    if (std::norm(it->second) < kPruneEps) {
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SparseSimulator::apply_1q(QubitId q, Amp m00, Amp m01, Amp m10, Amp m11) {
+  BasisState mask = mask_of(q);
+  StateMap next;
+  next.reserve(state_.size() * 2);
+  for (const auto& [k, a] : state_) {
+    if (!k.any(mask)) {
+      if (std::norm(m00) > 0) next[k] += m00 * a;
+      if (std::norm(m10) > 0) next[k ^ mask] += m10 * a;
+    } else {
+      if (std::norm(m01) > 0) next[k ^ mask] += m01 * a;
+      if (std::norm(m11) > 0) next[k] += m11 * a;
+    }
+  }
+  state_ = std::move(next);
+  prune();
+}
+
+void SparseSimulator::apply_phase(const BasisState& mask, Amp phase) {
+  for (auto& [k, a] : state_) {
+    if (k.covers(mask)) a *= phase;
+  }
+}
+
+void SparseSimulator::apply_controlled_flip(const BasisState& ctrl_mask,
+                                            const BasisState& flip_mask) {
+  StateMap next;
+  next.reserve(state_.size());
+  for (const auto& [k, a] : state_) {
+    if (k.covers(ctrl_mask)) {
+      next[k ^ flip_mask] += a;
+    } else {
+      next[k] += a;
+    }
+  }
+  state_ = std::move(next);
+}
+
+void SparseSimulator::on_gate1(Gate g, QubitId q) {
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  BasisState mask = mask_of(q);
+  switch (g) {
+    case Gate::kX:
+      apply_controlled_flip(BasisState{}, mask);
+      break;
+    case Gate::kY:
+      apply_1q(q, 0, Amp(0, -1), Amp(0, 1), 0);
+      break;
+    case Gate::kZ:
+      apply_phase(mask, Amp(-1, 0));
+      break;
+    case Gate::kH:
+      apply_1q(q, inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2);
+      break;
+    case Gate::kS:
+      apply_phase(mask, Amp(0, 1));
+      break;
+    case Gate::kSdg:
+      apply_phase(mask, Amp(0, -1));
+      break;
+    case Gate::kT:
+      apply_phase(mask, std::polar(1.0, kPi / 4));
+      break;
+    case Gate::kTdg:
+      apply_phase(mask, std::polar(1.0, -kPi / 4));
+      break;
+    default:
+      throw_error("simulator: unsupported single-qubit gate");
+  }
+}
+
+void SparseSimulator::on_rotation(Gate g, double angle, QubitId q) {
+  double half = angle / 2.0;
+  switch (g) {
+    case Gate::kRz:
+      apply_1q(q, std::polar(1.0, -half), 0, 0, std::polar(1.0, half));
+      break;
+    case Gate::kR1:
+      apply_phase(mask_of(q), std::polar(1.0, angle));
+      break;
+    case Gate::kRx:
+      apply_1q(q, std::cos(half), Amp(0, -std::sin(half)), Amp(0, -std::sin(half)),
+               std::cos(half));
+      break;
+    case Gate::kRy:
+      apply_1q(q, std::cos(half), -std::sin(half), std::sin(half), std::cos(half));
+      break;
+    default:
+      throw_error("simulator: unsupported rotation gate");
+  }
+}
+
+void SparseSimulator::on_gate2(Gate g, QubitId a, QubitId b) {
+  switch (g) {
+    case Gate::kCx:
+      apply_controlled_flip(mask_of(a), mask_of(b));
+      break;
+    case Gate::kCz:
+      apply_phase(mask_of(a) | mask_of(b), Amp(-1, 0));
+      break;
+    case Gate::kSwap: {
+      BasisState ma = mask_of(a);
+      BasisState mb = mask_of(b);
+      StateMap next;
+      next.reserve(state_.size());
+      for (const auto& [k, amp] : state_) {
+        bool va = k.any(ma);
+        bool vb = k.any(mb);
+        BasisState key = k;
+        if (va != vb) key = key ^ (ma | mb);
+        next[key] += amp;
+      }
+      state_ = std::move(next);
+      break;
+    }
+    default:
+      throw_error("simulator: unsupported two-qubit gate");
+  }
+}
+
+void SparseSimulator::on_gate3(Gate g, QubitId a, QubitId b, QubitId c) {
+  switch (g) {
+    case Gate::kCcx:
+    case Gate::kCcix:  // Toffoli semantics; see header note
+      apply_controlled_flip(mask_of(a) | mask_of(b), mask_of(c));
+      break;
+    case Gate::kCcz:
+      apply_phase(mask_of(a) | mask_of(b) | mask_of(c), Amp(-1, 0));
+      break;
+    default:
+      throw_error("simulator: unsupported three-qubit gate");
+  }
+}
+
+bool SparseSimulator::project(QubitId q) {
+  BasisState mask = mask_of(q);
+  double p1 = 0.0;
+  for (const auto& [k, a] : state_) {
+    if (k.any(mask)) p1 += std::norm(a);
+  }
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  bool outcome = uniform(rng_) < p1;
+  double keep_prob = outcome ? p1 : 1.0 - p1;
+  QRE_REQUIRE(keep_prob > 0.0, "simulator: measurement of an impossible outcome");
+  double scale = 1.0 / std::sqrt(keep_prob);
+  for (auto it = state_.begin(); it != state_.end();) {
+    bool bit = it->first.any(mask);
+    if (bit != outcome) {
+      it = state_.erase(it);
+    } else {
+      it->second *= scale;
+      ++it;
+    }
+  }
+  return outcome;
+}
+
+bool SparseSimulator::on_measure(Gate basis, QubitId q) {
+  if (basis == Gate::kMz) return project(q);
+  QRE_REQUIRE(basis == Gate::kMx, "simulator: unsupported measurement basis");
+  on_gate1(Gate::kH, q);
+  bool outcome = project(q);
+  on_gate1(Gate::kH, q);  // leave the qubit in the X eigenstate |+>/|->
+  return outcome;
+}
+
+void SparseSimulator::on_reset(QubitId q) {
+  if (project(q)) apply_controlled_flip(BasisState{}, mask_of(q));
+}
+
+double SparseSimulator::probability_one(QubitId q) const {
+  BasisState mask = BasisState::bit(bit_of(q));
+  double p1 = 0.0;
+  for (const auto& [k, a] : state_) {
+    if (k.any(mask)) p1 += std::norm(a);
+  }
+  return p1;
+}
+
+std::uint64_t SparseSimulator::peek_classical(const Register& reg) const {
+  QRE_REQUIRE(reg.size() <= 64, "peek_classical: register wider than 64 bits");
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    double p1 = probability_one(reg[i]);
+    if (p1 > 1.0 - 1e-9) {
+      value |= std::uint64_t{1} << i;
+    } else if (p1 > 1e-9) {
+      throw_error("peek_classical: register bit is in superposition");
+    }
+  }
+  return value;
+}
+
+double SparseSimulator::norm() const {
+  double n = 0.0;
+  for (const auto& [k, a] : state_) n += std::norm(a);
+  return std::sqrt(n);
+}
+
+}  // namespace qre

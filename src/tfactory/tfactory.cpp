@@ -1,0 +1,228 @@
+#include "tfactory/tfactory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace qre {
+
+double TFactory::normalized_volume() const {
+  if (no_distillation()) return 0.0;
+  QRE_ASSERT(tstates_per_invocation > 0.0);
+  return static_cast<double>(physical_qubits) * (duration_ns * 1e-9) / tstates_per_invocation;
+}
+
+json::Value TFactory::to_json() const {
+  json::Object o;
+  o.emplace_back("numRounds", static_cast<std::uint64_t>(rounds.size()));
+  json::Array names, distances, units, qubits, durations, failures, errors;
+  for (const DistillationRound& r : rounds) {
+    names.emplace_back(r.unit_name + (r.physical ? " (physical)" : " (logical)"));
+    distances.emplace_back(r.code_distance);
+    units.emplace_back(r.num_units);
+    qubits.emplace_back(r.physical_qubits);
+    durations.emplace_back(r.duration_ns);
+    failures.emplace_back(r.failure_probability);
+    errors.emplace_back(r.output_error_rate);
+  }
+  o.emplace_back("unitNamePerRound", std::move(names));
+  o.emplace_back("codeDistancePerRound", std::move(distances));
+  o.emplace_back("numUnitsPerRound", std::move(units));
+  o.emplace_back("physicalQubitsPerRound", std::move(qubits));
+  o.emplace_back("runtimePerRound", std::move(durations));
+  o.emplace_back("failureProbabilityPerRound", std::move(failures));
+  o.emplace_back("outputErrorRatePerRound", std::move(errors));
+  o.emplace_back("physicalQubits", physical_qubits);
+  o.emplace_back("runtime", duration_ns);
+  o.emplace_back("inputTErrorRate", input_t_error_rate);
+  o.emplace_back("outputTErrorRate", output_error_rate);
+  o.emplace_back("tstatesPerInvocation", tstates_per_invocation);
+  return json::Value(std::move(o));
+}
+
+namespace {
+
+/// One candidate round configuration prior to unit-count assignment.
+struct RoundChoice {
+  const DistillationUnit* unit = nullptr;
+  bool physical = false;
+  std::uint64_t code_distance = 0;
+};
+
+/// Evaluates a full pipeline; returns nullopt when any round is infeasible
+/// (failure probability too high, not error-reducing) or the final error
+/// misses the requirement.
+std::optional<TFactory> evaluate_pipeline(const std::vector<RoundChoice>& choices,
+                                          double required_output_error,
+                                          const QubitParams& qubit, const QecScheme& scheme,
+                                          const TFactoryOptions& options) {
+  TFactory factory;
+  factory.input_t_error_rate = qubit.t_gate_error_rate;
+
+  double input_error = qubit.t_gate_error_rate;
+  for (const RoundChoice& choice : choices) {
+    const DistillationUnit& unit = *choice.unit;
+    DistillationRound round;
+    round.unit_name = unit.name;
+    round.physical = choice.physical;
+    round.code_distance = choice.code_distance;
+
+    double clifford_error;
+    double readout_error;
+    if (choice.physical) {
+      clifford_error = qubit.clifford_error_rate();
+      readout_error = qubit.readout_error_rate();
+      Environment env = qec_formula_environment(qubit, /*code_distance=*/1);
+      round.duration_ns = unit.duration_at_physical_ns.evaluate(env);
+      round.physical_qubits_per_unit = unit.physical_qubits_at_physical;
+    } else {
+      clifford_error =
+          scheme.logical_error_rate(qubit.clifford_error_rate(), choice.code_distance);
+      readout_error = clifford_error;
+      double cycle = scheme.logical_cycle_time_ns(qubit, choice.code_distance);
+      round.duration_ns = static_cast<double>(unit.duration_in_logical_cycles) * cycle;
+      round.physical_qubits_per_unit =
+          unit.logical_qubits_at_logical *
+          scheme.physical_qubits_per_logical_qubit(choice.code_distance);
+    }
+
+    DistillationOutcome outcome = evaluate_unit(unit, input_error, clifford_error, readout_error);
+    if (outcome.failure_probability >= options.max_round_failure_probability) {
+      return std::nullopt;
+    }
+    if (outcome.output_error_rate >= input_error) return std::nullopt;  // not error-reducing
+
+    round.failure_probability = outcome.failure_probability;
+    round.output_error_rate = outcome.output_error_rate;
+    factory.rounds.push_back(std::move(round));
+    input_error = outcome.output_error_rate;
+  }
+
+  factory.output_error_rate = input_error;
+  if (factory.output_error_rate > required_output_error) return std::nullopt;
+
+  // Assign unit counts top-down: the final round runs one unit; each earlier
+  // round must produce the next round's inputs in expectation.
+  const std::size_t n = factory.rounds.size();
+  factory.rounds[n - 1].num_units = 1;
+  for (std::size_t r = n - 1; r-- > 0;) {
+    const DistillationRound& next = factory.rounds[r + 1];
+    double inputs_needed = static_cast<double>(next.num_units) *
+                           static_cast<double>(choices[r + 1].unit->num_input_ts);
+    double per_unit = static_cast<double>(choices[r].unit->num_output_ts) *
+                      (1.0 - factory.rounds[r].failure_probability);
+    factory.rounds[r].num_units = ceil_to_u64(inputs_needed / per_unit);
+  }
+
+  for (DistillationRound& round : factory.rounds) {
+    round.physical_qubits = round.num_units * round.physical_qubits_per_unit;
+    factory.physical_qubits = std::max(factory.physical_qubits, round.physical_qubits);
+    factory.duration_ns += round.duration_ns;
+  }
+  factory.tstates_per_invocation =
+      static_cast<double>(choices[n - 1].unit->num_output_ts) *
+      (1.0 - factory.rounds[n - 1].failure_probability);
+  if (factory.tstates_per_invocation < 0.1) return std::nullopt;
+  return factory;
+}
+
+/// Recursively enumerates pipelines, invoking `visit` on each feasible one.
+template <typename Visitor>
+void enumerate(std::vector<RoundChoice>& current, std::size_t rounds_left,
+               std::uint64_t min_distance, const std::vector<DistillationUnit>& units,
+               const TFactoryOptions& options, Visitor&& visit) {
+  if (!current.empty()) visit(current);
+  if (rounds_left == 0) return;
+  for (const DistillationUnit& unit : units) {
+    if (current.empty() && unit.allow_physical) {
+      current.push_back({&unit, /*physical=*/true, 0});
+      enumerate(current, rounds_left - 1, options.min_code_distance, units, options, visit);
+      current.pop_back();
+    }
+    if (unit.allow_logical) {
+      for (std::uint64_t d = next_odd(min_distance); d <= options.max_code_distance; d += 2) {
+        current.push_back({&unit, /*physical=*/false, d});
+        enumerate(current, rounds_left - 1, d, units, options, visit);
+        current.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<TFactory> design_tfactory(double required_output_error, const QubitParams& qubit,
+                                        const QecScheme& scheme,
+                                        const std::vector<DistillationUnit>& units,
+                                        const TFactoryOptions& options) {
+  QRE_REQUIRE(required_output_error > 0.0, "required T-state error rate must be positive");
+  if (qubit.t_gate_error_rate <= required_output_error) {
+    TFactory raw;
+    raw.input_t_error_rate = qubit.t_gate_error_rate;
+    raw.output_error_rate = qubit.t_gate_error_rate;
+    raw.tstates_per_invocation = 1.0;
+    return raw;
+  }
+  QRE_REQUIRE(!units.empty(), "T-factory design requires at least one distillation unit");
+
+  std::optional<TFactory> best;
+  auto better = [&options](const TFactory& a, const TFactory& b) {
+    switch (options.objective) {
+      case TFactoryOptions::Objective::kMinQubits:
+        if (a.physical_qubits != b.physical_qubits) {
+          return a.physical_qubits < b.physical_qubits;
+        }
+        return a.duration_ns < b.duration_ns;
+      case TFactoryOptions::Objective::kMinDuration:
+        if (a.duration_ns != b.duration_ns) return a.duration_ns < b.duration_ns;
+        return a.physical_qubits < b.physical_qubits;
+      case TFactoryOptions::Objective::kMinVolume:
+      default:
+        return a.normalized_volume() < b.normalized_volume();
+    }
+  };
+
+  std::vector<RoundChoice> current;
+  enumerate(current, options.max_rounds, options.min_code_distance, units, options,
+            [&](const std::vector<RoundChoice>& choices) {
+              std::optional<TFactory> candidate =
+                  evaluate_pipeline(choices, required_output_error, qubit, scheme, options);
+              if (candidate.has_value() && (!best.has_value() || better(*candidate, *best))) {
+                best = std::move(candidate);
+              }
+            });
+  return best;
+}
+
+std::vector<TFactory> tfactory_pareto_frontier(double required_output_error,
+                                               const QubitParams& qubit,
+                                               const QecScheme& scheme,
+                                               const std::vector<DistillationUnit>& units,
+                                               const TFactoryOptions& options) {
+  std::vector<TFactory> feasible;
+  std::vector<RoundChoice> current;
+  enumerate(current, options.max_rounds, options.min_code_distance, units, options,
+            [&](const std::vector<RoundChoice>& choices) {
+              std::optional<TFactory> candidate =
+                  evaluate_pipeline(choices, required_output_error, qubit, scheme, options);
+              if (candidate.has_value()) feasible.push_back(std::move(*candidate));
+            });
+  // Pareto filter on (physical_qubits, duration).
+  std::sort(feasible.begin(), feasible.end(), [](const TFactory& a, const TFactory& b) {
+    if (a.physical_qubits != b.physical_qubits) return a.physical_qubits < b.physical_qubits;
+    return a.duration_ns < b.duration_ns;
+  });
+  std::vector<TFactory> frontier;
+  double best_duration = std::numeric_limits<double>::infinity();
+  for (TFactory& f : feasible) {
+    if (f.duration_ns < best_duration) {
+      best_duration = f.duration_ns;
+      frontier.push_back(std::move(f));
+    }
+  }
+  return frontier;
+}
+
+}  // namespace qre

@@ -1,0 +1,264 @@
+// Exhaustive and property tests for the AND-gadget adders: every circuit is
+// executed on the sparse simulator and compared against classical
+// arithmetic, including the measurement-based uncomputation paths.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arith/adders.hpp"
+#include "circuit/builder.hpp"
+#include "common/error.hpp"
+#include "counter/logical_counter.hpp"
+#include "sim/sparse_simulator.hpp"
+
+namespace qre {
+namespace {
+
+std::uint64_t mask_bits(std::size_t n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Runs b += a on the simulator and returns (b_out, a_out, carry).
+struct AddResult {
+  std::uint64_t a;
+  std::uint64_t b;
+  bool carry;
+};
+
+AddResult run_add(std::size_t na, std::size_t nb, std::uint64_t a_val, std::uint64_t b_val,
+                  bool with_carry, std::uint64_t seed) {
+  SparseSimulator sim(seed);
+  ProgramBuilder bld(sim);
+  Register a = bld.alloc_register(na);
+  Register b = bld.alloc_register(nb);
+  bld.xor_constant(a, a_val);
+  bld.xor_constant(b, b_val);
+  std::optional<QubitId> carry;
+  if (with_carry) carry = bld.alloc();
+  add_into(bld, a, b, carry);
+  AddResult r{};
+  r.a = sim.peek_classical(a);
+  r.b = sim.peek_classical(b);
+  r.carry = with_carry && sim.probability_one(*carry) > 0.5;
+  return r;
+}
+
+class AdderExhaustive : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AdderExhaustive, ModularSum) {
+  auto [na, nb] = GetParam();
+  for (std::uint64_t a = 0; a < (1u << na); ++a) {
+    for (std::uint64_t b = 0; b < (1u << nb); ++b) {
+      AddResult r = run_add(na, nb, a, b, /*with_carry=*/false, a * 131 + b + 1);
+      EXPECT_EQ(r.b, (a + b) & mask_bits(nb)) << na << "+" << nb << " a=" << a << " b=" << b;
+      EXPECT_EQ(r.a, a) << "addend not restored";
+    }
+  }
+}
+
+TEST_P(AdderExhaustive, ExactSumWithCarry) {
+  auto [na, nb] = GetParam();
+  for (std::uint64_t a = 0; a < (1u << na); ++a) {
+    for (std::uint64_t b = 0; b < (1u << nb); ++b) {
+      AddResult r = run_add(na, nb, a, b, /*with_carry=*/true, a * 733 + b + 5);
+      std::uint64_t total = (static_cast<std::uint64_t>(r.carry) << nb) | r.b;
+      EXPECT_EQ(total, a + b) << na << "+" << nb << " a=" << a << " b=" << b;
+      EXPECT_EQ(r.a, a);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderExhaustive,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{1, 2},
+                                           std::tuple{2, 2}, std::tuple{1, 4},
+                                           std::tuple{2, 4}, std::tuple{3, 3},
+                                           std::tuple{3, 5}, std::tuple{4, 4},
+                                           std::tuple{5, 5}));
+
+TEST(Adders, WideRandomizedAdd) {
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (int round = 0; round < 12; ++round) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t a_val = x >> 40;  // 24-bit
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t b_val = x >> 40;
+    AddResult r = run_add(24, 24, a_val, b_val, true, x | 1);
+    EXPECT_EQ((static_cast<std::uint64_t>(r.carry) << 24) | r.b, a_val + b_val);
+  }
+}
+
+TEST(Adders, SubtractionExhaustive) {
+  for (int n = 1; n <= 4; ++n) {
+    for (std::uint64_t a = 0; a < (1u << n); ++a) {
+      for (std::uint64_t b = 0; b < (1u << n); ++b) {
+        SparseSimulator sim(a * 37 + b + 3);
+        ProgramBuilder bld(sim);
+        Register ra = bld.alloc_register(n);
+        Register rb = bld.alloc_register(n);
+        bld.xor_constant(ra, a);
+        bld.xor_constant(rb, b);
+        sub_into(bld, ra, rb);
+        EXPECT_EQ(sim.peek_classical(rb), (b - a) & mask_bits(n)) << "n=" << n;
+        EXPECT_EQ(sim.peek_classical(ra), a);
+      }
+    }
+  }
+}
+
+TEST(Adders, SubtractNarrowerOperand) {
+  SparseSimulator sim(11);
+  ProgramBuilder bld(sim);
+  Register a = bld.alloc_register(2);
+  Register b = bld.alloc_register(5);
+  bld.xor_constant(a, 3);
+  bld.xor_constant(b, 17);
+  sub_into(bld, a, b);
+  EXPECT_EQ(sim.peek_classical(b), 14u);
+}
+
+TEST(Adders, ControlledAddBothBranches) {
+  for (int n = 1; n <= 3; ++n) {
+    for (std::uint64_t a = 0; a < (1u << n); ++a) {
+      for (std::uint64_t b = 0; b < (1u << n); ++b) {
+        for (int ctrl = 0; ctrl < 2; ++ctrl) {
+          SparseSimulator sim(a * 311 + b * 7 + ctrl + 1);
+          ProgramBuilder bld(sim);
+          QubitId c = bld.alloc();
+          if (ctrl) bld.x(c);
+          Register ra = bld.alloc_register(n);
+          Register rb = bld.alloc_register(n);
+          bld.xor_constant(ra, a);
+          bld.xor_constant(rb, b);
+          add_into_controlled(bld, c, ra, rb);
+          std::uint64_t expected = ctrl ? ((a + b) & mask_bits(n)) : b;
+          EXPECT_EQ(sim.peek_classical(rb), expected);
+          EXPECT_EQ(sim.peek_classical(ra), a);
+          EXPECT_NEAR(sim.probability_one(c), ctrl, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(Adders, ControlledAddOnSuperposedControl) {
+  // ctrl = |+>: the adder must entangle cleanly; interfering the control
+  // back only works when b == b + a, so instead verify total norm and the
+  // two-branch structure.
+  SparseSimulator sim(5);
+  ProgramBuilder bld(sim);
+  QubitId c = bld.alloc();
+  bld.h(c);
+  Register a = bld.alloc_register(3);
+  Register b = bld.alloc_register(3);
+  bld.xor_constant(a, 5);
+  bld.xor_constant(b, 2);
+  add_into_controlled(bld, c, a, b);
+  EXPECT_NEAR(sim.norm(), 1.0, 1e-9);
+  bool ctrl_value = bld.mz(c);
+  EXPECT_EQ(sim.peek_classical(b), ctrl_value ? 7u : 2u);
+}
+
+TEST(Adders, ConstantAddExhaustive) {
+  for (int n = 1; n <= 4; ++n) {
+    for (std::uint64_t k = 0; k < (1u << n); ++k) {
+      for (std::uint64_t b = 0; b < (1u << n); ++b) {
+        SparseSimulator sim(k * 59 + b + 2);
+        ProgramBuilder bld(sim);
+        Register rb = bld.alloc_register(n);
+        bld.xor_constant(rb, b);
+        QubitId carry = bld.alloc();
+        add_constant(bld, Constant{k, static_cast<std::size_t>(n)}, rb, carry);
+        std::uint64_t total = sim.peek_classical(rb) |
+                              (static_cast<std::uint64_t>(sim.probability_one(carry) > 0.5)
+                               << n);
+        EXPECT_EQ(total, k + b);
+      }
+    }
+  }
+}
+
+TEST(Adders, ControlledConstantAdd) {
+  for (std::uint64_t k : {0ull, 1ull, 6ull, 13ull, 15ull}) {
+    for (int ctrl = 0; ctrl < 2; ++ctrl) {
+      SparseSimulator sim(k * 17 + ctrl + 9);
+      ProgramBuilder bld(sim);
+      QubitId c = bld.alloc();
+      if (ctrl) bld.x(c);
+      Register rb = bld.alloc_register(4);
+      bld.xor_constant(rb, 9);
+      add_constant_controlled(bld, c, Constant{k, 4}, rb);
+      EXPECT_EQ(sim.peek_classical(rb), ctrl ? ((9 + k) & 15) : 9u);
+    }
+  }
+}
+
+TEST(Adders, AndCountMatchesGidney) {
+  // n-1 ANDs for a modular n-bit addition; n with carry-out.
+  for (std::size_t n : {2u, 5u, 16u, 33u}) {
+    {
+      LogicalCounter counter;
+      ProgramBuilder bld(counter);
+      Register a = bld.alloc_register(n);
+      Register b = bld.alloc_register(n);
+      add_into(bld, a, b);
+      EXPECT_EQ(counter.counts().ccix_count, n - 1) << "n=" << n;
+      EXPECT_EQ(counter.counts().measurement_count, n - 1);  // measurement-based unands
+      EXPECT_EQ(counter.counts().t_count, 0u);
+    }
+    {
+      LogicalCounter counter;
+      ProgramBuilder bld(counter);
+      Register a = bld.alloc_register(n);
+      Register b = bld.alloc_register(n);
+      QubitId carry = bld.alloc();
+      add_into(bld, a, b, carry);
+      EXPECT_EQ(counter.counts().ccix_count, n);
+    }
+  }
+}
+
+TEST(Adders, ControlledAddCost) {
+  // |a| masking ANDs on top of the adder.
+  std::size_t n = 20;
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  QubitId c = bld.alloc();
+  Register a = bld.alloc_register(n);
+  Register b = bld.alloc_register(n);
+  add_into_controlled(bld, c, a, b);
+  EXPECT_EQ(counter.counts().ccix_count, n + (n - 1));
+}
+
+TEST(Adders, UnitaryUncomputeModeUsesNoMeasurements) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  bld.set_unitary_uncompute(true);
+  Register a = bld.alloc_register(8);
+  Register b = bld.alloc_register(8);
+  add_into(bld, a, b);
+  EXPECT_EQ(counter.counts().measurement_count, 0u);
+  EXPECT_EQ(counter.counts().ccix_count, 2u * 7u);  // compute + unitary uncompute
+}
+
+TEST(Adders, MismatchedWidthRejected) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register a = bld.alloc_register(4);
+  Register b = bld.alloc_register(2);
+  EXPECT_THROW(add_into(bld, a, b), Error);
+}
+
+TEST(Adders, AncillasAllFreed) {
+  SparseSimulator sim(21);
+  ProgramBuilder bld(sim);
+  Register a = bld.alloc_register(6);
+  Register b = bld.alloc_register(6);
+  bld.xor_constant(a, 33);
+  bld.xor_constant(b, 27);
+  std::uint64_t live_before = bld.live_qubits();
+  add_into(bld, a, b);
+  EXPECT_EQ(bld.live_qubits(), live_before);  // carries released (and verified |0>)
+}
+
+}  // namespace
+}  // namespace qre

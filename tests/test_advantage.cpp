@@ -1,0 +1,127 @@
+// Tests for the Section II / III-E machine-capability model: implementation
+// levels, rQOPS, reliable-operation capacity, and the Level 3 budget search.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/advantage.hpp"
+
+namespace qre {
+namespace {
+
+constexpr double kTarget = 1e-12;
+
+TEST(Advantage, ResilientMachineBasics) {
+  QubitParams qubit = QubitParams::maj_ns_e4();
+  QecScheme scheme = QecScheme::floquet_code();
+  MachineCapability cap = machine_capability(qubit, scheme, 1'000'000, kTarget);
+  EXPECT_GT(cap.code_distance, 0u);
+  EXPECT_EQ(cap.code_distance % 2, 1u);
+  EXPECT_GT(cap.logical_qubits, 0u);
+  EXPECT_LE(cap.logical_error_rate, kTarget);
+  EXPECT_LT(cap.logical_error_rate, qubit.clifford_error_rate());
+  EXPECT_GT(cap.rqops, 0.0);
+  // rQOPS = logical qubits * clock rate (paper Section III-E).
+  EXPECT_NEAR(cap.rqops,
+              static_cast<double>(cap.logical_qubits) * (1e9 / cap.logical_cycle_time_ns),
+              cap.rqops * 1e-12);
+}
+
+TEST(Advantage, LevelOneWhenAtThreshold) {
+  QubitParams qubit = QubitParams::gate_ns_e3();
+  qubit.two_qubit_gate_error_rate = 0.02;  // above the surface-code threshold
+  MachineCapability cap =
+      machine_capability(qubit, QecScheme::surface_code_gate_based(), 1'000'000'000, kTarget);
+  EXPECT_EQ(cap.level, ComputingLevel::kFoundational);
+  EXPECT_EQ(cap.logical_qubits, 0u);
+}
+
+TEST(Advantage, LevelOneWhenTooSmall) {
+  QubitParams qubit = QubitParams::gate_ns_e3();
+  QecScheme scheme = QecScheme::surface_code_gate_based();
+  // Far fewer physical qubits than one patch needs.
+  MachineCapability cap = machine_capability(qubit, scheme, 100, kTarget);
+  EXPECT_EQ(cap.level, ComputingLevel::kFoundational);
+  EXPECT_EQ(cap.logical_qubits, 0u);
+  EXPECT_GT(cap.code_distance, 0u);
+}
+
+TEST(Advantage, LevelsAreMonotoneInBudget) {
+  QubitParams qubit = QubitParams::maj_ns_e6();
+  QecScheme scheme = QecScheme::floquet_code();
+  int previous = 0;
+  for (std::uint64_t budget = 100; budget <= 10'000'000'000ull; budget *= 10) {
+    MachineCapability cap = machine_capability(qubit, scheme, budget, kTarget);
+    EXPECT_GE(static_cast<int>(cap.level), previous);
+    previous = static_cast<int>(cap.level);
+  }
+  EXPECT_EQ(previous, static_cast<int>(ComputingLevel::kScale));
+}
+
+TEST(Advantage, ScaleNeedsBothCapacityAndSpeed) {
+  QubitParams qubit = QubitParams::maj_ns_e4();
+  QecScheme scheme = QecScheme::floquet_code();
+  // A machine with a few dozen patches is resilient but below the ~100
+  // logical-qubit application workspace -> not at scale.
+  MachineCapability small = machine_capability(qubit, scheme, 20'000, kTarget);
+  EXPECT_EQ(small.level, ComputingLevel::kResilient);
+  EXPECT_LT(small.logical_qubits, 100u);
+  MachineCapability large = machine_capability(qubit, scheme, 1'000'000'000ull, kTarget);
+  EXPECT_EQ(large.level, ComputingLevel::kScale);
+  EXPECT_GE(large.reliable_operations, 1e12);
+  EXPECT_GE(large.rqops, 1e6);
+  EXPECT_GE(large.logical_qubits, 100u);
+}
+
+TEST(Advantage, ReliableOperationsCapping) {
+  QubitParams qubit = QubitParams::maj_ns_e4();
+  QecScheme scheme = QecScheme::floquet_code();
+  AdvantageThresholds short_run;
+  short_run.runtime_budget_s = 1e-3;  // a millisecond budget caps by runtime
+  MachineCapability cap = machine_capability(qubit, scheme, 10'000'000, kTarget, short_run);
+  EXPECT_NEAR(cap.reliable_operations, cap.rqops * 1e-3, cap.reliable_operations * 1e-9);
+}
+
+TEST(Advantage, BudgetSearchIsMinimal) {
+  QubitParams qubit = QubitParams::maj_ns_e4();
+  QecScheme scheme = QecScheme::floquet_code();
+  std::uint64_t needed = physical_qubits_for_scale(qubit, scheme, kTarget);
+  MachineCapability at = machine_capability(qubit, scheme, needed, kTarget);
+  EXPECT_EQ(at.level, ComputingLevel::kScale);
+  MachineCapability below = machine_capability(qubit, scheme, needed - 1, kTarget);
+  EXPECT_NE(below.level, ComputingLevel::kScale);
+}
+
+TEST(Advantage, BudgetSearchFailureExplains) {
+  QubitParams qubit = QubitParams::gate_ns_e3();
+  qubit.two_qubit_gate_error_rate = 0.5;
+  try {
+    physical_qubits_for_scale(qubit, QecScheme::surface_code_gate_based(), kTarget);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("Level 3"), std::string::npos);
+  }
+}
+
+TEST(Advantage, BetterHardwareNeedsFewerQubitsForScale) {
+  QecScheme scheme = QecScheme::floquet_code();
+  std::uint64_t realistic =
+      physical_qubits_for_scale(QubitParams::maj_ns_e4(), scheme, kTarget);
+  std::uint64_t optimistic =
+      physical_qubits_for_scale(QubitParams::maj_ns_e6(), scheme, kTarget);
+  EXPECT_LT(optimistic, realistic);
+}
+
+TEST(Advantage, JsonAndNames) {
+  MachineCapability cap = machine_capability(QubitParams::maj_ns_e4(),
+                                             QecScheme::floquet_code(), 30'000, kTarget);
+  json::Value j = cap.to_json();
+  EXPECT_EQ(j.at("logicalQubits").as_uint(), cap.logical_qubits);
+  EXPECT_EQ(j.at("level").as_string(), "Level 2 (resilient)");
+  EXPECT_EQ(to_string(ComputingLevel::kScale), "Level 3 (scale)");
+  EXPECT_THROW(machine_capability(QubitParams::maj_ns_e4(), QecScheme::floquet_code(), 0,
+                                  kTarget),
+               Error);
+}
+
+}  // namespace
+}  // namespace qre

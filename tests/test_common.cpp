@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/math.hpp"
+
+namespace qre {
+namespace {
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_EQ(ceil_div(10, 1), 10u);
+  EXPECT_EQ(ceil_div(7, 0), 0u);  // guarded
+}
+
+TEST(Math, BitLength) {
+  EXPECT_EQ(bit_length(0), 0);
+  EXPECT_EQ(bit_length(1), 1);
+  EXPECT_EQ(bit_length(2), 2);
+  EXPECT_EQ(bit_length(3), 2);
+  EXPECT_EQ(bit_length(255), 8);
+  EXPECT_EQ(bit_length(256), 9);
+}
+
+TEST(Math, Log2Helpers) {
+  EXPECT_EQ(ilog2_floor(1), 0);
+  EXPECT_EQ(ilog2_floor(2), 1);
+  EXPECT_EQ(ilog2_floor(3), 1);
+  EXPECT_EQ(ilog2_floor(1024), 10);
+  EXPECT_EQ(ilog2_ceil(1), 0);
+  EXPECT_EQ(ilog2_ceil(2), 1);
+  EXPECT_EQ(ilog2_ceil(3), 2);
+  EXPECT_EQ(ilog2_ceil(1025), 11);
+}
+
+TEST(Math, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(65));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_odd(4), 5u);
+  EXPECT_EQ(next_odd(5), 5u);
+}
+
+TEST(Math, CeilToU64) {
+  EXPECT_EQ(ceil_to_u64(0.0), 0u);
+  EXPECT_EQ(ceil_to_u64(1.0), 1u);
+  EXPECT_EQ(ceil_to_u64(1.2), 2u);
+  // Robust against values that are integral up to floating-point noise.
+  EXPECT_EQ(ceil_to_u64(3.0000000000000004), 3u);
+  EXPECT_THROW(ceil_to_u64(-1.0), Error);
+}
+
+TEST(Format, Duration) {
+  EXPECT_EQ(format_duration_ns(340.0), "340 ns");
+  EXPECT_EQ(format_duration_ns(12.4e6), "12.40 ms");
+  EXPECT_EQ(format_duration_ns(2.5e9), "2.50 s");
+  EXPECT_EQ(format_duration_ns(3 * 3600e9), "3.00 hours");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(20597), "20,597");
+  EXPECT_EQ(format_count(1234567890), "1,234,567,890");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(format_sci(0.0), "0");
+  EXPECT_EQ(format_sci(1.12e11), "1.12e+11");
+  EXPECT_EQ(format_sci(0.0001), "1.00e-04");
+  EXPECT_EQ(format_sci(42.0), "42");
+}
+
+TEST(ErrorHandling, RequireAndAssert) {
+  EXPECT_THROW(throw_error("boom"), Error);
+  try {
+    QRE_REQUIRE(false, "specific message");
+    FAIL() << "QRE_REQUIRE did not throw";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+  EXPECT_THROW(QRE_ASSERT(1 == 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qre

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "common/error.hpp"
+#include "counter/logical_counter.hpp"
+
+namespace qre {
+namespace {
+
+TEST(Counter, BasicGateCounts) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register q = bld.alloc_register(3);
+  bld.t(q[0]);
+  bld.tdg(q[1]);
+  bld.ccz(q[0], q[1], q[2]);
+  bld.ccix(q[0], q[1], q[2]);
+  bld.ccx(q[0], q[1], q[2]);  // costed as CCZ
+  bld.h(q[0]);
+  bld.cx(q[0], q[1]);
+  bld.mz(q[2]);
+  bld.mx(q[0]);
+
+  const LogicalCounts& c = counter.counts();
+  EXPECT_EQ(c.num_qubits, 3u);
+  EXPECT_EQ(c.t_count, 2u);
+  EXPECT_EQ(c.ccz_count, 2u);
+  EXPECT_EQ(c.ccix_count, 1u);
+  EXPECT_EQ(c.measurement_count, 2u);
+  EXPECT_EQ(c.clifford_count, 2u);
+  EXPECT_EQ(c.rotation_count, 0u);
+  EXPECT_EQ(c.rotation_depth, 0u);
+}
+
+TEST(Counter, MeasurementsReturnFalse) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  QubitId q = bld.alloc();
+  EXPECT_FALSE(bld.mz(q));
+  EXPECT_FALSE(bld.mx(q));
+}
+
+TEST(Counter, HighWaterTracksReuse) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register a = bld.alloc_register(4);
+  bld.free_register(a);
+  Register b = bld.alloc_register(3);  // reuses freed ids
+  EXPECT_EQ(counter.counts().num_qubits, 4u);
+  Register c = bld.alloc_register(4);  // 3 + 4 live now
+  EXPECT_EQ(counter.counts().num_qubits, 7u);
+  bld.free_register(c);
+  bld.free_register(b);
+}
+
+TEST(Counter, ParallelRotationsShareALayer) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register q = bld.alloc_register(3);
+  bld.rz(0.1, q[0]);
+  bld.rz(0.2, q[1]);
+  bld.rz(0.3, q[2]);
+  EXPECT_EQ(counter.counts().rotation_count, 3u);
+  EXPECT_EQ(counter.counts().rotation_depth, 1u);
+}
+
+TEST(Counter, SequentialRotationsStackLayers) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  QubitId q = bld.alloc();
+  bld.rz(0.1, q);
+  bld.rz(0.2, q);
+  bld.rz(0.3, q);
+  EXPECT_EQ(counter.counts().rotation_depth, 3u);
+}
+
+TEST(Counter, NonRotationLayersSeparateRotations) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  QubitId q = bld.alloc();
+  bld.rz(0.1, q);
+  bld.t(q);  // non-Clifford layer without a rotation
+  bld.rz(0.2, q);
+  EXPECT_EQ(counter.counts().rotation_depth, 2u);
+  EXPECT_EQ(counter.counts().t_count, 1u);
+}
+
+TEST(Counter, CliffordsAreTransparentToLayering) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register q = bld.alloc_register(2);
+  bld.rz(0.1, q[0]);
+  bld.h(q[0]);
+  bld.cx(q[0], q[1]);  // Cliffords do not advance layers
+  bld.rz(0.2, q[1]);   // operand layer still 0 -> lands in layer 1 with the first
+  EXPECT_EQ(counter.counts().rotation_depth, 1u);
+}
+
+TEST(Counter, EntanglingNonCliffordsPropagateLayers) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register q = bld.alloc_register(3);
+  bld.rz(0.1, q[0]);             // layer 1 on q0
+  bld.ccz(q[0], q[1], q[2]);     // layer 2 on q0,q1,q2
+  bld.rz(0.2, q[2]);             // layer 3 -> second rotation layer
+  EXPECT_EQ(counter.counts().rotation_depth, 2u);
+}
+
+TEST(Counter, RotationKindsAllCount) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  QubitId q = bld.alloc();
+  bld.rx(0.1, q);
+  bld.ry(0.1, q);
+  bld.rz(0.1, q);
+  bld.r1(0.1, q);
+  EXPECT_EQ(counter.counts().rotation_count, 4u);
+  EXPECT_EQ(counter.counts().rotation_depth, 4u);
+}
+
+TEST(Counter, CphaseCostsThreeRotations) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register q = bld.alloc_register(2);
+  bld.cphase(0.7, q[0], q[1]);
+  EXPECT_EQ(counter.counts().rotation_count, 3u);
+  EXPECT_EQ(counter.counts().clifford_count, 2u);
+}
+
+TEST(Counter, AndGadgetCosts) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register q = bld.alloc_register(2);
+  QubitId t = bld.alloc();
+  bld.compute_and(q[0], q[1], t);
+  bld.uncompute_and(q[0], q[1], t);
+  bld.free(t);
+  const LogicalCounts& c = counter.counts();
+  EXPECT_EQ(c.ccix_count, 1u);        // compute
+  EXPECT_EQ(c.measurement_count, 1u); // measurement-based uncompute
+  EXPECT_EQ(c.t_count, 0u);
+}
+
+TEST(Counter, BatchedEvents) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  (void)bld.alloc();
+  counter.on_gate_batch(Gate::kCcix, 1000);
+  counter.on_gate_batch(Gate::kCcz, 10);
+  counter.on_gate_batch(Gate::kT, 7);
+  counter.on_gate_batch(Gate::kCx, 4000);
+  counter.on_measure_batch(Gate::kMz, 1000);
+  const LogicalCounts& c = counter.counts();
+  EXPECT_EQ(c.ccix_count, 1000u);
+  EXPECT_EQ(c.ccz_count, 10u);
+  EXPECT_EQ(c.t_count, 7u);
+  EXPECT_EQ(c.clifford_count, 4000u);
+  EXPECT_EQ(c.measurement_count, 1000u);
+  EXPECT_THROW(counter.on_gate_batch(Gate::kRz, 5), Error);
+}
+
+TEST(Counter, CountsJsonRoundTrip) {
+  LogicalCounts c;
+  c.num_qubits = 230;
+  c.t_count = 1000000;
+  c.rotation_count = 52;
+  c.rotation_depth = 40;
+  c.ccz_count = 11;
+  c.ccix_count = 22;
+  c.measurement_count = 9;
+  c.clifford_count = 123;
+  LogicalCounts back = LogicalCounts::from_json(c.to_json());
+  EXPECT_EQ(back, c);
+}
+
+TEST(Counter, CountsJsonValidation) {
+  EXPECT_THROW(LogicalCounts::from_json(json::parse(R"({"tCount": 5})")), Error);
+  EXPECT_THROW(LogicalCounts::from_json(json::parse(R"({"numQubits": 0})")), Error);
+  // rotationDepth > rotationCount is inconsistent.
+  EXPECT_THROW(LogicalCounts::from_json(json::parse(
+                   R"({"numQubits": 2, "rotationCount": 1, "rotationDepth": 3})")),
+               Error);
+  // rotations without depth are inconsistent.
+  EXPECT_THROW(
+      LogicalCounts::from_json(json::parse(R"({"numQubits": 2, "rotationCount": 4})")), Error);
+  LogicalCounts minimal = LogicalCounts::from_json(json::parse(R"({"numQubits": 3})"));
+  EXPECT_EQ(minimal.num_qubits, 3u);
+  EXPECT_FALSE(minimal.has_non_clifford());
+}
+
+}  // namespace
+}  // namespace qre

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "formula/formula.hpp"
+
+namespace qre {
+namespace {
+
+double eval(const std::string& text, const Environment& env = {}) {
+  return Formula::parse(text).evaluate(env);
+}
+
+TEST(Formula, Literals) {
+  EXPECT_DOUBLE_EQ(eval("42"), 42.0);
+  EXPECT_DOUBLE_EQ(eval("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(eval("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(eval("2.5E+2"), 250.0);
+  EXPECT_DOUBLE_EQ(eval(".5"), 0.5);
+}
+
+TEST(Formula, Precedence) {
+  EXPECT_DOUBLE_EQ(eval("2 + 3 * 4"), 14.0);
+  EXPECT_DOUBLE_EQ(eval("(2 + 3) * 4"), 20.0);
+  EXPECT_DOUBLE_EQ(eval("2 - 3 - 4"), -5.0);   // left-assoc
+  EXPECT_DOUBLE_EQ(eval("24 / 4 / 2"), 3.0);   // left-assoc
+  EXPECT_DOUBLE_EQ(eval("2 ^ 3 ^ 2"), 512.0);  // right-assoc power
+  EXPECT_DOUBLE_EQ(eval("2 * 3 ^ 2"), 18.0);   // power binds tighter
+  EXPECT_DOUBLE_EQ(eval("-2 ^ 2"), 4.0);       // unary minus then power
+  EXPECT_DOUBLE_EQ(eval("2 - -3"), 5.0);
+}
+
+TEST(Formula, Functions) {
+  EXPECT_DOUBLE_EQ(eval("ceil(1.2)"), 2.0);
+  EXPECT_DOUBLE_EQ(eval("floor(1.8)"), 1.0);
+  EXPECT_DOUBLE_EQ(eval("sqrt(81)"), 9.0);
+  EXPECT_DOUBLE_EQ(eval("abs(-4)"), 4.0);
+  EXPECT_DOUBLE_EQ(eval("log2(1024)"), 10.0);
+  EXPECT_DOUBLE_EQ(eval("ln(exp(3))"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("pow(2, 10)"), 1024.0);
+  EXPECT_DOUBLE_EQ(eval("min(3, 5)"), 3.0);
+  EXPECT_DOUBLE_EQ(eval("max(3, 5)"), 5.0);
+  EXPECT_DOUBLE_EQ(eval("max(min(1,2), 0.5)"), 1.0);
+}
+
+TEST(Formula, Variables) {
+  Environment env;
+  env.set("codeDistance", 11.0);
+  env.set("oneQubitMeasurementTime", 100.0);
+  EXPECT_DOUBLE_EQ(eval("3 * oneQubitMeasurementTime * codeDistance", env), 3300.0);
+  Formula f = Formula::parse("a + b * a");
+  EXPECT_EQ(f.variables().size(), 2u);  // deduplicated
+  EXPECT_EQ(f.variables()[0], "a");
+  EXPECT_EQ(f.variables()[1], "b");
+}
+
+TEST(Formula, DefaultQecFormulas) {
+  // The formulas shipped with the default schemes evaluate as documented.
+  Environment env;
+  env.set("codeDistance", 9.0);
+  env.set("twoQubitGateTime", 50.0);
+  env.set("oneQubitMeasurementTime", 100.0);
+  EXPECT_DOUBLE_EQ(
+      eval("(4 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance", env), 3600.0);
+  EXPECT_DOUBLE_EQ(eval("2 * codeDistance * codeDistance", env), 162.0);
+  EXPECT_DOUBLE_EQ(eval("4 * codeDistance * codeDistance + 8 * (codeDistance - 1)", env),
+                   388.0);
+}
+
+TEST(Formula, DistillationFormulas) {
+  Environment env;
+  env.set("inputErrorRate", 0.05);
+  env.set("cliffordErrorRate", 1e-4);
+  EXPECT_NEAR(eval("35 * inputErrorRate ^ 3 + 7.1 * cliffordErrorRate", env),
+              35 * 0.05 * 0.05 * 0.05 + 7.1e-4, 1e-15);
+  EXPECT_NEAR(eval("15 * inputErrorRate + 356 * cliffordErrorRate", env), 0.75 + 0.0356,
+              1e-12);
+}
+
+TEST(Formula, NumberFollowedByIdentifier) {
+  Environment env;
+  env.set("e", 7.0);
+  // '2e' must not be parsed as a truncated exponent.
+  EXPECT_DOUBLE_EQ(eval("2 * e", env), 14.0);
+}
+
+TEST(Formula, UnboundVariable) {
+  Formula f = Formula::parse("x + 1");
+  Environment env;
+  env.set("y", 2.0);
+  try {
+    f.evaluate(env);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'x'"), std::string::npos);
+  }
+}
+
+TEST(Formula, ParseErrors) {
+  EXPECT_THROW(Formula::parse(""), Error);
+  EXPECT_THROW(Formula::parse("   "), Error);
+  EXPECT_THROW(Formula::parse("1 +"), Error);
+  EXPECT_THROW(Formula::parse("(1 + 2"), Error);
+  EXPECT_THROW(Formula::parse("1 + 2)"), Error);
+  EXPECT_THROW(Formula::parse("foo(1)"), Error);       // unknown function
+  EXPECT_THROW(Formula::parse("min(1)"), Error);       // arity
+  EXPECT_THROW(Formula::parse("ceil(1, 2)"), Error);   // arity
+  EXPECT_THROW(Formula::parse("2 ** 3"), Error);
+  EXPECT_THROW(Formula::parse("@"), Error);
+}
+
+TEST(Formula, EvaluationErrors) {
+  Environment env;
+  env.set("x", 0.0);
+  EXPECT_THROW(eval("1 / x", env), Error);
+  EXPECT_THROW(eval("1 / 0"), Error);
+  EXPECT_THROW(eval("ln(0) * 0"), Error);  // non-finite intermediate -> non-finite result
+}
+
+TEST(Formula, TextRoundTrip) {
+  const std::string text = "3 * oneQubitMeasurementTime * codeDistance";
+  Formula f = Formula::parse(text);
+  EXPECT_EQ(f.text(), text);
+}
+
+struct EquivalenceCase {
+  const char* lhs;
+  const char* rhs;
+};
+
+class FormulaEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(FormulaEquivalence, EvaluatesEqually) {
+  Environment env;
+  env.set("d", 13.0);
+  env.set("t", 100.0);
+  EXPECT_NEAR(eval(GetParam().lhs, env), eval(GetParam().rhs, env), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algebra, FormulaEquivalence,
+                         ::testing::Values(EquivalenceCase{"d * (t + 1)", "d * t + d"},
+                                           EquivalenceCase{"d ^ 2", "d * d"},
+                                           EquivalenceCase{"pow(d, 3)", "d * d * d"},
+                                           EquivalenceCase{"sqrt(d * d)", "abs(d)"},
+                                           EquivalenceCase{"2 ^ log2(d)", "d"},
+                                           EquivalenceCase{"-(d - t)", "t - d"},
+                                           EquivalenceCase{"(d + t) / 2", "0.5 * d + 0.5 * t"}));
+
+}  // namespace
+}  // namespace qre

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "json/json.hpp"
+
+namespace qre::json {
+namespace {
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e-4").as_double(), 1e-4);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegersStayIntegers) {
+  Value v = parse("1000000000000");
+  EXPECT_TRUE(v.is_number());
+  EXPECT_EQ(v.as_int(), 1000000000000ll);
+  EXPECT_EQ(v.dump(), "1000000000000");
+  // Whole-valued doubles also convert to integers on demand.
+  EXPECT_EQ(parse("3.0").as_int(), 3);
+}
+
+TEST(Json, ParseNested) {
+  Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  EXPECT_TRUE(v.is_object());
+  const Array& a = v.at("a").as_array();
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"c\"\\")").as_string(), "a\nb\t\"c\"\\");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");  // UTF-8 e-acute
+}
+
+TEST(Json, DumpRoundTrip) {
+  const char* text = R"({"name":"qubit_maj_ns_e4","errorBudget":0.0001,"counts":[1,2,3],)"
+                     R"("nested":{"ok":true,"missing":null}})";
+  Value v = parse(text);
+  Value again = parse(v.dump());
+  EXPECT_TRUE(v == again);
+}
+
+TEST(Json, ObjectOrderPreserved) {
+  Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const Object& o = v.as_object();
+  EXPECT_EQ(o[0].first, "z");
+  EXPECT_EQ(o[1].first, "a");
+  EXPECT_EQ(o[2].first, "m");
+  EXPECT_EQ(v.dump(), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, PrettyPrinting) {
+  Value v = parse(R"({"a": [1, 2]})");
+  std::string pretty = v.pretty();
+  EXPECT_NE(pretty.find("\n  \"a\": ["), std::string::npos);
+  EXPECT_NE(pretty.find("\n    1"), std::string::npos);
+}
+
+TEST(Json, SetInsertsAndReplaces) {
+  Value v = parse("{}");
+  v.set("x", Value(1));
+  v.set("y", Value("two"));
+  v.set("x", Value(3));
+  EXPECT_EQ(v.at("x").as_int(), 3);
+  EXPECT_EQ(v.as_object().size(), 2u);
+}
+
+TEST(Json, FindMissing) {
+  Value v = parse(R"({"present": 1})");
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW(v.at("absent"), Error);
+  EXPECT_EQ(parse("[1]").find("x"), nullptr);  // non-object
+}
+
+TEST(Json, TypeErrors) {
+  Value v = parse(R"({"s": "text", "n": -1})");
+  EXPECT_THROW(v.at("s").as_int(), Error);
+  EXPECT_THROW(v.at("s").as_array(), Error);
+  EXPECT_THROW(v.at("n").as_uint(), Error);  // negative where count expected
+  EXPECT_THROW(v.at("s").as_bool(), Error);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1,]"), Error);
+  EXPECT_THROW(parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(parse("tru"), Error);
+  EXPECT_THROW(parse("1 2"), Error);
+  EXPECT_THROW(parse("\"unterminated"), Error);
+  EXPECT_THROW(parse("{1: 2}"), Error);
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    parse("{\n  \"a\": tru\n}");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(Value(0.0001).dump(), "0.0001");
+  EXPECT_EQ(Value(std::int64_t{20597}).dump(), "20597");
+  EXPECT_EQ(Value(1.12e11).dump(), "1.12e+11");  // double, shortest round-trip
+  Value v = parse(Value(0.1).dump());
+  EXPECT_DOUBLE_EQ(v.as_double(), 0.1);
+}
+
+TEST(Json, ParseFileMissing) { EXPECT_THROW(parse_file("/nonexistent/x.json"), Error); }
+
+}  // namespace
+}  // namespace qre::json

@@ -1,0 +1,183 @@
+// Exact-Karatsuba verification (simulator, against classical products,
+// including the taped adjoint cleanup) and cost-model calibration checks
+// (the standard-vs-Karatsuba crossover the paper reports near 4096 bits).
+#include <gtest/gtest.h>
+
+#include "arith/karatsuba.hpp"
+#include "arith/multipliers.hpp"
+#include "circuit/builder.hpp"
+#include "common/error.hpp"
+#include "counter/logical_counter.hpp"
+#include "sim/sparse_simulator.hpp"
+
+namespace qre {
+namespace {
+
+std::uint64_t mask_bits(std::size_t n) {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+class KaratsubaProductSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(KaratsubaProductSim, OutOfPlaceProductMatches) {
+  int n = GetParam();
+  KaratsubaOptions opts;
+  opts.cutoff = 5;  // force recursion for n >= 6
+  std::uint64_t s = 31415926535ull;
+  for (int round = 0; round < 8; ++round) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t xv = (s >> 28) & mask_bits(n);
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t yv = (s >> 28) & mask_bits(n);
+    SparseSimulator sim(s | 1);
+    ProgramBuilder bld(sim);
+    Register x = bld.alloc_register(n);
+    Register y = bld.alloc_register(n);
+    Register p = bld.alloc_register(2 * n);
+    bld.xor_constant(x, xv);
+    bld.xor_constant(y, yv);
+    karatsuba_product(bld, x, y, p, opts);
+    EXPECT_EQ(sim.peek_classical(p), xv * yv) << "n=" << n << " x=" << xv << " y=" << yv;
+    EXPECT_EQ(sim.peek_classical(x), xv);
+    EXPECT_EQ(sim.peek_classical(y), yv);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KaratsubaProductSim, ::testing::Values(6, 7, 8));
+
+class KaratsubaMultAddSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(KaratsubaMultAddSim, AccumulatesAndCleansWorkspace) {
+  int n = GetParam();
+  KaratsubaOptions opts;
+  opts.cutoff = 5;
+  std::uint64_t s = 2718281828ull;
+  for (int round = 0; round < 6; ++round) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t xv = (s >> 28) & mask_bits(n);
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t yv = (s >> 28) & mask_bits(n);
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t acc0 = (s >> 28) & mask_bits(2 * n);
+    SparseSimulator sim(s | 1);
+    ProgramBuilder bld(sim);
+    Register x = bld.alloc_register(n);
+    Register y = bld.alloc_register(n);
+    Register acc = bld.alloc_register(2 * n);
+    bld.xor_constant(x, xv);
+    bld.xor_constant(y, yv);
+    bld.xor_constant(acc, acc0);
+    std::uint64_t live_before = bld.live_qubits();
+    karatsuba_mult_add(bld, x, y, acc, opts);
+    // All workspace reclaimed; the simulator's release check verified |0>.
+    EXPECT_EQ(bld.live_qubits(), live_before);
+    EXPECT_EQ(sim.peek_classical(acc), (acc0 + xv * yv) & mask_bits(2 * n)) << "n=" << n;
+    EXPECT_EQ(sim.peek_classical(x), xv);
+    EXPECT_EQ(sim.peek_classical(y), yv);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KaratsubaMultAddSim, ::testing::Values(6, 7, 8));
+
+TEST(Karatsuba, BaseCaseFallsBackToSchoolbook) {
+  SparseSimulator sim(9);
+  ProgramBuilder bld(sim);
+  Register x = bld.alloc_register(4);
+  Register y = bld.alloc_register(4);
+  Register acc = bld.alloc_register(8);
+  bld.xor_constant(x, 13);
+  bld.xor_constant(y, 11);
+  karatsuba_mult_add(bld, x, y, acc, {});
+  EXPECT_EQ(sim.peek_classical(acc), 143u);
+}
+
+TEST(Karatsuba, RejectsUnequalOperands) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register x = bld.alloc_register(4);
+  Register y = bld.alloc_register(6);
+  Register acc = bld.alloc_register(12);
+  EXPECT_THROW(karatsuba_mult_add(bld, x, y, acc, {}), Error);
+}
+
+TEST(Karatsuba, ExactCircuitFollowsThreeWayRecurrence) {
+  // CCiX(2n) / CCiX(n) approaches 3 as the linear terms fade.
+  MultiplierOptions opts;
+  opts.cutoff = 8;
+  std::uint64_t c16 = multiplier_counts(MultiplierKind::kKaratsubaExact, 16, opts).ccix_count;
+  std::uint64_t c32 = multiplier_counts(MultiplierKind::kKaratsubaExact, 32, opts).ccix_count;
+  std::uint64_t c64 = multiplier_counts(MultiplierKind::kKaratsubaExact, 64, opts).ccix_count;
+  std::uint64_t c128 =
+      multiplier_counts(MultiplierKind::kKaratsubaExact, 128, opts).ccix_count;
+  double r1 = static_cast<double>(c32) / static_cast<double>(c16);
+  double r2 = static_cast<double>(c64) / static_cast<double>(c32);
+  double r3 = static_cast<double>(c128) / static_cast<double>(c64);
+  EXPECT_GT(r3, 2.6);
+  EXPECT_LT(r3, 3.6);
+  // Ratios drift toward 3 (from the schoolbook base upward).
+  EXPECT_LT(std::abs(r3 - 3.0), std::abs(r1 - 3.0) + 0.5);
+  (void)r2;
+}
+
+TEST(Karatsuba, ExactCircuitIsMeasurementFreeInProduct) {
+  // The taped construction uses unitary uncompute: measurements only appear
+  // in the final accumulator addition.
+  MultiplierOptions opts;
+  opts.cutoff = 8;
+  LogicalCounts c = multiplier_counts(MultiplierKind::kKaratsubaExact, 32, opts);
+  // Final add of 64-bit product into accumulator: 63 measurement-based
+  // unands; everything else is unitary.
+  EXPECT_EQ(c.measurement_count, 63u);
+}
+
+TEST(KaratsubaModel, RecurrenceIsExact) {
+  KaratsubaModel model;
+  EXPECT_DOUBLE_EQ(model.toffoli_count(16), 5.5 * 256.0);
+  EXPECT_DOUBLE_EQ(model.toffoli_count(32), 5.5 * 1024.0);
+  EXPECT_DOUBLE_EQ(model.toffoli_count(64), 3 * 5.5 * 1024.0 + 20.0 * 64.0);
+  EXPECT_DOUBLE_EQ(model.toffoli_count(128),
+                   3 * model.toffoli_count(64) + 20.0 * 128.0);
+}
+
+TEST(KaratsubaModel, PaperCrossoverCalibration) {
+  // Paper Section V: Karatsuba first beats standard multiplication around
+  // 4096 bits and is consistently better beyond 16384 bits; below 2048 bits
+  // it is slower. Standard long multiplication costs n^2 ANDs here.
+  KaratsubaModel model;
+  auto ratio = [&](std::uint64_t n) {
+    return model.toffoli_count(n) / (static_cast<double>(n) * static_cast<double>(n));
+  };
+  EXPECT_GT(ratio(1024), 1.3);
+  EXPECT_GT(ratio(2048), 1.0);
+  EXPECT_LT(ratio(4096), 1.0);
+  EXPECT_LT(ratio(8192), 0.8);
+  EXPECT_LT(ratio(16384), 0.6);
+}
+
+TEST(KaratsubaModel, EmitterProducesBatchedCounts) {
+  LogicalCounts c = multiplier_counts(MultiplierKind::kKaratsuba, 2048);
+  KaratsubaModel model;
+  EXPECT_EQ(c.ccix_count, static_cast<std::uint64_t>(std::ceil(model.toffoli_count(2048))));
+  EXPECT_EQ(c.measurement_count, c.ccix_count);
+  EXPECT_EQ(c.num_qubits, static_cast<std::uint64_t>(8 * 2048));
+}
+
+TEST(KaratsubaModel, UsesMoreQubitsThanRivals) {
+  // The paper: "the Karatsuba algorithm requires more physical qubits than
+  // the other two algorithms" — true already pre-layout.
+  std::uint64_t n = 2048;
+  std::uint64_t kq = multiplier_counts(MultiplierKind::kKaratsuba, n).num_qubits;
+  std::uint64_t sq = multiplier_counts(MultiplierKind::kStandard, n).num_qubits;
+  std::uint64_t wq = multiplier_counts(MultiplierKind::kWindowed, n).num_qubits;
+  EXPECT_GT(kq, sq);
+  EXPECT_GT(kq, wq);
+}
+
+TEST(KaratsubaModel, EmitterRequiresCountingBackend) {
+  SparseSimulator sim;
+  ProgramBuilder bld(sim);
+  EXPECT_THROW(emit_karatsuba_model(bld, 64, {}), Error);
+}
+
+}  // namespace
+}  // namespace qre

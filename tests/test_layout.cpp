@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "layout/layout.hpp"
+
+namespace qre {
+namespace {
+
+TEST(Layout, Formula) {
+  // Q = 2*Q_alg + ceil(sqrt(8*Q_alg)) + 1.
+  EXPECT_EQ(post_layout_logical_qubits(1), 2 + 3 + 1u);       // sqrt(8)=2.83 -> 3
+  EXPECT_EQ(post_layout_logical_qubits(2), 4 + 4 + 1u);       // sqrt(16)=4
+  EXPECT_EQ(post_layout_logical_qubits(10), 20 + 9 + 1u);     // sqrt(80)=8.94 -> 9
+  EXPECT_EQ(post_layout_logical_qubits(100), 200 + 29 + 1u);  // sqrt(800)=28.3 -> 29
+}
+
+TEST(Layout, MatchesClosedFormForLargeInputs) {
+  for (std::uint64_t q : {1000ull, 10240ull, 123456ull}) {
+    std::uint64_t expected =
+        2 * q + static_cast<std::uint64_t>(std::ceil(std::sqrt(8.0 * static_cast<double>(q)))) +
+        1;
+    EXPECT_EQ(post_layout_logical_qubits(q), expected);
+  }
+}
+
+TEST(Layout, PaperScaleAnchor) {
+  // The paper reports ~20,597 logical qubits for the 2048-bit windowed
+  // multiplier; a pre-layout width of ~10,150 lands in that regime.
+  std::uint64_t q = post_layout_logical_qubits(10150);
+  EXPECT_GT(q, 20000u);
+  EXPECT_LT(q, 21000u);
+}
+
+TEST(Layout, StrictlyIncreasing) {
+  std::uint64_t previous = 0;
+  for (std::uint64_t q = 1; q < 2000; q += 7) {
+    std::uint64_t current = post_layout_logical_qubits(q);
+    EXPECT_GT(current, previous);
+    previous = current;
+  }
+}
+
+TEST(Layout, OverheadFactorApproachesTwo) {
+  double ratio = static_cast<double>(post_layout_logical_qubits(1000000)) / 1000000.0;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 2.01);
+}
+
+TEST(Layout, ZeroQubitsRejected) { EXPECT_THROW(post_layout_logical_qubits(0), Error); }
+
+}  // namespace
+}  // namespace qre

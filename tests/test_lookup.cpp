@@ -1,0 +1,156 @@
+// Tests for QROM lookup / measurement-based unlookup, including the phase
+// fix-up correctness on superposed addresses — the heart of the windowed
+// multiplier (Gidney, arXiv:1905.07682).
+#include <gtest/gtest.h>
+
+#include "arith/lookup.hpp"
+#include "circuit/builder.hpp"
+#include "common/error.hpp"
+#include "counter/logical_counter.hpp"
+#include "sim/sparse_simulator.hpp"
+
+namespace qre {
+namespace {
+
+LookupData random_table(std::size_t w, std::size_t width, std::uint64_t seed) {
+  LookupData data;
+  data.data_width = width;
+  std::uint64_t x = seed | 1;
+  for (std::size_t k = 0; k < (std::size_t{1} << w); ++k) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    data.values.push_back((x >> 20) & ((std::uint64_t{1} << width) - 1));
+  }
+  return data;
+}
+
+class LookupWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(LookupWidths, ClassicalAddressesReadCorrectEntry) {
+  int w = GetParam();
+  LookupData data = random_table(w, 6, 42 + w);
+  for (std::uint64_t addr = 0; addr < (1u << w); ++addr) {
+    SparseSimulator sim(addr + 7);
+    ProgramBuilder bld(sim);
+    Register a = bld.alloc_register(w);
+    Register t = bld.alloc_register(6);
+    bld.xor_constant(a, addr);
+    lookup_xor(bld, a, t, data);
+    EXPECT_EQ(sim.peek_classical(t), data.values[addr]) << "w=" << w << " addr=" << addr;
+    EXPECT_EQ(sim.peek_classical(a), addr);  // address preserved
+    // XOR semantics: looking up twice clears the target.
+    lookup_xor(bld, a, t, data);
+    EXPECT_EQ(sim.peek_classical(t), 0u);
+  }
+}
+
+TEST_P(LookupWidths, UnlookupRestoresSuperposedAddress) {
+  // Put the address in uniform superposition, lookup, unlookup, then
+  // interfere the address back with H^w. Any phase error from the
+  // measurement-based unlookup leaves population outside |0...0>.
+  int w = GetParam();
+  LookupData data = random_table(w, 5, 1234 + w);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SparseSimulator sim(seed * 2654435761ull);
+    ProgramBuilder bld(sim);
+    Register a = bld.alloc_register(w);
+    Register t = bld.alloc_register(5);
+    for (QubitId q : a) bld.h(q);
+    lookup_xor(bld, a, t, data);
+    unlookup(bld, a, t, data);
+    bld.free_register(t);  // unlookup must have reset it to |0>
+    for (QubitId q : a) bld.h(q);
+    EXPECT_EQ(sim.peek_classical(a), 0u) << "w=" << w << " seed=" << seed;
+    EXPECT_NEAR(sim.norm(), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AddressWidths, LookupWidths, ::testing::Values(1, 2, 3, 4));
+
+TEST(Lookup, ZeroWidthAddress) {
+  LookupData data;
+  data.data_width = 4;
+  data.values = {0b1010};
+  SparseSimulator sim;
+  ProgramBuilder bld(sim);
+  Register a;  // empty address: single-entry table
+  Register t = bld.alloc_register(4);
+  lookup_xor(bld, a, t, data);
+  EXPECT_EQ(sim.peek_classical(t), 0b1010u);
+  unlookup(bld, a, t, data);
+  bld.free_register(t);
+}
+
+TEST(Lookup, SelectWalkVisitsAllLeavesOnce) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register a = bld.alloc_register(3);
+  std::vector<int> visits(8, 0);
+  select_walk(bld, a, [&](std::optional<QubitId> ctrl, std::uint64_t k) {
+    EXPECT_TRUE(ctrl.has_value());
+    ASSERT_LT(k, 8u);
+    ++visits[k];
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(Lookup, SelectWalkAndBudget) {
+  // The select tree costs 2^w - 2 ANDs (the root split is free).
+  for (std::size_t w : {2u, 3u, 4u, 5u}) {
+    LogicalCounter counter;
+    ProgramBuilder bld(counter);
+    Register a = bld.alloc_register(w);
+    select_walk(bld, a, [](std::optional<QubitId>, std::uint64_t) {});
+    EXPECT_EQ(counter.counts().ccix_count, (std::uint64_t{1} << w) - 2) << "w=" << w;
+  }
+}
+
+TEST(Lookup, UnlookupCostIsSquareRootStyle) {
+  // Structural ANDs: two one-hot lookups over ceil(w/2) bits plus a select
+  // over floor(w/2) bits — far below the 2^w of a full lookup.
+  for (std::size_t w : {4u, 6u, 8u}) {
+    LookupData data;
+    data.data_width = 8;  // counting backend: values not needed
+    LogicalCounter counter;
+    ProgramBuilder bld(counter);
+    Register a = bld.alloc_register(w);
+    Register t = bld.alloc_register(8);
+    // Target must "hold" a looked-up value conceptually; for counting we can
+    // go straight to unlookup.
+    unlookup(bld, a, t, data);
+    std::uint64_t w1 = (w + 1) / 2;
+    std::uint64_t w2 = w - w1;
+    std::uint64_t expected = 2 * ((std::uint64_t{1} << w1) - 2);
+    if (w2 >= 2) expected += (std::uint64_t{1} << w2) - 2;
+    EXPECT_EQ(counter.counts().ccix_count, expected) << "w=" << w;
+    EXPECT_LT(counter.counts().ccix_count, (std::uint64_t{1} << w) - 2);
+    // One X-measurement per target bit plus the AND uncomputations.
+    EXPECT_GE(counter.counts().measurement_count, 8u);
+  }
+}
+
+TEST(Lookup, CountingBackendSkipsValues) {
+  // Counting backends work without table values even for wide data.
+  LookupData data;
+  data.data_width = 4096;  // wider than any executable table
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register a = bld.alloc_register(10);
+  Register t = bld.alloc_register(16);  // width mismatch tolerated when counting
+  lookup_xor(bld, a, t, data);
+  EXPECT_EQ(counter.counts().ccix_count, 1022u);
+  EXPECT_GT(counter.counts().clifford_count, 0u);
+}
+
+TEST(Lookup, ExecutingBackendValidatesTable) {
+  SparseSimulator sim;
+  ProgramBuilder bld(sim);
+  Register a = bld.alloc_register(2);
+  Register t = bld.alloc_register(3);
+  LookupData bad;
+  bad.data_width = 3;
+  bad.values = {1, 2};  // needs 4 entries
+  EXPECT_THROW(lookup_xor(bld, a, t, bad), Error);
+}
+
+}  // namespace
+}  // namespace qre

@@ -1,0 +1,280 @@
+// Simulator verification of the modular arithmetic stack — comparators,
+// modular adders, windowed modular multiplication (incl. the controlled
+// form and its taped-adjoint uncompute), and modular exponentiation —
+// against classical arithmetic, plus counting-mode structure checks and the
+// factoring workload composition.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arith/comparators.hpp"
+#include "arith/dynamics.hpp"
+#include "arith/modular.hpp"
+#include "circuit/builder.hpp"
+#include "common/error.hpp"
+#include "counter/logical_counter.hpp"
+#include "sim/sparse_simulator.hpp"
+
+namespace qre {
+namespace {
+
+TEST(ClassicalHelpers, ModPowAndInverse) {
+  EXPECT_EQ(mod_pow(7, 0, 15), 1u);
+  EXPECT_EQ(mod_pow(7, 2, 15), 4u);
+  EXPECT_EQ(mod_pow(7, 4, 15), 1u);
+  EXPECT_EQ(mod_pow(2, 10, 1000), 24u);
+  EXPECT_EQ(mod_inverse(7, 15), 13u);  // 7*13 = 91 = 6*15+1
+  EXPECT_EQ(mod_inverse(1, 2), 1u);
+  EXPECT_THROW(mod_inverse(6, 15), Error);  // gcd != 1
+}
+
+TEST(Comparators, CarryOfSumExhaustive) {
+  for (int n = 1; n <= 4; ++n) {
+    for (std::uint64_t a = 0; a < (1u << n); ++a) {
+      for (std::uint64_t b = 0; b < (1u << n); ++b) {
+        for (int cin = 0; cin < 2; ++cin) {
+          SparseSimulator sim(a * 97 + b * 3 + cin + 1);
+          ProgramBuilder bld(sim);
+          Register ra = bld.alloc_register(n);
+          Register rb = bld.alloc_register(n);
+          QubitId flag = bld.alloc();
+          bld.xor_constant(ra, a);
+          bld.xor_constant(rb, b);
+          carry_of_sum(bld, ra, rb, flag, cin != 0);
+          bool expected = (a + b + cin) >> n;
+          EXPECT_NEAR(sim.probability_one(flag), expected ? 1.0 : 0.0, 1e-9)
+              << "n=" << n << " a=" << a << " b=" << b << " cin=" << cin;
+          // Operands untouched.
+          EXPECT_EQ(sim.peek_classical(ra), a);
+          EXPECT_EQ(sim.peek_classical(rb), b);
+        }
+      }
+    }
+  }
+}
+
+TEST(Comparators, CompareLessExhaustive) {
+  for (int n = 1; n <= 4; ++n) {
+    for (std::uint64_t a = 0; a < (1u << n); ++a) {
+      for (std::uint64_t b = 0; b < (1u << n); ++b) {
+        SparseSimulator sim(a * 13 + b + 2);
+        ProgramBuilder bld(sim);
+        Register ra = bld.alloc_register(n);
+        Register rb = bld.alloc_register(n);
+        QubitId flag = bld.alloc();
+        bld.xor_constant(ra, a);
+        bld.xor_constant(rb, b);
+        compare_less(bld, ra, rb, flag);
+        EXPECT_NEAR(sim.probability_one(flag), a < b ? 1.0 : 0.0, 1e-9)
+            << "a=" << a << " b=" << b;
+        EXPECT_EQ(sim.peek_classical(rb), b);
+      }
+    }
+  }
+}
+
+TEST(Comparators, CompareGeqConstantExhaustive) {
+  const int n = 4;
+  for (std::uint64_t k = 1; k <= (1u << n); ++k) {
+    for (std::uint64_t v = 0; v < (1u << n); ++v) {
+      SparseSimulator sim(k * 31 + v + 7);
+      ProgramBuilder bld(sim);
+      Register reg = bld.alloc_register(n);
+      QubitId flag = bld.alloc();
+      bld.xor_constant(reg, v);
+      compare_geq_constant(bld, reg, Constant{k, n}, flag);
+      EXPECT_NEAR(sim.probability_one(flag), v >= k ? 1.0 : 0.0, 1e-9)
+          << "k=" << k << " v=" << v;
+      EXPECT_EQ(sim.peek_classical(reg), v);
+    }
+  }
+}
+
+int bits_for_modulus(std::uint64_t modulus) {
+  int n = 1;
+  while ((std::uint64_t{1} << n) < modulus) ++n;
+  return n;
+}
+
+class ModAddConstant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModAddConstant, Exhaustive) {
+  std::uint64_t modulus = GetParam();
+  int n = bits_for_modulus(modulus);
+  for (std::uint64_t k = 0; k < modulus; ++k) {
+    for (std::uint64_t v = 0; v < modulus; ++v) {
+      SparseSimulator sim(k * 101 + v + 3);
+      ProgramBuilder bld(sim);
+      Register reg = bld.alloc_register(n);
+      bld.xor_constant(reg, v);
+      std::uint64_t live = bld.live_qubits();
+      mod_add_constant(bld, k, modulus, reg);
+      EXPECT_EQ(sim.peek_classical(reg), (v + k) % modulus)
+          << "N=" << modulus << " k=" << k << " v=" << v;
+      EXPECT_EQ(bld.live_qubits(), live);  // flag uncomputed and released
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, ModAddConstant, ::testing::Values(5, 8, 13, 16));
+
+TEST(ModularAdd, QuantumQuantumExhaustive) {
+  for (std::uint64_t modulus : {6ull, 11ull, 16ull}) {
+    int n = bits_for_modulus(modulus);
+    for (std::uint64_t t = 0; t < modulus; t += 2) {
+      for (std::uint64_t v = 0; v < modulus; ++v) {
+        SparseSimulator sim(t * 211 + v + 5);
+        ProgramBuilder bld(sim);
+        Register rt = bld.alloc_register(n);
+        Register acc = bld.alloc_register(n);
+        bld.xor_constant(rt, t);
+        bld.xor_constant(acc, v);
+        mod_add_into(bld, rt, modulus, acc);
+        EXPECT_EQ(sim.peek_classical(acc), (t + v) % modulus)
+            << "N=" << modulus << " t=" << t << " v=" << v;
+        EXPECT_EQ(sim.peek_classical(rt), t);  // addend preserved
+      }
+    }
+  }
+}
+
+class WindowedModMult : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(WindowedModMult, MatchesClassical) {
+  auto [modulus, w] = GetParam();
+  int n = bits_for_modulus(modulus);
+  std::uint64_t s = 12345;
+  for (int round = 0; round < 12; ++round) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t c = (s >> 33) % modulus;
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t y = (s >> 33) % modulus;
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t t0 = (s >> 33) % modulus;
+    SparseSimulator sim(s | 1);
+    ProgramBuilder bld(sim);
+    Register ry = bld.alloc_register(n);
+    Register target = bld.alloc_register(n);
+    bld.xor_constant(ry, y);
+    bld.xor_constant(target, t0);
+    windowed_mod_mult_add(bld, std::nullopt, c, modulus, ry, target, w);
+    std::uint64_t expected =
+        static_cast<std::uint64_t>((static_cast<unsigned __int128>(c) * y + t0) % modulus);
+    EXPECT_EQ(sim.peek_classical(target), expected)
+        << "N=" << modulus << " c=" << c << " y=" << y << " t0=" << t0;
+    EXPECT_EQ(sim.peek_classical(ry), y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModuliAndWindows, WindowedModMult,
+                         ::testing::Values(std::tuple{15ull, 1}, std::tuple{15ull, 2},
+                                           std::tuple{21ull, 2}, std::tuple{32ull, 3},
+                                           std::tuple{63ull, 3}));
+
+TEST(ModMulInplace, ControlledBothBranches) {
+  const std::uint64_t modulus = 15;
+  const int n = 4;
+  for (std::uint64_t c : {2ull, 7ull, 11ull, 13ull}) {
+    std::uint64_t inverse = mod_inverse(c, modulus);
+    for (int ctrl = 0; ctrl < 2; ++ctrl) {
+      for (std::uint64_t v : {1ull, 4ull, 8ull, 14ull}) {
+        SparseSimulator sim(c * 7 + v * 3 + ctrl + 11);
+        ProgramBuilder bld(sim);
+        QubitId control = bld.alloc();
+        if (ctrl) bld.x(control);
+        Register acc = bld.alloc_register(n);
+        bld.xor_constant(acc, v);
+        std::uint64_t live = bld.live_qubits();
+        mod_mul_constant_inplace(bld, control, c, inverse, modulus, acc, 2);
+        std::uint64_t expected = ctrl ? (c * v) % modulus : v;
+        EXPECT_EQ(sim.peek_classical(acc), expected)
+            << "c=" << c << " v=" << v << " ctrl=" << ctrl;
+        EXPECT_EQ(bld.live_qubits(), live);  // scratch fully uncomputed
+      }
+    }
+  }
+}
+
+TEST(ModExp, ShorStyleEvaluation) {
+  // 7^e mod 15 for every 4-bit exponent value, against classical mod_pow.
+  const std::uint64_t modulus = 15;
+  const std::uint64_t g = 7;
+  for (std::uint64_t e = 0; e < 16; ++e) {
+    SparseSimulator sim(e * 3 + 1);
+    ProgramBuilder bld(sim);
+    Register exponent = bld.alloc_register(4);
+    Register acc = bld.alloc_register(4);
+    bld.xor_constant(exponent, e);
+    bld.xor_constant(acc, 1);
+    mod_exp(bld, g, modulus, exponent, acc, 2);
+    EXPECT_EQ(sim.peek_classical(acc), mod_pow(g, e, modulus)) << "e=" << e;
+    EXPECT_EQ(sim.peek_classical(exponent), e);
+  }
+}
+
+TEST(ModExp, SuperposedExponentStaysConsistent) {
+  // Exponent in |+>^2: measuring it afterwards must find acc = g^e mod N.
+  const std::uint64_t modulus = 15;
+  const std::uint64_t g = 7;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SparseSimulator sim(seed * 7919);
+    ProgramBuilder bld(sim);
+    Register exponent = bld.alloc_register(2);
+    Register acc = bld.alloc_register(4);
+    for (QubitId q : exponent) bld.h(q);
+    bld.xor_constant(acc, 1);
+    mod_exp(bld, g, modulus, exponent, acc, 2);
+    std::uint64_t e = 0;
+    for (std::size_t i = 0; i < exponent.size(); ++i) {
+      if (bld.mz(exponent[i])) e |= std::uint64_t{1} << i;
+    }
+    EXPECT_EQ(sim.peek_classical(acc), mod_pow(g, e, modulus)) << "seed=" << seed;
+  }
+}
+
+TEST(Factoring, CompositionScalesToRsaSizes) {
+  LogicalCounts rsa = factoring_counts(2048);
+  // 2n controlled modular multiplications, each ~2 windowed passes of
+  // (n/w) * (lookup + ~5n modular-add ANDs).
+  EXPECT_GT(rsa.ccix_count, 1e9);
+  EXPECT_LT(rsa.ccix_count, 2e11);
+  // Width: exponent (2n) + accumulator (n) + multiply scratch (~2n + w).
+  EXPECT_GT(rsa.num_qubits, 5 * 2048u);
+  EXPECT_LT(rsa.num_qubits, 8 * 2048u);
+  EXPECT_EQ(rsa.rotation_count, 0u);
+  // Composition is linear in the multiplication count.
+  LogicalCounts half = factoring_counts(1024);
+  double ratio = static_cast<double>(rsa.ccix_count) / static_cast<double>(half.ccix_count);
+  EXPECT_GT(ratio, 3.0);  // ~2x multiplications, each >2x larger
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Dynamics, IsingCountsMatchClosedForm) {
+  IsingModelSpec spec;
+  spec.lattice_width = 6;
+  spec.lattice_height = 5;
+  spec.trotter_steps = 20;
+  LogicalCounts c = ising_counts(spec);
+  std::size_t sites = 30;
+  std::size_t edges = 5 * 5 /*horizontal*/ + 4 * 6 /*vertical*/;
+  EXPECT_EQ(c.num_qubits, sites);
+  EXPECT_EQ(c.rotation_count, spec.trotter_steps * (sites + edges));
+  EXPECT_EQ(c.measurement_count, sites);
+  EXPECT_EQ(c.t_count, 0u);
+  EXPECT_EQ(c.ccz_count, 0u);
+  // Parallel layers: per step one Rx layer plus four edge sweeps; allow
+  // scheduler slack but require far fewer layers than rotations.
+  EXPECT_GE(c.rotation_depth, spec.trotter_steps * 3);
+  EXPECT_LE(c.rotation_depth, spec.trotter_steps * 8);
+}
+
+TEST(Dynamics, EvolutionValidatesLattice) {
+  LogicalCounter counter;
+  ProgramBuilder bld(counter);
+  Register wrong = bld.alloc_register(7);
+  IsingModelSpec spec;
+  EXPECT_THROW(ising_trotter_evolution(bld, wrong, spec), Error);
+}
+
+}  // namespace
+}  // namespace qre

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "profiles/qubit_params.hpp"
+
+namespace qre {
+namespace {
+
+TEST(Profiles, GateNsPresets) {
+  QubitParams q = QubitParams::gate_ns_e3();
+  EXPECT_EQ(q.name, "qubit_gate_ns_e3");
+  EXPECT_EQ(q.instruction_set, InstructionSet::kGateBased);
+  EXPECT_DOUBLE_EQ(q.one_qubit_gate_time_ns, 50.0);
+  EXPECT_DOUBLE_EQ(q.two_qubit_gate_time_ns, 50.0);
+  EXPECT_DOUBLE_EQ(q.one_qubit_measurement_time_ns, 100.0);
+  EXPECT_DOUBLE_EQ(q.t_gate_time_ns, 50.0);
+  EXPECT_DOUBLE_EQ(q.one_qubit_gate_error_rate, 1e-3);
+  EXPECT_DOUBLE_EQ(q.t_gate_error_rate, 1e-3);
+
+  QubitParams q4 = QubitParams::gate_ns_e4();
+  EXPECT_DOUBLE_EQ(q4.two_qubit_gate_error_rate, 1e-4);
+  EXPECT_DOUBLE_EQ(q4.t_gate_error_rate, 1e-4);
+  EXPECT_DOUBLE_EQ(q4.one_qubit_gate_time_ns, 50.0);  // same speed, lower error
+}
+
+TEST(Profiles, GateUsPresets) {
+  QubitParams q = QubitParams::gate_us_e3();
+  EXPECT_DOUBLE_EQ(q.one_qubit_gate_time_ns, 100e3);
+  EXPECT_DOUBLE_EQ(q.one_qubit_measurement_time_ns, 100e3);
+  EXPECT_DOUBLE_EQ(q.one_qubit_gate_error_rate, 1e-3);
+  // Ion-like presets model very accurate T gates (Beverland et al. Table V).
+  EXPECT_DOUBLE_EQ(q.t_gate_error_rate, 1e-6);
+  EXPECT_DOUBLE_EQ(QubitParams::gate_us_e4().two_qubit_gate_error_rate, 1e-4);
+}
+
+TEST(Profiles, MajoranaPresets) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  EXPECT_EQ(q.instruction_set, InstructionSet::kMajorana);
+  // Parameters quoted in the paper's Section V for qubit_maj_ns_e4.
+  EXPECT_DOUBLE_EQ(q.one_qubit_measurement_time_ns, 100.0);
+  EXPECT_DOUBLE_EQ(q.two_qubit_joint_measurement_time_ns, 100.0);
+  EXPECT_DOUBLE_EQ(q.t_gate_time_ns, 100.0);
+  EXPECT_DOUBLE_EQ(q.clifford_error_rate(), 1e-4);
+  EXPECT_DOUBLE_EQ(q.t_gate_error_rate, 0.05);
+
+  QubitParams q6 = QubitParams::maj_ns_e6();
+  EXPECT_DOUBLE_EQ(q6.clifford_error_rate(), 1e-6);
+  EXPECT_DOUBLE_EQ(q6.t_gate_error_rate, 0.01);
+}
+
+TEST(Profiles, PresetNamesCoverFigureFour) {
+  const auto& names = QubitParams::preset_names();
+  ASSERT_EQ(names.size(), 6u);
+  for (const std::string& name : names) {
+    QubitParams q = QubitParams::from_name(name);
+    EXPECT_EQ(q.name, name);
+    EXPECT_NO_THROW(q.validate());
+  }
+}
+
+TEST(Profiles, UnknownNameThrows) {
+  try {
+    QubitParams::from_name("qubit_gate_ms_e9");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("qubit_gate_ns_e3"), std::string::npos);
+  }
+}
+
+TEST(Profiles, CliffordErrorIsWorstCase) {
+  QubitParams q = QubitParams::gate_ns_e4();
+  q.one_qubit_measurement_error_rate = 3e-4;
+  EXPECT_DOUBLE_EQ(q.clifford_error_rate(), 3e-4);
+  q.idle_error_rate = 5e-4;
+  EXPECT_DOUBLE_EQ(q.clifford_error_rate(), 5e-4);
+  EXPECT_DOUBLE_EQ(q.readout_error_rate(), 3e-4);
+}
+
+TEST(Profiles, JsonPresetWithOverride) {
+  json::Value v = json::parse(R"({"name": "qubit_maj_ns_e4", "tGateErrorRate": 0.03})");
+  QubitParams q = QubitParams::from_json(v);
+  EXPECT_DOUBLE_EQ(q.t_gate_error_rate, 0.03);
+  EXPECT_DOUBLE_EQ(q.one_qubit_measurement_error_rate, 1e-4);  // preset value kept
+  EXPECT_EQ(q.instruction_set, InstructionSet::kMajorana);
+}
+
+TEST(Profiles, JsonFullyCustomModel) {
+  json::Value v = json::parse(R"({
+    "name": "my_qubit",
+    "instructionSet": "GateBased",
+    "oneQubitMeasurementTime": 80,
+    "oneQubitGateTime": 20,
+    "twoQubitGateTime": 30,
+    "tGateTime": 25,
+    "oneQubitMeasurementErrorRate": 1e-3,
+    "oneQubitGateErrorRate": 5e-4,
+    "twoQubitGateErrorRate": 2e-3,
+    "tGateErrorRate": 4e-3,
+    "idleErrorRate": 1e-4
+  })");
+  QubitParams q = QubitParams::from_json(v);
+  EXPECT_EQ(q.name, "my_qubit");
+  EXPECT_DOUBLE_EQ(q.two_qubit_gate_time_ns, 30.0);
+  EXPECT_DOUBLE_EQ(q.clifford_error_rate(), 2e-3);
+}
+
+TEST(Profiles, JsonCustomRequiresInstructionSet) {
+  json::Value v = json::parse(R"({"name": "custom_thing"})");
+  EXPECT_THROW(QubitParams::from_json(v), Error);
+}
+
+TEST(Profiles, JsonRoundTrip) {
+  for (const std::string& name : QubitParams::preset_names()) {
+    QubitParams q = QubitParams::from_name(name);
+    QubitParams back = QubitParams::from_json(q.to_json());
+    EXPECT_EQ(back.name, q.name);
+    EXPECT_EQ(back.instruction_set, q.instruction_set);
+    EXPECT_DOUBLE_EQ(back.t_gate_error_rate, q.t_gate_error_rate);
+    EXPECT_DOUBLE_EQ(back.one_qubit_measurement_time_ns, q.one_qubit_measurement_time_ns);
+    EXPECT_DOUBLE_EQ(back.idle_error_rate, q.idle_error_rate);
+  }
+}
+
+TEST(Profiles, ValidationCatchesBadValues) {
+  QubitParams q = QubitParams::gate_ns_e3();
+  q.t_gate_error_rate = 0.0;
+  EXPECT_THROW(q.validate(), Error);
+  q = QubitParams::gate_ns_e3();
+  q.two_qubit_gate_time_ns = -5.0;
+  EXPECT_THROW(q.validate(), Error);
+  q = QubitParams::maj_ns_e4();
+  q.two_qubit_joint_measurement_error_rate = 1.5;
+  EXPECT_THROW(q.validate(), Error);
+}
+
+}  // namespace
+}  // namespace qre

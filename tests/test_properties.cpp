@@ -1,0 +1,215 @@
+// Cross-cutting property tests: randomized circuits checked for
+// counter/QIR-round-trip agreement, randomized arithmetic compositions
+// verified on the simulator, estimator determinism and scaling laws, and a
+// formula fuzz against a reference evaluator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "arith/adders.hpp"
+#include "arith/multipliers.hpp"
+#include "circuit/builder.hpp"
+#include "core/estimator.hpp"
+#include "counter/logical_counter.hpp"
+#include "formula/formula.hpp"
+#include "qir/qir_emitter.hpp"
+#include "qir/qir_reader.hpp"
+#include "report/report.hpp"
+#include "sim/sparse_simulator.hpp"
+
+namespace qre {
+namespace {
+
+/// Emits a pseudo-random (measurement-free) circuit onto a builder.
+void random_circuit(ProgramBuilder& bld, std::mt19937_64& rng, std::size_t num_qubits,
+                    std::size_t num_gates) {
+  Register q = bld.alloc_register(num_qubits);
+  std::uniform_int_distribution<std::size_t> pick(0, num_qubits - 1);
+  std::uniform_int_distribution<int> kind(0, 9);
+  std::uniform_real_distribution<double> angle(-3.0, 3.0);
+  for (std::size_t i = 0; i < num_gates; ++i) {
+    std::size_t a = pick(rng);
+    std::size_t b = pick(rng);
+    std::size_t c = pick(rng);
+    if (b == a) b = (a + 1) % num_qubits;
+    if (c == a || c == b) c = (std::max(a, b) + 1) % num_qubits;
+    switch (kind(rng)) {
+      case 0: bld.h(q[a]); break;
+      case 1: bld.x(q[a]); break;
+      case 2: bld.s(q[a]); break;
+      case 3: bld.t(q[a]); break;
+      case 4: bld.tdg(q[a]); break;
+      case 5: bld.rz(angle(rng), q[a]); break;
+      case 6: bld.cx(q[a], q[b]); break;
+      case 7: bld.cz(q[a], q[b]); break;
+      case 8: bld.ccz(q[a], q[b], q[c]); break;
+      case 9: bld.ccix(q[a], q[b], q[c]); break;
+    }
+  }
+}
+
+class RandomCircuits : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCircuits, QirRoundTripPreservesAllCounts) {
+  std::mt19937_64 rng(GetParam());
+  LogicalCounter direct;
+  {
+    ProgramBuilder bld(direct);
+    std::mt19937_64 rng_copy = rng;
+    random_circuit(bld, rng_copy, 8, 300);
+  }
+  qir::QirEmitter emitter;
+  {
+    ProgramBuilder bld(emitter);
+    std::mt19937_64 rng_copy = rng;
+    random_circuit(bld, rng_copy, 8, 300);
+  }
+  LogicalCounter via_qir;
+  qir::replay(emitter.finish(), via_qir);
+  EXPECT_EQ(via_qir.counts(), direct.counts());
+}
+
+TEST_P(RandomCircuits, SimulatorPreservesNorm) {
+  std::mt19937_64 rng(GetParam() * 77 + 1);
+  SparseSimulator sim(GetParam());
+  ProgramBuilder bld(sim);
+  random_circuit(bld, rng, 10, 120);
+  EXPECT_NEAR(sim.norm(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuits, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Properties, ChainedArithmeticComposes) {
+  // Two multiplier circuits into separate clean accumulators (the
+  // multipliers' contract), combined with a general adder; then the first
+  // product is subtracted back out, all against classical arithmetic.
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 6; ++round) {
+    std::uint64_t k1 = rng() & 0x3F;
+    std::uint64_t k2 = rng() & 0x3F;
+    std::uint64_t y_val = rng() & 0x3F;
+    SparseSimulator sim(rng());
+    ProgramBuilder bld(sim);
+    Register y = bld.alloc_register(6);
+    Register p1 = bld.alloc_register(12);
+    Register p2 = bld.alloc_register(13);  // headroom for the sum of products
+    bld.xor_constant(y, y_val);
+    long_mult_add_constant(bld, Constant{k1, 6}, y, p1);
+    windowed_mult_add_constant(bld, Constant{k2, 6}, y, slice(p2, 0, 12), 2);
+    add_into(bld, p1, p2);  // p2 = k1*y + k2*y, exact in 13 bits
+    EXPECT_EQ(sim.peek_classical(p2), (k1 + k2) * y_val) << "k1=" << k1 << " k2=" << k2;
+    sub_into(bld, p1, p2);  // back to k2*y
+    EXPECT_EQ(sim.peek_classical(p2), k2 * y_val);
+    EXPECT_EQ(sim.peek_classical(p1), k1 * y_val);
+    EXPECT_EQ(bld.live_qubits(), 31u);
+  }
+}
+
+TEST(Properties, EstimatorIsDeterministic) {
+  LogicalCounts counts;
+  counts.num_qubits = 64;
+  counts.t_count = 123'456;
+  counts.ccz_count = 7'890;
+  counts.rotation_count = 111;
+  counts.rotation_depth = 45;
+  counts.measurement_count = 22'222;
+  EstimationInput input = EstimationInput::for_profile(counts, "qubit_maj_ns_e4", 1e-4);
+  json::Value first = report_to_json(estimate(input));
+  for (int i = 0; i < 3; ++i) {
+    json::Value again = report_to_json(estimate(input));
+    EXPECT_TRUE(first == again);
+  }
+}
+
+TEST(Properties, WorkloadScalingLaws) {
+  // Doubling the T count can only increase depth-driven quantities.
+  LogicalCounts base;
+  base.num_qubits = 128;
+  base.t_count = 100'000;
+  base.measurement_count = 10'000;
+  LogicalCounts doubled = base;
+  doubled.t_count *= 2;
+  ResourceEstimate small =
+      estimate(EstimationInput::for_profile(base, "qubit_gate_ns_e3", 1e-3));
+  ResourceEstimate large =
+      estimate(EstimationInput::for_profile(doubled, "qubit_gate_ns_e3", 1e-3));
+  EXPECT_GT(large.runtime_ns, small.runtime_ns);
+  EXPECT_GE(large.logical_qubit.code_distance, small.logical_qubit.code_distance);
+  EXPECT_GE(large.total_physical_qubits, small.total_physical_qubits);
+  EXPECT_EQ(large.algorithmic_logical_qubits, small.algorithmic_logical_qubits);
+}
+
+TEST(Properties, ProfileErrorRateOrdering) {
+  // Better physical error rates never need a larger code distance.
+  LogicalCounts counts;
+  counts.num_qubits = 100;
+  counts.t_count = 1'000'000;
+  counts.measurement_count = 100'000;
+  ResourceEstimate e3 =
+      estimate(EstimationInput::for_profile(counts, "qubit_gate_ns_e3", 1e-3));
+  ResourceEstimate e4 =
+      estimate(EstimationInput::for_profile(counts, "qubit_gate_ns_e4", 1e-3));
+  EXPECT_LT(e4.logical_qubit.code_distance, e3.logical_qubit.code_distance);
+  EXPECT_LT(e4.total_physical_qubits, e3.total_physical_qubits);
+  ResourceEstimate maj4 =
+      estimate(EstimationInput::for_profile(counts, "qubit_maj_ns_e4", 1e-3));
+  ResourceEstimate maj6 =
+      estimate(EstimationInput::for_profile(counts, "qubit_maj_ns_e6", 1e-3));
+  EXPECT_LT(maj6.logical_qubit.code_distance, maj4.logical_qubit.code_distance);
+}
+
+TEST(Properties, FormulaFuzzAgainstReference) {
+  // Random arithmetic over (+,-,*) with small integer operands, compared
+  // against a direct recursive evaluation.
+  std::mt19937_64 rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    std::uniform_int_distribution<int> literal(1, 9);
+    std::uniform_int_distribution<int> op(0, 2);
+    std::ostringstream text;
+    double reference = literal(rng);
+    text << reference;
+    double pending_product = reference;
+    double total = 0.0;
+    bool subtract = false;
+    // Build left-to-right with correct precedence tracking.
+    int terms = std::uniform_int_distribution<int>(1, 8)(rng);
+    for (int i = 0; i < terms; ++i) {
+      int o = op(rng);
+      double v = literal(rng);
+      if (o == 2) {
+        text << " * " << v;
+        pending_product *= v;
+      } else {
+        total += subtract ? -pending_product : pending_product;
+        subtract = (o == 1);
+        text << (subtract ? " - " : " + ") << v;
+        pending_product = v;
+      }
+    }
+    total += subtract ? -pending_product : pending_product;
+    Formula f = Formula::parse(text.str());
+    EXPECT_NEAR(f.evaluate({}), total, 1e-9) << text.str();
+  }
+}
+
+TEST(Properties, ReportJsonAlwaysReparses) {
+  for (const std::string& profile : QubitParams::preset_names()) {
+    LogicalCounts counts;
+    counts.num_qubits = 32;
+    counts.t_count = 5'000;
+    counts.ccix_count = 2'000;
+    counts.rotation_count = 64;
+    counts.rotation_depth = 16;
+    counts.measurement_count = 7'000;
+    ResourceEstimate e = estimate(EstimationInput::for_profile(counts, profile, 1e-3));
+    json::Value dumped = json::parse(report_to_json(e).pretty());
+    EXPECT_EQ(dumped.at("physicalCounts").at("physicalQubits").as_uint(),
+              e.total_physical_qubits)
+        << profile;
+  }
+}
+
+}  // namespace
+}  // namespace qre

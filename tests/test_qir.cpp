@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "circuit/builder.hpp"
+#include "common/error.hpp"
+#include "counter/logical_counter.hpp"
+#include "qir/qir_emitter.hpp"
+#include "qir/qir_reader.hpp"
+#include "sim/sparse_simulator.hpp"
+
+namespace qre {
+namespace {
+
+TEST(QirReader, ParsesBaseProfileCalls) {
+  const char* text = R"(
+; hand-written module
+%Qubit = type opaque
+%Result = type opaque
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(%Qubit* null)
+  call void @__quantum__qis__cnot__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*))
+  call void @__quantum__qis__t__body(%Qubit* inttoptr (i64 1 to %Qubit*))
+  call void @__quantum__qis__t__adj(%Qubit* inttoptr (i64 1 to %Qubit*))
+  call void @__quantum__qis__rz__body(double 2.5e-1, %Qubit* inttoptr (i64 0 to %Qubit*))
+  call void @__quantum__qis__ccz__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*), %Qubit* inttoptr (i64 2 to %Qubit*))
+  call void @__quantum__qis__mz__body(%Qubit* inttoptr (i64 2 to %Qubit*), %Result* inttoptr (i64 0 to %Result*))
+  call void @__quantum__rt__result_record_output(%Result* inttoptr (i64 0 to %Result*), i8* null)
+  ret void
+}
+)";
+  LogicalCounter counter;
+  qir::replay(text, counter);
+  const LogicalCounts& c = counter.counts();
+  EXPECT_EQ(c.num_qubits, 3u);
+  EXPECT_EQ(c.t_count, 2u);
+  EXPECT_EQ(c.rotation_count, 1u);
+  EXPECT_EQ(c.rotation_depth, 1u);
+  EXPECT_EQ(c.ccz_count, 1u);
+  EXPECT_EQ(c.measurement_count, 1u);
+  EXPECT_EQ(c.clifford_count, 2u);  // h + cnot
+}
+
+TEST(QirReader, MresetzAndAliases) {
+  const char* text = R"(
+  call void @__quantum__qis__cx__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*))
+  call void @__quantum__qis__mresetz__body(%Qubit* null, %Result* null)
+  call void @__quantum__qis__m__body(%Qubit* inttoptr (i64 1 to %Qubit*), %Result* inttoptr (i64 1 to %Result*))
+)";
+  LogicalCounter counter;
+  qir::replay(text, counter);
+  EXPECT_EQ(counter.counts().measurement_count, 2u);
+  EXPECT_EQ(counter.counts().clifford_count, 1u);
+}
+
+TEST(QirReader, UnknownIntrinsicThrows) {
+  const char* text = "call void @__quantum__qis__frobnicate__body(%Qubit* null)";
+  LogicalCounter counter;
+  try {
+    qir::replay(text, counter);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(QirReader, MalformedOperandThrows) {
+  LogicalCounter counter;
+  EXPECT_THROW(qir::replay("call void @__quantum__qis__h__body(%Qubit* inttoptr (i64 x))",
+                           counter),
+               Error);
+  EXPECT_THROW(qir::replay("call void @__quantum__qis__h__body(%Qubit* null", counter), Error);
+  EXPECT_THROW(qir::replay("call void @__quantum__qis__cnot__body(%Qubit* null)", counter),
+               Error);
+}
+
+TEST(QirReader, MissingFileThrows) {
+  LogicalCounter counter;
+  EXPECT_THROW(qir::replay_file("/does/not/exist.ll", counter), Error);
+}
+
+void run_reference_program(Backend& backend) {
+  ProgramBuilder bld(backend);
+  Register q = bld.alloc_register(4);
+  bld.h(q[0]);
+  bld.cx(q[0], q[1]);
+  bld.t(q[1]);
+  bld.tdg(q[2]);
+  bld.s(q[2]);
+  bld.sdg(q[3]);
+  bld.rz(0.125, q[3]);
+  bld.rx(-0.5, q[0]);
+  bld.ccz(q[0], q[1], q[2]);
+  bld.ccix(q[1], q[2], q[3]);
+  bld.swap(q[0], q[3]);
+  bld.mz(q[0]);
+  bld.mx(q[1]);
+  bld.free_register(q);
+}
+
+TEST(QirRoundTrip, EmitThenParsePreservesCounts) {
+  // Counts from tracing directly...
+  LogicalCounter direct;
+  run_reference_program(direct);
+
+  // ...equal counts from emitting QIR and replaying it.
+  qir::QirEmitter emitter;
+  run_reference_program(emitter);
+  std::string text = emitter.finish();
+  LogicalCounter via_qir;
+  qir::replay(text, via_qir);
+
+  EXPECT_EQ(via_qir.counts().num_qubits, direct.counts().num_qubits);
+  EXPECT_EQ(via_qir.counts().t_count, direct.counts().t_count);
+  EXPECT_EQ(via_qir.counts().rotation_count, direct.counts().rotation_count);
+  EXPECT_EQ(via_qir.counts().rotation_depth, direct.counts().rotation_depth);
+  EXPECT_EQ(via_qir.counts().ccz_count, direct.counts().ccz_count);
+  EXPECT_EQ(via_qir.counts().ccix_count, direct.counts().ccix_count);
+  EXPECT_EQ(via_qir.counts().measurement_count, direct.counts().measurement_count);
+  EXPECT_EQ(via_qir.counts().clifford_count, direct.counts().clifford_count);
+}
+
+TEST(QirRoundTrip, EmittedModuleIsWellFormed) {
+  qir::QirEmitter emitter("reference");
+  run_reference_program(emitter);
+  std::string text = emitter.finish();
+  EXPECT_NE(text.find("define void @reference()"), std::string::npos);
+  EXPECT_NE(text.find("%Qubit = type opaque"), std::string::npos);
+  EXPECT_NE(text.find("declare void @__quantum__qis__h__body(%Qubit*)"), std::string::npos);
+  EXPECT_NE(text.find("\"required_num_qubits\"=\"4\""), std::string::npos);
+  EXPECT_NE(text.find("\"required_num_results\"=\"2\""), std::string::npos);
+  EXPECT_NE(text.find("ret void"), std::string::npos);
+}
+
+TEST(QirRoundTrip, DoubleRoundTripIsStable) {
+  qir::QirEmitter first;
+  run_reference_program(first);
+  std::string text1 = first.finish();
+
+  qir::QirEmitter second;
+  qir::replay(text1, second);
+  std::string text2 = second.finish();
+
+  LogicalCounter c1;
+  qir::replay(text1, c1);
+  LogicalCounter c2;
+  qir::replay(text2, c2);
+  EXPECT_EQ(c1.counts().t_count, c2.counts().t_count);
+  EXPECT_EQ(c1.counts().rotation_count, c2.counts().rotation_count);
+  EXPECT_EQ(c1.counts().measurement_count, c2.counts().measurement_count);
+}
+
+TEST(QirReader, ReplaysOntoSimulator) {
+  const char* text = R"(
+  call void @__quantum__qis__x__body(%Qubit* null)
+  call void @__quantum__qis__cnot__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*))
+  call void @__quantum__qis__ccx__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*), %Qubit* inttoptr (i64 2 to %Qubit*))
+  call void @__quantum__qis__x__body(%Qubit* null)
+  call void @__quantum__qis__x__body(%Qubit* inttoptr (i64 1 to %Qubit*))
+  call void @__quantum__qis__x__body(%Qubit* inttoptr (i64 2 to %Qubit*))
+)";
+  // |000> -> X,CX,CCX cascade -> |111> -> X all -> |000>: releasable.
+  SparseSimulator sim;
+  EXPECT_NO_THROW(qir::replay(text, sim));
+}
+
+}  // namespace
+}  // namespace qre

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/estimator.hpp"
+#include "report/report.hpp"
+
+namespace qre {
+namespace {
+
+ResourceEstimate sample_estimate() {
+  LogicalCounts counts;
+  counts.num_qubits = 100;
+  counts.t_count = 1'000'000;
+  counts.measurement_count = 100'000;
+  EstimationInput input = EstimationInput::for_profile(counts, "qubit_gate_ns_e3", 1e-3);
+  return estimate(input);
+}
+
+TEST(Report, JsonHasAllOutputGroups) {
+  ResourceEstimate e = sample_estimate();
+  json::Value j = report_to_json(e);
+  // The eight output groups of paper Section IV-D.
+  EXPECT_NE(j.find("physicalCounts"), nullptr);
+  EXPECT_NE(j.find("physicalCountsBreakdown"), nullptr);
+  EXPECT_NE(j.find("logicalQubit"), nullptr);
+  EXPECT_NE(j.find("tfactory"), nullptr);
+  EXPECT_NE(j.find("logicalCounts"), nullptr);
+  EXPECT_NE(j.find("errorBudget"), nullptr);
+  EXPECT_NE(j.find("physicalQubitParameters"), nullptr);
+  EXPECT_NE(j.find("assumptions"), nullptr);
+}
+
+TEST(Report, JsonValuesMatchEstimate) {
+  ResourceEstimate e = sample_estimate();
+  json::Value j = report_to_json(e);
+  EXPECT_EQ(j.at("physicalCounts").at("physicalQubits").as_uint(), e.total_physical_qubits);
+  EXPECT_DOUBLE_EQ(j.at("physicalCounts").at("runtime").as_double(), e.runtime_ns);
+  EXPECT_DOUBLE_EQ(j.at("physicalCounts").at("rqops").as_double(), e.rqops);
+  const json::Value& bd = j.at("physicalCountsBreakdown");
+  EXPECT_EQ(bd.at("algorithmicLogicalQubits").as_uint(), e.algorithmic_logical_qubits);
+  EXPECT_EQ(bd.at("numTfactories").as_uint(), e.num_t_factories);
+  EXPECT_EQ(j.at("logicalQubit").at("codeDistance").as_uint(),
+            e.logical_qubit.code_distance);
+  EXPECT_EQ(j.at("logicalCounts").at("tCount").as_uint(), 1'000'000u);
+  // The whole document serializes and re-parses.
+  json::Value back = json::parse(j.pretty());
+  EXPECT_EQ(back.at("physicalCounts").at("physicalQubits").as_uint(),
+            e.total_physical_qubits);
+}
+
+TEST(Report, TextMentionsEveryGroup) {
+  ResourceEstimate e = sample_estimate();
+  std::string text = report_to_text(e);
+  EXPECT_NE(text.find("Physical resource estimates"), std::string::npos);
+  EXPECT_NE(text.find("Resource estimates breakdown"), std::string::npos);
+  EXPECT_NE(text.find("Logical qubit parameters"), std::string::npos);
+  EXPECT_NE(text.find("T factory parameters"), std::string::npos);
+  EXPECT_NE(text.find("Pre-layout logical resources"), std::string::npos);
+  EXPECT_NE(text.find("Assumed error budget"), std::string::npos);
+  EXPECT_NE(text.find("Physical qubit parameters"), std::string::npos);
+  EXPECT_NE(text.find("qubit_gate_ns_e3"), std::string::npos);
+  EXPECT_NE(text.find("rQOPS"), std::string::npos);
+}
+
+TEST(Report, SpaceDiagramSplitsQubits) {
+  ResourceEstimate e = sample_estimate();
+  std::string diagram = space_diagram(e);
+  EXPECT_NE(diagram.find("algorithm"), std::string::npos);
+  EXPECT_NE(diagram.find("T factories"), std::string::npos);
+  EXPECT_NE(diagram.find('#'), std::string::npos);
+}
+
+TEST(Report, AssumptionsListed) {
+  const auto& assumptions = estimator_assumptions();
+  EXPECT_GE(assumptions.size(), 5u);
+  json::Value j = report_to_json(sample_estimate());
+  EXPECT_EQ(j.at("assumptions").as_array().size(), assumptions.size());
+}
+
+TEST(Report, CliffordOnlyReportOmitsFactory) {
+  LogicalCounts counts;
+  counts.num_qubits = 5;
+  counts.measurement_count = 10;
+  EstimationInput input = EstimationInput::for_profile(counts, "qubit_gate_ns_e3", 1e-3);
+  ResourceEstimate e = estimate(input);
+  json::Value j = report_to_json(e);
+  EXPECT_TRUE(j.at("tfactory").is_null());
+  std::string text = report_to_text(e);
+  EXPECT_EQ(text.find("T factory parameters"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qre

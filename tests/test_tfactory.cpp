@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tfactory/tfactory.hpp"
+
+namespace qre {
+namespace {
+
+TEST(DistillationUnit, DefaultsAreConsistent) {
+  DistillationUnit rm = DistillationUnit::rm_prep_15_to_1();
+  EXPECT_EQ(rm.num_input_ts, 15u);
+  EXPECT_EQ(rm.num_output_ts, 1u);
+  EXPECT_TRUE(rm.allow_physical);
+  EXPECT_TRUE(rm.allow_logical);
+  EXPECT_NO_THROW(rm.validate());
+
+  DistillationUnit se = DistillationUnit::space_efficient_15_to_1();
+  EXPECT_FALSE(se.allow_physical);
+  EXPECT_TRUE(se.allow_logical);
+  EXPECT_EQ(se.logical_qubits_at_logical, 20u);
+  EXPECT_EQ(se.duration_in_logical_cycles, 13u);
+  EXPECT_EQ(DistillationUnit::default_units().size(), 2u);
+}
+
+TEST(DistillationUnit, FormulaEvaluation) {
+  DistillationUnit rm = DistillationUnit::rm_prep_15_to_1();
+  DistillationOutcome out = evaluate_unit(rm, 0.05, 1e-4, 1e-4);
+  EXPECT_NEAR(out.failure_probability, 15 * 0.05 + 356e-4, 1e-12);
+  EXPECT_NEAR(out.output_error_rate, 35 * std::pow(0.05, 3) + 7.1e-4, 1e-12);
+  // Cubic suppression: much better input -> far better output.
+  DistillationOutcome better = evaluate_unit(rm, 1e-4, 1e-7, 1e-7);
+  EXPECT_LT(better.output_error_rate, 1e-6);
+}
+
+TEST(DistillationUnit, JsonRoundTrip) {
+  DistillationUnit rm = DistillationUnit::rm_prep_15_to_1();
+  DistillationUnit back = DistillationUnit::from_json(rm.to_json());
+  EXPECT_EQ(back.name, rm.name);
+  EXPECT_EQ(back.num_input_ts, 15u);
+  EXPECT_TRUE(back.allow_physical);
+  EXPECT_TRUE(back.allow_logical);
+  EXPECT_EQ(back.logical_qubits_at_logical, rm.logical_qubits_at_logical);
+  DistillationOutcome a = evaluate_unit(rm, 0.01, 1e-5, 1e-5);
+  DistillationOutcome b = evaluate_unit(back, 0.01, 1e-5, 1e-5);
+  EXPECT_DOUBLE_EQ(a.output_error_rate, b.output_error_rate);
+}
+
+TEST(DistillationUnit, ValidationRejectsNonsense) {
+  DistillationUnit u = DistillationUnit::rm_prep_15_to_1();
+  u.num_output_ts = 20;  // outputs more than inputs
+  EXPECT_THROW(u.validate(), Error);
+  u = DistillationUnit::rm_prep_15_to_1();
+  u.allow_physical = false;
+  u.allow_logical = false;
+  EXPECT_THROW(u.validate(), Error);
+}
+
+TEST(TFactory, NoDistillationWhenRawTStatesSuffice) {
+  QubitParams q = QubitParams::gate_us_e3();  // T error 1e-6
+  QecScheme s = QecScheme::surface_code_gate_based();
+  auto f = design_tfactory(1e-5, q, s, DistillationUnit::default_units());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->no_distillation());
+  EXPECT_EQ(f->physical_qubits, 0u);
+  EXPECT_DOUBLE_EQ(f->duration_ns, 0.0);
+  EXPECT_DOUBLE_EQ(f->output_error_rate, 1e-6);
+}
+
+TEST(TFactory, MajoranaPipelineReachesTightTargets) {
+  QubitParams q = QubitParams::maj_ns_e4();  // raw T error 5e-2
+  QecScheme s = QecScheme::floquet_code();
+  auto f = design_tfactory(1.5e-11, q, s, DistillationUnit::default_units());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(f->no_distillation());
+  EXPECT_GE(f->rounds.size(), 2u);
+  EXPECT_LE(f->rounds.size(), 3u);
+  EXPECT_LE(f->output_error_rate, 1.5e-11);
+  EXPECT_GT(f->physical_qubits, 100u);
+  EXPECT_GT(f->duration_ns, 0.0);
+  EXPECT_GT(f->tstates_per_invocation, 0.5);
+  EXPECT_DOUBLE_EQ(f->input_t_error_rate, 0.05);
+}
+
+TEST(TFactory, RoundsFeedEachOther) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  QecScheme s = QecScheme::floquet_code();
+  auto f = design_tfactory(1e-12, q, s, DistillationUnit::default_units());
+  ASSERT_TRUE(f.has_value());
+  const auto& rounds = f->rounds;
+  for (std::size_t r = 0; r + 1 < rounds.size(); ++r) {
+    double produced = static_cast<double>(rounds[r].num_units) *
+                      (1.0 - rounds[r].failure_probability);
+    double needed = static_cast<double>(rounds[r + 1].num_units) * 15.0;
+    EXPECT_GE(produced + 1e-9, needed) << "round " << r;
+    // Error rates improve monotonically along the pipeline.
+    EXPECT_LT(rounds[r + 1].output_error_rate, rounds[r].output_error_rate);
+  }
+  // Logical rounds use non-decreasing code distances.
+  std::uint64_t previous = 0;
+  for (const DistillationRound& r : rounds) {
+    if (!r.physical) {
+      EXPECT_GE(r.code_distance, previous);
+      previous = r.code_distance;
+    }
+  }
+  EXPECT_EQ(rounds.back().num_units, 1u);
+}
+
+TEST(TFactory, FootprintIsMaxAndDurationIsSum) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  QecScheme s = QecScheme::floquet_code();
+  auto f = design_tfactory(1e-12, q, s, DistillationUnit::default_units());
+  ASSERT_TRUE(f.has_value());
+  std::uint64_t max_qubits = 0;
+  double total_duration = 0.0;
+  for (const DistillationRound& r : f->rounds) {
+    max_qubits = std::max(max_qubits, r.physical_qubits);
+    total_duration += r.duration_ns;
+    EXPECT_EQ(r.physical_qubits, r.num_units * r.physical_qubits_per_unit);
+  }
+  EXPECT_EQ(f->physical_qubits, max_qubits);
+  EXPECT_DOUBLE_EQ(f->duration_ns, total_duration);
+}
+
+TEST(TFactory, TighterTargetsCostMore) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  QecScheme s = QecScheme::floquet_code();
+  double previous_volume = 0.0;
+  for (double target : {1e-6, 1e-9, 1e-12, 1e-15}) {
+    auto f = design_tfactory(target, q, s, DistillationUnit::default_units());
+    ASSERT_TRUE(f.has_value()) << target;
+    EXPECT_GE(f->normalized_volume(), previous_volume) << target;
+    previous_volume = f->normalized_volume();
+  }
+}
+
+TEST(TFactory, InfeasibleWithinRoundLimit) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  QecScheme s = QecScheme::floquet_code();
+  TFactoryOptions opts;
+  opts.max_rounds = 1;
+  auto f = design_tfactory(1e-9, q, s, DistillationUnit::default_units(), opts);
+  EXPECT_FALSE(f.has_value());
+}
+
+TEST(TFactory, GateBasedPipelines) {
+  QubitParams q = QubitParams::gate_ns_e3();  // raw T error 1e-3
+  QecScheme s = QecScheme::surface_code_gate_based();
+  auto f = design_tfactory(1e-10, q, s, DistillationUnit::default_units());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_LE(f->output_error_rate, 1e-10);
+  EXPECT_FALSE(f->no_distillation());
+}
+
+TEST(TFactory, ObjectivesChangeTheWinner) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  QecScheme s = QecScheme::floquet_code();
+  TFactoryOptions min_qubits;
+  min_qubits.objective = TFactoryOptions::Objective::kMinQubits;
+  TFactoryOptions min_duration;
+  min_duration.objective = TFactoryOptions::Objective::kMinDuration;
+  auto fq = design_tfactory(1e-12, q, s, DistillationUnit::default_units(), min_qubits);
+  auto fd = design_tfactory(1e-12, q, s, DistillationUnit::default_units(), min_duration);
+  ASSERT_TRUE(fq.has_value());
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_LE(fq->physical_qubits, fd->physical_qubits);
+  EXPECT_LE(fd->duration_ns, fq->duration_ns);
+}
+
+TEST(TFactory, ParetoFrontierIsMonotone) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  QecScheme s = QecScheme::floquet_code();
+  std::vector<TFactory> frontier =
+      tfactory_pareto_frontier(1e-12, q, s, DistillationUnit::default_units());
+  ASSERT_GE(frontier.size(), 2u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].physical_qubits, frontier[i - 1].physical_qubits);
+    EXPECT_LT(frontier[i].duration_ns, frontier[i - 1].duration_ns);
+  }
+}
+
+TEST(TFactory, CustomUnitFromJson) {
+  json::Value v = json::parse(R"({
+    "name": "5-to-1 toy",
+    "numInputTs": 5,
+    "numOutputTs": 1,
+    "failureProbabilityFormula": "5 * inputErrorRate",
+    "outputErrorRateFormula": "10 * inputErrorRate ^ 2 + cliffordErrorRate",
+    "logicalQubitSpecification": {"numUnitQubits": 8, "durationInLogicalCycles": 6}
+  })");
+  DistillationUnit unit = DistillationUnit::from_json(v);
+  QubitParams q = QubitParams::maj_ns_e6();  // raw T error 1e-2
+  QecScheme s = QecScheme::floquet_code();
+  auto f = design_tfactory(1e-7, q, s, {unit});
+  ASSERT_TRUE(f.has_value());
+  for (const DistillationRound& r : f->rounds) {
+    EXPECT_EQ(r.unit_name, "5-to-1 toy");
+    EXPECT_FALSE(r.physical);  // the unit has no physical specification
+  }
+}
+
+TEST(TFactory, JsonReport) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  QecScheme s = QecScheme::floquet_code();
+  auto f = design_tfactory(1e-12, q, s, DistillationUnit::default_units());
+  ASSERT_TRUE(f.has_value());
+  json::Value j = f->to_json();
+  EXPECT_EQ(j.at("numRounds").as_uint(), f->rounds.size());
+  EXPECT_EQ(j.at("codeDistancePerRound").as_array().size(), f->rounds.size());
+  EXPECT_DOUBLE_EQ(j.at("runtime").as_double(), f->duration_ns);
+}
+
+TEST(TFactory, InvalidInputsRejected) {
+  QubitParams q = QubitParams::maj_ns_e4();
+  QecScheme s = QecScheme::floquet_code();
+  EXPECT_THROW(design_tfactory(0.0, q, s, DistillationUnit::default_units()), Error);
+  EXPECT_THROW(design_tfactory(1e-12, q, s, {}), Error);
+}
+
+}  // namespace
+}  // namespace qre

@@ -1,0 +1,102 @@
+// qre_cli — command-line front end of the estimator, consuming the same
+// JSON job documents the cloud service accepts (paper Section IV-A).
+//
+// Usage:
+//   qre_cli <job.json>           run the job, print the JSON result
+//   qre_cli --text <job.json>    single estimates as a human-readable report
+//   qre_cli --demo               run a built-in demonstration job
+//   qre_cli -                    read the job document from stdin
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/job.hpp"
+#include "report/report.hpp"
+
+namespace {
+
+const char* kDemoJob = R"({
+  "logicalCounts": {
+    "numQubits": 100,
+    "tCount": 1000000,
+    "rotationCount": 30000,
+    "rotationDepth": 11000,
+    "cczCount": 250000,
+    "measurementCount": 150000
+  },
+  "qubitParams": {"name": "qubit_maj_ns_e4"},
+  "errorBudget": 0.001,
+  "items": [
+    {"qubitParams": {"name": "qubit_gate_ns_e3"}},
+    {"qubitParams": {"name": "qubit_maj_ns_e6"}},
+    {"estimateType": "frontier"}
+  ]
+})";
+
+void print_usage() {
+  std::printf(
+      "qre_cli — fault-tolerant quantum resource estimation from JSON jobs\n"
+      "\n"
+      "usage:\n"
+      "  qre_cli <job.json>          run the job, print the JSON result\n"
+      "  qre_cli --text <job.json>   print single estimates as a text report\n"
+      "  qre_cli --demo              run a built-in demonstration job\n"
+      "  qre_cli -                   read the job document from stdin\n"
+      "\n"
+      "Job documents carry logicalCounts plus optional qubitParams, qecScheme,\n"
+      "errorBudget, constraints, distillationUnitSpecifications, estimateType\n"
+      "(singlePoint | frontier), and items[] for batched sweeps.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool text_mode = false;
+  std::string path;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--text") {
+      text_mode = true;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  if (!demo && path.empty()) {
+    print_usage();
+    return 0;
+  }
+
+  try {
+    qre::json::Value job;
+    if (demo) {
+      job = qre::json::parse(kDemoJob);
+    } else if (path == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      job = qre::json::parse(ss.str());
+    } else {
+      job = qre::json::parse_file(path);
+    }
+
+    if (text_mode && job.find("items") == nullptr) {
+      qre::EstimationInput input = qre::estimation_input_from_json(job);
+      qre::ResourceEstimate e = qre::estimate(input);
+      std::printf("%s\n%s", qre::report_to_text(e).c_str(),
+                  qre::space_diagram(e).c_str());
+      return 0;
+    }
+    std::printf("%s\n", qre::run_job(job).pretty().c_str());
+    return 0;
+  } catch (const qre::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
