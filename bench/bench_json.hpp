@@ -1,0 +1,38 @@
+// Shared bench-result JSON format.
+//
+// Every bench that wants its numbers tracked across PRs writes one document
+//
+//   {"bench": "<name>", "metrics": {"<metric>": <number>, ...}}
+//
+// to `<name>.json` in QRE_BENCH_DIR (default: the current directory), and
+// echoes the compact document to stdout. One flat metrics object per bench
+// keeps the trajectory diffable: later runs overwrite the file and version
+// control shows the drift.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "json/json.hpp"
+
+namespace qre::bench {
+
+/// Writes the shared-format record and returns the path written to.
+inline std::string write_bench_json(const std::string& name, json::Value metrics) {
+  json::Object doc;
+  doc.emplace_back("bench", name);
+  doc.emplace_back("metrics", std::move(metrics));
+  const json::Value record{std::move(doc)};
+
+  std::string dir = ".";
+  if (const char* env = std::getenv("QRE_BENCH_DIR")) dir = env;
+  const std::string path = dir + "/" + name + ".json";
+  std::ofstream out(path);
+  if (out) out << record.pretty() << "\n";
+  std::printf("%s\n", record.dump().c_str());
+  return path;
+}
+
+}  // namespace qre::bench

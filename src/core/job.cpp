@@ -2,22 +2,21 @@
 
 #include "common/error.hpp"
 #include "report/report.hpp"
+#include "service/engine.hpp"
+#include "service/sweep.hpp"
 
 namespace qre {
 
 namespace {
 
 /// Merges `overlay` onto `base` (top-level keys only): item fields override
-/// the job-level defaults.
+/// the job-level defaults. The batch-shaping keys are never inherited.
 json::Value merge_job(const json::Value& base, const json::Value& overlay) {
-  json::Value merged = base;
-  if (merged.find("items") != nullptr) {
-    json::Object pruned;
-    for (const auto& [k, v] : merged.as_object()) {
-      if (k != "items") pruned.emplace_back(k, v);
-    }
-    merged = json::Value(std::move(pruned));
+  json::Object pruned;
+  for (const auto& [k, v] : base.as_object()) {
+    if (k != "items" && k != "sweep") pruned.emplace_back(k, v);
   }
+  json::Value merged{std::move(pruned)};
   for (const auto& [k, v] : overlay.as_object()) merged.set(k, v);
   return merged;
 }
@@ -52,26 +51,10 @@ EstimationInput estimation_input_from_json(const json::Value& job) {
   return input;
 }
 
-json::Value run_job(const json::Value& job) {
+json::Value run_single_job(const json::Value& job) {
   QRE_REQUIRE(job.is_object(), "estimation job must be a JSON object");
-
-  if (const json::Value* items = job.find("items")) {
-    json::Array results;
-    for (const json::Value& item : items->as_array()) {
-      json::Value merged = merge_job(job, item);
-      try {
-        results.push_back(run_job(merged));
-      } catch (const Error& e) {
-        json::Object failure;
-        failure.emplace_back("error", std::string(e.what()));
-        results.push_back(json::Value(std::move(failure)));
-      }
-    }
-    json::Object out;
-    out.emplace_back("results", json::Value(std::move(results)));
-    return json::Value(std::move(out));
-  }
-
+  QRE_REQUIRE(job.find("items") == nullptr && job.find("sweep") == nullptr,
+              "batch item must not itself carry items or sweep");
   EstimationInput input = estimation_input_from_json(job);
   std::string estimate_type = "singlePoint";
   if (const json::Value* type = job.find("estimateType")) {
@@ -91,6 +74,41 @@ json::Value run_job(const json::Value& job) {
   }
   throw_error("unknown estimateType '" + estimate_type +
               "' (expected singlePoint or frontier)");
+}
+
+json::Value run_job(const json::Value& job) {
+  return run_job(job, service::EngineOptions{});
+}
+
+json::Value run_job(const json::Value& job, const service::EngineOptions& options) {
+  QRE_REQUIRE(job.is_object(), "estimation job must be a JSON object");
+
+  const json::Value* items = job.find("items");
+  const json::Value* sweep = job.find("sweep");
+  QRE_REQUIRE(items == nullptr || sweep == nullptr,
+              "job cannot carry both items and sweep");
+
+  if (items != nullptr || sweep != nullptr) {
+    std::vector<json::Value> expanded;
+    if (sweep != nullptr) {
+      expanded = service::expand_sweep(job);
+    } else {
+      expanded.reserve(items->as_array().size());
+      for (const json::Value& item : items->as_array()) {
+        expanded.push_back(merge_job(job, item));
+      }
+    }
+    service::BatchStats stats;
+    json::Array results = service::run_batch(
+        expanded, [](const json::Value& j) { return run_single_job(j); }, options,
+        &stats);
+    json::Object out;
+    out.emplace_back("results", json::Value(std::move(results)));
+    out.emplace_back("batchStats", stats.to_json());
+    return json::Value(std::move(out));
+  }
+
+  return run_single_job(job);
 }
 
 json::Value run_job_file(const std::string& path) { return run_job(json::parse_file(path)); }

@@ -21,6 +21,17 @@
 //   { "items": [ {..job..}, {..job..} ] }  ->  { "results": [ ... ] }
 // Each item inherits the top-level fields and overrides whichever it sets,
 // which is how the paper's Figure 4 style sweeps are expressed.
+//
+// Alternatively a job may declare a parameter grid (see service/sweep.hpp):
+//   { "sweep": { "<fieldPath>": [v0, v1, ...] | {start, stop, steps, scale} } }
+// The grid expands to the cartesian product of its axes and runs like a
+// batch. "sweep" and "items" are mutually exclusive.
+//
+// Batches and sweeps execute on the concurrent engine (service/engine.hpp):
+// a worker pool of configurable width with per-item memoization, so
+// duplicated grid points are estimated once. Output order always matches
+// item order, and the result document carries a "batchStats" summary next
+// to "results".
 #pragma once
 
 #include "core/estimator.hpp"
@@ -28,15 +39,27 @@
 
 namespace qre {
 
+namespace service {
+struct EngineOptions;  // service/engine.hpp; core stays header-independent of it
+}  // namespace service
+
 /// Builds an EstimationInput from a job document (without "items").
 EstimationInput estimation_input_from_json(const json::Value& job);
 
+/// Runs one non-batch job document: the report object (estimateType
+/// "singlePoint", the default) or {"frontier": [...]} (estimateType
+/// "frontier"). Rejects documents carrying "items" or "sweep".
+json::Value run_single_job(const json::Value& job);
+
 /// Runs a job document and returns the result document. Single jobs yield
-/// the report object (estimateType "singlePoint", the default) or
-/// {"frontier": [...]} (estimateType "frontier"); batched jobs yield
-/// {"results": [...]} in item order. Per-item failures are reported as
-/// {"error": "..."} entries instead of aborting the batch.
+/// run_single_job's output; batched and sweep jobs yield
+/// {"results": [...], "batchStats": {...}} in item order. Per-item failures
+/// are reported as {"error": "..."} entries instead of aborting the batch.
 json::Value run_job(const json::Value& job);
+
+/// run_job with explicit engine options (worker-pool width, caching,
+/// streaming sink) for batched and sweep jobs.
+json::Value run_job(const json::Value& job, const service::EngineOptions& options);
 
 /// Reads a job file and runs it.
 json::Value run_job_file(const std::string& path);

@@ -1,0 +1,74 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+
+namespace qre::service {
+
+namespace {
+
+/// Rebuilds `v` with every object's keys sorted, recursively, so that the
+/// standard writer produces a canonical serialization.
+json::Value sorted_copy(const json::Value& v) {
+  if (v.is_object()) {
+    json::Object sorted;
+    for (const auto& [key, value] : v.as_object()) {
+      sorted.emplace_back(key, sorted_copy(value));
+    }
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    return json::Value(std::move(sorted));
+  }
+  if (v.is_array()) {
+    json::Array sorted;
+    for (const json::Value& element : v.as_array()) {
+      sorted.push_back(sorted_copy(element));
+    }
+    return json::Value(std::move(sorted));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string canonical_key(const json::Value& job) { return sorted_copy(job).dump(); }
+
+json::Value EstimateCache::get_or_compute(const std::string& key, const Compute& compute) {
+  std::shared_future<json::Value> future;
+  std::promise<json::Value> promise;
+  bool owner = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1);
+      future = it->second;
+    } else {
+      misses_.fetch_add(1);
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      owner = true;
+    }
+  }
+  if (owner) {
+    try {
+      promise.set_value(compute());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::size_t EstimateCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void EstimateCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  hits_.store(0);
+  misses_.store(0);
+}
+
+}  // namespace qre::service

@@ -1,0 +1,61 @@
+// Memoized estimation results (service layer).
+//
+// Batched sweeps routinely revisit the same grid point: frontier ablations
+// share their base configuration, Figure 4 style profile sweeps repeat the
+// workload counts, and overlapping sweeps duplicate whole items. The cache
+// keys results by a canonical serialization of the resolved job document so
+// every distinct input is estimated exactly once per engine run.
+//
+// The cache is concurrency-safe and deduplicates in-flight work: when two
+// workers request the same key simultaneously, one computes and the other
+// waits on a shared future. Failed computations are cached as exceptions —
+// an infeasible input is deterministic, so its error is as memoizable as a
+// successful estimate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "json/json.hpp"
+
+namespace qre::service {
+
+/// Canonical cache key for a job document: a compact dump with all object
+/// keys recursively sorted, so field order in the source JSON does not
+/// affect identity.
+std::string canonical_key(const json::Value& job);
+
+/// Concurrency-safe memoization table from canonical job keys to result
+/// documents.
+class EstimateCache {
+ public:
+  using Compute = std::function<json::Value()>;
+
+  /// Returns the result for `key`, invoking `compute` only if no other
+  /// caller has. Concurrent callers with the same key block on the single
+  /// computation. If `compute` throws, the exception is cached and
+  /// rethrown to every caller of this key.
+  json::Value get_or_compute(const std::string& key, const Compute& compute);
+
+  /// Lookups that found an existing (or in-flight) entry.
+  std::uint64_t hits() const { return hits_.load(); }
+  /// Lookups that had to compute.
+  std::uint64_t misses() const { return misses_.load(); }
+  /// Number of distinct keys stored.
+  std::size_t size() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<json::Value>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace qre::service

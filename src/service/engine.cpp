@@ -1,0 +1,116 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace qre::service {
+
+json::Value BatchStats::to_json() const {
+  json::Object o;
+  o.emplace_back("numItems", json::Value(static_cast<std::uint64_t>(num_items)));
+  o.emplace_back("numWorkers", json::Value(static_cast<std::uint64_t>(num_workers)));
+  o.emplace_back("numErrors", json::Value(static_cast<std::uint64_t>(num_errors)));
+  o.emplace_back("cacheHits", json::Value(cache_hits));
+  o.emplace_back("cacheMisses", json::Value(cache_misses));
+  return json::Value(std::move(o));
+}
+
+namespace {
+
+json::Value error_value(const std::string& message) {
+  json::Object failure;
+  failure.emplace_back("error", message);
+  return json::Value(std::move(failure));
+}
+
+/// Runs one item, memoized when a cache is present. All failures — from the
+/// runner directly or replayed out of the cache — collapse to an error
+/// document, preserving the batch's isolation contract.
+json::Value run_one(const json::Value& item, const JobRunner& runner, EstimateCache* cache) {
+  try {
+    if (cache != nullptr) {
+      return cache->get_or_compute(canonical_key(item), [&] { return runner(item); });
+    }
+    return runner(item);
+  } catch (const std::exception& e) {
+    return error_value(e.what());
+  }
+}
+
+}  // namespace
+
+json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& runner,
+                      const EngineOptions& options, BatchStats* stats) {
+  QRE_REQUIRE(runner != nullptr, "run_batch requires a job runner");
+  const std::size_t n = items.size();
+
+  EstimateCache local_cache;
+  EstimateCache* cache = nullptr;
+  if (options.use_cache) cache = options.cache != nullptr ? options.cache : &local_cache;
+  const std::uint64_t hits_before = cache != nullptr ? cache->hits() : 0;
+  const std::uint64_t misses_before = cache != nullptr ? cache->misses() : 0;
+
+  std::size_t num_workers = options.num_workers;
+  if (num_workers == 0) {
+    num_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_workers = std::max<std::size_t>(1, std::min(num_workers, n));
+
+  std::vector<json::Value> results(n);
+  std::vector<char> done(n, 0);
+  std::atomic<std::size_t> next_item{0};
+  std::atomic<std::size_t> num_errors{0};
+  std::mutex emit_mutex;
+  std::size_t next_emit = 0;
+
+  // Stores result `i` and streams the contiguous prefix of completed items,
+  // so the sink observes results strictly in item order.
+  auto complete = [&](std::size_t i, json::Value result) {
+    if (result.is_object() && result.find("error") != nullptr) {
+      num_errors.fetch_add(1);
+    }
+    std::lock_guard lock(emit_mutex);
+    results[i] = std::move(result);
+    done[i] = 1;
+    while (next_emit < n && done[next_emit]) {
+      if (options.on_result) options.on_result(next_emit, results[next_emit]);
+      ++next_emit;
+    }
+  };
+
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next_item.fetch_add(1);
+      if (i >= n) return;
+      complete(i, run_one(items[i], runner, cache));
+    }
+  };
+
+  if (num_workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (stats != nullptr) {
+    stats->num_items = n;
+    stats->num_workers = num_workers;
+    stats->num_errors = num_errors.load();
+    stats->cache_hits = cache != nullptr ? cache->hits() - hits_before : 0;
+    stats->cache_misses = cache != nullptr ? cache->misses() - misses_before : 0;
+  }
+
+  json::Array out;
+  out.reserve(n);
+  for (json::Value& r : results) out.push_back(std::move(r));
+  return out;
+}
+
+}  // namespace qre::service

@@ -1,0 +1,71 @@
+// Concurrent batch execution engine (service layer).
+//
+// Turns the estimator into a service-grade batch executor: expanded sweep
+// items (or hand-written "items" entries) run on a std::thread worker pool
+// of configurable width, with
+//
+//  - deterministic output: results are reported in item order regardless of
+//    which worker finishes first;
+//  - per-item error isolation: a failing item becomes {"error": "..."}
+//    instead of aborting the batch (matching the serial run_job contract);
+//  - memoization: items are keyed by a canonical serialization of their
+//    resolved job document, so duplicated grid points across a batch are
+//    estimated once (see service/cache.hpp);
+//  - streaming: an optional callback observes each result, invoked strictly
+//    in item order as the prefix of completed items grows — the NDJSON
+//    emission mode of qre_cli for very large sweeps.
+//
+// The engine is deliberately decoupled from the job module: it executes any
+// JobRunner over any item list, which keeps it unit-testable with synthetic
+// runners and lets later PRs plug in remote or multi-backend runners.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "json/json.hpp"
+#include "service/cache.hpp"
+
+namespace qre::service {
+
+/// Executes one complete (non-batch) job document.
+using JobRunner = std::function<json::Value(const json::Value& job)>;
+
+/// Observes the result of item `index`; called in item order.
+using ResultSink = std::function<void(std::size_t index, const json::Value& result)>;
+
+struct EngineOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). The pool
+  /// never exceeds the number of items, and width 1 runs inline.
+  std::size_t num_workers = 0;
+  /// Memoize results by canonical item key (duplicated grid points are
+  /// computed once).
+  bool use_cache = true;
+  /// Optional external cache shared across batches; nullptr with use_cache
+  /// gives the batch a private cache.
+  EstimateCache* cache = nullptr;
+  /// Optional streaming sink; see ResultSink.
+  ResultSink on_result;
+};
+
+/// Aggregate counters for one batch run, echoed as "batchStats" by run_job.
+struct BatchStats {
+  std::size_t num_items = 0;
+  std::size_t num_workers = 1;
+  std::size_t num_errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  json::Value to_json() const;
+};
+
+/// Runs `items` (complete job documents) through `runner` on the worker
+/// pool. The returned array preserves item order; item failures (qre::Error
+/// or any std::exception from the runner) are isolated as {"error": "..."}
+/// entries. `stats`, when non-null, receives the run's counters.
+json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& runner,
+                      const EngineOptions& options = {}, BatchStats* stats = nullptr);
+
+}  // namespace qre::service

@@ -1,0 +1,66 @@
+// Declarative parameter-grid sweeps (service layer).
+//
+// The paper's batched studies — the Figure 3 multiplication sweep, the
+// Figure 4 hardware-profile comparison, the frontier ablations — are
+// cartesian grids over a handful of job fields. Instead of hand-writing an
+// "items" array with one entry per grid point, a job may carry a "sweep"
+// object mapping field paths to value axes:
+//
+//   {
+//     "logicalCounts": { ... },                       // shared base fields
+//     "errorBudget": 0.001,
+//     "sweep": {
+//       "qubitParams": [ {"name": "qubit_gate_ns_e3"},
+//                        {"name": "qubit_maj_ns_e4"} ],   // explicit values
+//       "errorBudget": {"start": 1e-4, "stop": 1e-2,
+//                        "steps": 5, "scale": "log"},     // ranged axis
+//       "constraints.maxTFactories": [1, 2, 4]            // dotted path
+//     }
+//   }
+//
+// Axis forms:
+//  - a JSON array: the listed values, in order;
+//  - a range object {start, stop, steps, scale}: `steps` evenly spaced
+//    values from start to stop inclusive, on a "linear" (default) or "log"
+//    scale; values that land on integers are emitted as JSON integers.
+//
+// Keys may be dotted paths ("constraints.maxTFactories"): the expansion
+// deep-sets the leaf, preserving sibling fields of the base document's
+// nested objects — which a shallow item override would clobber.
+//
+// Expansion order is row-major over the axes in declaration order: the
+// first axis varies slowest, the last fastest. Every expanded item is a
+// complete job document (base fields inherited, "sweep" removed), ready
+// for the engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace qre::service {
+
+/// One sweep dimension: a field path and its resolved candidate values.
+struct SweepAxis {
+  std::string path;                 // field name, possibly dotted
+  std::vector<json::Value> values;  // at least one value
+};
+
+/// Parses a "sweep" object into axes, in declaration order. Ranged axes are
+/// resolved to explicit value lists. Throws qre::Error on malformed axes
+/// (empty arrays, non-positive steps, log scale across zero, ...).
+std::vector<SweepAxis> sweep_axes(const json::Value& sweep);
+
+/// Expands job["sweep"] into the cartesian grid of complete job documents.
+/// Each item inherits every non-swept base field; "sweep" and "items" never
+/// appear in the output. Throws qre::Error if "sweep" is missing or the
+/// grid exceeds `max_items`.
+std::vector<json::Value> expand_sweep(const json::Value& job,
+                                      std::size_t max_items = 1'000'000);
+
+/// Deep-sets `path` (dot-separated) inside object `root`, creating
+/// intermediate objects as needed. Exposed for tests.
+void set_path(json::Value& root, const std::string& path, json::Value value);
+
+}  // namespace qre::service

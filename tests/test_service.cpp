@@ -1,0 +1,388 @@
+// Tests of the concurrent sweep engine (service layer): sweep-grid
+// expansion, the memoization cache, the worker pool, and the run_job
+// integration — including parallel-vs-serial equivalence on a Figure 4
+// style batch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/job.hpp"
+#include "service/cache.hpp"
+#include "service/engine.hpp"
+#include "service/sweep.hpp"
+
+namespace qre {
+namespace {
+
+using service::BatchStats;
+using service::EngineOptions;
+using service::EstimateCache;
+using service::SweepAxis;
+
+// ---------------------------------------------------------------- sweep ---
+
+TEST(Sweep, AxesParseArraysAndRanges) {
+  json::Value sweep = json::parse(R"({
+    "qubitParams": [{"name": "qubit_gate_ns_e3"}, {"name": "qubit_maj_ns_e4"}],
+    "errorBudget": {"start": 1e-4, "stop": 1e-2, "steps": 3, "scale": "log"},
+    "constraints.maxTFactories": {"start": 1, "stop": 16, "steps": 4}
+  })");
+  std::vector<SweepAxis> axes = service::sweep_axes(sweep);
+  ASSERT_EQ(axes.size(), 3u);
+
+  EXPECT_EQ(axes[0].path, "qubitParams");
+  ASSERT_EQ(axes[0].values.size(), 2u);
+  EXPECT_EQ(axes[0].values[1].at("name").as_string(), "qubit_maj_ns_e4");
+
+  // Log range hits the decades exactly.
+  ASSERT_EQ(axes[1].values.size(), 3u);
+  EXPECT_NEAR(axes[1].values[0].as_double(), 1e-4, 1e-12);
+  EXPECT_NEAR(axes[1].values[1].as_double(), 1e-3, 1e-11);
+  EXPECT_NEAR(axes[1].values[2].as_double(), 1e-2, 1e-10);
+
+  // Linear integer range stays integer-typed.
+  ASSERT_EQ(axes[2].values.size(), 4u);
+  EXPECT_EQ(axes[2].values[0].as_int(), 1);
+  EXPECT_EQ(axes[2].values[1].as_int(), 6);
+  EXPECT_EQ(axes[2].values[2].as_int(), 11);
+  EXPECT_EQ(axes[2].values[3].as_int(), 16);
+  EXPECT_EQ(axes[2].values[3].dump(), "16");  // no trailing ".0"
+}
+
+TEST(Sweep, LinearGridErrorSnapsToIntegers) {
+  // 1 + (9/33)*99 = 27.999999999999996 in doubles: grid arithmetic must not
+  // demote integer-typed fields (factory caps, code distances) to doubles.
+  json::Value sweep =
+      json::parse(R"({"constraints.maxTFactories": {"start": 1, "stop": 100, "steps": 34}})");
+  std::vector<SweepAxis> axes = service::sweep_axes(sweep);
+  ASSERT_EQ(axes[0].values.size(), 34u);
+  EXPECT_EQ(axes[0].values[9].as_int(), 28);
+  EXPECT_EQ(axes[0].values[9].dump(), "28");
+  // Genuinely fractional values stay doubles, however small.
+  json::Value tiny = json::parse(R"({"errorBudget": {"start": 1e-10, "stop": 3e-10, "steps": 3}})");
+  EXPECT_DOUBLE_EQ(service::sweep_axes(tiny)[0].values[1].as_double(), 2e-10);
+  EXPECT_NE(service::sweep_axes(tiny)[0].values[1].dump(), "0");
+}
+
+TEST(Sweep, OversizedRangeAxisThrowsBeforeAllocating) {
+  json::Value sweep =
+      json::parse(R"({"a": {"start": 0, "stop": 1, "steps": 4000000000000}})");
+  EXPECT_THROW(service::sweep_axes(sweep), Error);
+}
+
+TEST(Sweep, MalformedAxesThrow) {
+  EXPECT_THROW(service::sweep_axes(json::parse(R"({})")), Error);
+  EXPECT_THROW(service::sweep_axes(json::parse(R"({"errorBudget": []})")), Error);
+  EXPECT_THROW(service::sweep_axes(json::parse(R"({"errorBudget": 3})")), Error);
+  EXPECT_THROW(
+      service::sweep_axes(json::parse(R"({"a": {"start": 1, "stop": 2, "steps": 0}})")),
+      Error);
+  EXPECT_THROW(service::sweep_axes(json::parse(
+                   R"({"a": {"start": 0, "stop": 2, "steps": 2, "scale": "log"}})")),
+               Error);
+  EXPECT_THROW(service::sweep_axes(json::parse(
+                   R"({"a": {"start": 1, "stop": 2, "steps": 2, "stepz": 3}})")),
+               Error);
+}
+
+TEST(Sweep, ExpandCountsOrderingAndInheritance) {
+  json::Value job = json::parse(R"({
+    "logicalCounts": {"numQubits": 10, "tCount": 100},
+    "errorBudget": 0.001,
+    "sweep": {
+      "qubitParams": [{"name": "qubit_gate_ns_e3"}, {"name": "qubit_maj_ns_e4"}],
+      "errorBudget": [0.01, 0.001, 0.0001]
+    }
+  })");
+  std::vector<json::Value> items = service::expand_sweep(job);
+  ASSERT_EQ(items.size(), 6u);  // 2 x 3 cartesian grid
+
+  // Row-major: first axis slowest, second fastest.
+  EXPECT_EQ(items[0].at("qubitParams").at("name").as_string(), "qubit_gate_ns_e3");
+  EXPECT_DOUBLE_EQ(items[0].at("errorBudget").as_double(), 0.01);
+  EXPECT_DOUBLE_EQ(items[1].at("errorBudget").as_double(), 0.001);
+  EXPECT_DOUBLE_EQ(items[2].at("errorBudget").as_double(), 0.0001);
+  EXPECT_EQ(items[3].at("qubitParams").at("name").as_string(), "qubit_maj_ns_e4");
+  EXPECT_DOUBLE_EQ(items[3].at("errorBudget").as_double(), 0.01);
+
+  for (const json::Value& item : items) {
+    // Non-swept base fields are inherited; the sweep spec itself is gone.
+    EXPECT_EQ(item.at("logicalCounts").at("numQubits").as_uint(), 10u);
+    EXPECT_EQ(item.find("sweep"), nullptr);
+  }
+}
+
+TEST(Sweep, DottedPathPreservesSiblingFields) {
+  json::Value job = json::parse(R"({
+    "logicalCounts": {"numQubits": 10, "tCount": 100},
+    "constraints": {"logicalDepthFactor": 2},
+    "sweep": {"constraints.maxTFactories": [1, 2]}
+  })");
+  std::vector<json::Value> items = service::expand_sweep(job);
+  ASSERT_EQ(items.size(), 2u);
+  // The swept leaf is set, and the base's sibling constraint survives —
+  // a shallow item override would have clobbered it.
+  EXPECT_EQ(items[0].at("constraints").at("maxTFactories").as_uint(), 1u);
+  EXPECT_EQ(items[1].at("constraints").at("maxTFactories").as_uint(), 2u);
+  EXPECT_DOUBLE_EQ(items[0].at("constraints").at("logicalDepthFactor").as_double(), 2.0);
+}
+
+TEST(Sweep, GridSizeCap) {
+  json::Value job = json::parse(R"({
+    "sweep": {
+      "a": {"start": 1, "stop": 100, "steps": 100},
+      "b": {"start": 1, "stop": 100, "steps": 100}
+    }
+  })");
+  EXPECT_THROW(service::expand_sweep(job, 9999), Error);
+  EXPECT_EQ(service::expand_sweep(job, 10000).size(), 10000u);
+}
+
+// ---------------------------------------------------------------- cache ---
+
+TEST(Cache, CanonicalKeyIgnoresFieldOrder) {
+  json::Value a = json::parse(R"({"x": 1, "y": {"b": 2, "a": [1, 2]}})");
+  json::Value b = json::parse(R"({"y": {"a": [1, 2], "b": 2}, "x": 1})");
+  json::Value c = json::parse(R"({"x": 1, "y": {"b": 2, "a": [2, 1]}})");
+  EXPECT_EQ(service::canonical_key(a), service::canonical_key(b));
+  EXPECT_NE(service::canonical_key(a), service::canonical_key(c));  // arrays are ordered
+}
+
+TEST(Cache, ComputesEachKeyOnce) {
+  EstimateCache cache;
+  std::atomic<int> calls{0};
+  auto compute = [&] {
+    calls.fetch_add(1);
+    return json::Value(static_cast<std::int64_t>(42));
+  };
+  EXPECT_EQ(cache.get_or_compute("k1", compute).as_int(), 42);
+  EXPECT_EQ(cache.get_or_compute("k1", compute).as_int(), 42);
+  EXPECT_EQ(cache.get_or_compute("k2", compute).as_int(), 42);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Cache, ReplaysFailuresWithoutRecomputing) {
+  EstimateCache cache;
+  std::atomic<int> calls{0};
+  auto failing = [&]() -> json::Value {
+    calls.fetch_add(1);
+    throw Error("infeasible");
+  };
+  EXPECT_THROW(cache.get_or_compute("bad", failing), Error);
+  EXPECT_THROW(cache.get_or_compute("bad", failing), Error);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+// --------------------------------------------------------------- engine ---
+
+TEST(Engine, PreservesItemOrderAcrossWorkers) {
+  std::vector<json::Value> items;
+  for (int i = 0; i < 64; ++i) {
+    json::Object o;
+    o.emplace_back("id", json::Value(static_cast<std::int64_t>(i)));
+    items.push_back(json::Value(std::move(o)));
+  }
+  auto runner = [](const json::Value& item) {
+    json::Object o;
+    o.emplace_back("echo", item.at("id"));
+    return json::Value(std::move(o));
+  };
+  EngineOptions options;
+  options.num_workers = 8;
+  options.use_cache = false;
+  json::Array results = service::run_batch(items, runner, options);
+  ASSERT_EQ(results.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(results[i].at("echo").as_int(), i);
+}
+
+TEST(Engine, StreamsResultsInItemOrder) {
+  std::vector<json::Value> items;
+  for (int i = 0; i < 32; ++i) items.push_back(json::Value(json::Object{}));
+  std::vector<std::size_t> seen;
+  EngineOptions options;
+  options.num_workers = 4;
+  options.on_result = [&](std::size_t index, const json::Value&) {
+    seen.push_back(index);  // engine serializes sink calls
+  };
+  service::run_batch(items, [](const json::Value&) { return json::Value(json::Object{}); },
+                     options);
+  ASSERT_EQ(seen.size(), 32u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(Engine, IsolatesErrorsAndCountsThem) {
+  std::vector<json::Value> items;
+  for (int i = 0; i < 6; ++i) {
+    json::Object o;
+    o.emplace_back("id", json::Value(static_cast<std::int64_t>(i)));
+    items.push_back(json::Value(std::move(o)));
+  }
+  auto runner = [](const json::Value& item) -> json::Value {
+    if (item.at("id").as_int() % 2 == 1) throw Error("odd items fail");
+    return json::Value(json::Object{});
+  };
+  EngineOptions options;
+  options.num_workers = 3;
+  BatchStats stats;
+  json::Array results = service::run_batch(items, runner, options, &stats);
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    if (i % 2 == 1) {
+      EXPECT_EQ(results[i].at("error").as_string(), "odd items fail");
+    } else {
+      EXPECT_EQ(results[i].find("error"), nullptr);
+    }
+  }
+  EXPECT_EQ(stats.num_errors, 3u);
+  EXPECT_EQ(stats.num_items, 6u);
+}
+
+TEST(Engine, CacheDeduplicatesIdenticalItems) {
+  // 24 items, only 3 distinct: the runner must fire exactly 3 times.
+  std::vector<json::Value> items;
+  for (int i = 0; i < 24; ++i) {
+    json::Object o;
+    o.emplace_back("id", json::Value(static_cast<std::int64_t>(i % 3)));
+    items.push_back(json::Value(std::move(o)));
+  }
+  std::atomic<int> calls{0};
+  auto runner = [&](const json::Value& item) {
+    calls.fetch_add(1);
+    json::Object o;
+    o.emplace_back("echo", item.at("id"));
+    return json::Value(std::move(o));
+  };
+  EngineOptions options;
+  options.num_workers = 4;
+  BatchStats stats;
+  json::Array results = service::run_batch(items, runner, options, &stats);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.cache_hits, 21u);
+  for (int i = 0; i < 24; ++i) EXPECT_EQ(results[i].at("echo").as_int(), i % 3);
+}
+
+// -------------------------------------------------- run_job integration ---
+
+const char* kFig4StyleSweep = R"({
+  "logicalCounts": {
+    "numQubits": 100,
+    "tCount": 100000,
+    "measurementCount": 10000
+  },
+  "sweep": {
+    "qubitParams": [
+      {"name": "qubit_gate_ns_e3"}, {"name": "qubit_gate_ns_e4"},
+      {"name": "qubit_gate_us_e3"}, {"name": "qubit_gate_us_e4"},
+      {"name": "qubit_maj_ns_e4"}, {"name": "qubit_maj_ns_e6"}
+    ],
+    "errorBudget": {"start": 1e-4, "stop": 1e-1, "steps": 11, "scale": "log"}
+  }
+})";
+
+TEST(Service, SweepJobParallelMatchesSerial) {
+  json::Value job = json::parse(kFig4StyleSweep);
+
+  service::EngineOptions serial;
+  serial.num_workers = 1;
+  serial.use_cache = false;
+  json::Value serial_result = run_job(job, serial);
+
+  service::EngineOptions parallel;
+  parallel.num_workers = 4;
+  json::Value parallel_result = run_job(job, parallel);
+
+  const json::Array& serial_items = serial_result.at("results").as_array();
+  const json::Array& parallel_items = parallel_result.at("results").as_array();
+  ASSERT_EQ(serial_items.size(), 66u);  // 6 profiles x 11 budgets >= 64 points
+  ASSERT_EQ(parallel_items.size(), 66u);
+  for (std::size_t i = 0; i < serial_items.size(); ++i) {
+    // Bit-identical output, element by element.
+    EXPECT_EQ(serial_items[i].dump(), parallel_items[i].dump()) << "item " << i;
+  }
+}
+
+TEST(Service, SweepJobMatchesHandWrittenItems) {
+  json::Value sweep_job = json::parse(R"({
+    "logicalCounts": {"numQubits": 50, "tCount": 50000},
+    "errorBudget": 0.001,
+    "sweep": {"qubitParams": [{"name": "qubit_gate_ns_e3"}, {"name": "qubit_maj_ns_e4"}]}
+  })");
+  json::Value items_job = json::parse(R"({
+    "logicalCounts": {"numQubits": 50, "tCount": 50000},
+    "errorBudget": 0.001,
+    "items": [
+      {"qubitParams": {"name": "qubit_gate_ns_e3"}},
+      {"qubitParams": {"name": "qubit_maj_ns_e4"}}
+    ]
+  })");
+  json::Value a = run_job(sweep_job);
+  json::Value b = run_job(items_job);
+  EXPECT_EQ(a.at("results").dump(), b.at("results").dump());
+}
+
+TEST(Service, BatchStatsReportCacheHitsOnDuplicatedItems) {
+  json::Value job = json::parse(R"({
+    "logicalCounts": {"numQubits": 50, "tCount": 50000},
+    "errorBudget": 0.001,
+    "items": [{}, {}, {}, {"errorBudget": 0.01}]
+  })");
+  json::Value result = run_job(job);
+  const json::Value& stats = result.at("batchStats");
+  EXPECT_EQ(stats.at("numItems").as_uint(), 4u);
+  EXPECT_EQ(stats.at("cacheMisses").as_uint(), 2u);  // two distinct inputs
+  EXPECT_EQ(stats.at("cacheHits").as_uint(), 2u);
+  EXPECT_EQ(stats.at("numErrors").as_uint(), 0u);
+  // The duplicated items share one result.
+  const json::Array& results = result.at("results").as_array();
+  EXPECT_EQ(results[0].dump(), results[1].dump());
+  EXPECT_EQ(results[0].dump(), results[2].dump());
+  EXPECT_NE(results[0].dump(), results[3].dump());
+}
+
+TEST(Service, SweepAndItemsAreMutuallyExclusive) {
+  json::Value job = json::parse(R"({
+    "logicalCounts": {"numQubits": 10, "tCount": 100},
+    "items": [{}],
+    "sweep": {"errorBudget": [0.01]}
+  })");
+  EXPECT_THROW(run_job(job), Error);
+}
+
+TEST(Service, SweepIsolatesInfeasibleGridPoints) {
+  // Second qubitParams axis value sits at the QEC threshold: infeasible.
+  json::Value job = json::parse(R"({
+    "logicalCounts": {"numQubits": 50, "tCount": 50000},
+    "errorBudget": 0.001,
+    "sweep": {
+      "qubitParams": [
+        {"name": "qubit_gate_ns_e3"},
+        {"name": "qubit_gate_ns_e3", "twoQubitGateErrorRate": 0.5}
+      ]
+    }
+  })");
+  json::Value result = run_job(job);
+  const json::Array& results = result.at("results").as_array();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].find("physicalCounts"), nullptr);
+  EXPECT_NE(results[1].find("error"), nullptr);
+  EXPECT_EQ(result.at("batchStats").at("numErrors").as_uint(), 1u);
+}
+
+TEST(Service, RunSingleJobRejectsBatchKeys) {
+  json::Value job = json::parse(R"({
+    "logicalCounts": {"numQubits": 10, "tCount": 100},
+    "items": [{}]
+  })");
+  EXPECT_THROW(run_single_job(job), Error);
+}
+
+}  // namespace
+}  // namespace qre

@@ -4,9 +4,13 @@
 // Usage:
 //   qre_cli <job.json>           run the job, print the JSON result
 //   qre_cli --text <job.json>    single estimates as a human-readable report
+//   qre_cli --jobs N <job.json>  run batch/sweep items on N worker threads
+//   qre_cli --stream <job.json>  emit batch results as NDJSON, one item/line
+//   qre_cli --sweep <job.json>   expand the sweep grid without estimating
 //   qre_cli --demo               run a built-in demonstration job
 //   qre_cli -                    read the job document from stdin
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -14,6 +18,8 @@
 #include "common/error.hpp"
 #include "core/job.hpp"
 #include "report/report.hpp"
+#include "service/engine.hpp"
+#include "service/sweep.hpp"
 
 namespace {
 
@@ -35,67 +41,161 @@ const char* kDemoJob = R"({
   ]
 })";
 
-void print_usage() {
-  std::printf(
-      "qre_cli — fault-tolerant quantum resource estimation from JSON jobs\n"
-      "\n"
-      "usage:\n"
-      "  qre_cli <job.json>          run the job, print the JSON result\n"
-      "  qre_cli --text <job.json>   print single estimates as a text report\n"
-      "  qre_cli --demo              run a built-in demonstration job\n"
-      "  qre_cli -                   read the job document from stdin\n"
-      "\n"
-      "Job documents carry logicalCounts plus optional qubitParams, qecScheme,\n"
-      "errorBudget, constraints, distillationUnitSpecifications, estimateType\n"
-      "(singlePoint | frontier), and items[] for batched sweeps.\n");
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "qre_cli — fault-tolerant quantum resource estimation from JSON jobs\n"
+               "\n"
+               "usage:\n"
+               "  qre_cli <job.json>          run the job, print the JSON result\n"
+               "  qre_cli --text <job.json>   print single estimates as a text report\n"
+               "  qre_cli --jobs N <job.json> run batch/sweep items on N worker threads\n"
+               "  qre_cli --stream <job.json> emit batch results as NDJSON, one item per line\n"
+               "  qre_cli --sweep <job.json>  expand the sweep grid and print the items\n"
+               "                              without estimating (dry run)\n"
+               "  qre_cli --no-cache <job.json>  disable result memoization\n"
+               "  qre_cli --demo              run a built-in demonstration job\n"
+               "  qre_cli -                   read the job document from stdin\n"
+               "\n"
+               "Job documents carry logicalCounts plus optional qubitParams, qecScheme,\n"
+               "errorBudget, constraints, distillationUnitSpecifications, estimateType\n"
+               "(singlePoint | frontier), and items[] for batched sweeps. A \"sweep\"\n"
+               "object maps field paths to value arrays or {start, stop, steps, scale}\n"
+               "ranges and expands to the cartesian grid of items.\n");
+}
+
+struct Options {
+  bool text_mode = false;
+  bool demo = false;
+  bool stream = false;
+  bool expand_only = false;
+  bool use_cache = true;
+  std::size_t num_workers = 0;
+  std::string path;
+};
+
+/// Parses argv strictly: unknown flags and extra positional paths are
+/// usage errors (exit code 2), not silently treated as file names.
+int parse_args(int argc, char** argv, Options& opts) {
+  bool have_path = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--text") {
+      opts.text_mode = true;
+    } else if (arg == "--demo") {
+      opts.demo = true;
+    } else if (arg == "--stream") {
+      opts.stream = true;
+    } else if (arg == "--sweep") {
+      opts.expand_only = true;
+    } else if (arg == "--no-cache") {
+      opts.use_cache = false;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs requires a worker count\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 1) {
+        std::fprintf(stderr, "error: --jobs expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      opts.num_workers = static_cast<std::size_t>(n);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      std::exit(0);
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    } else {
+      if (have_path) {
+        std::fprintf(stderr,
+                     "error: multiple job paths given ('%s' and '%s'); "
+                     "qre_cli runs one job document per invocation\n",
+                     opts.path.c_str(), arg.c_str());
+        return 2;
+      }
+      opts.path = arg;
+      have_path = true;
+    }
+  }
+  if (!opts.demo && !have_path) {
+    print_usage(stderr);
+    return 2;
+  }
+  if (opts.demo && have_path) {
+    std::fprintf(stderr, "error: --demo does not take a job path\n");
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool text_mode = false;
-  std::string path;
-  bool demo = false;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--text") {
-      text_mode = true;
-    } else if (arg == "--demo") {
-      demo = true;
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage();
-      return 0;
-    } else {
-      path = arg;
-    }
-  }
-  if (!demo && path.empty()) {
-    print_usage();
-    return 0;
-  }
+  Options opts;
+  if (int status = parse_args(argc, argv, opts); status != 0) return status;
 
   try {
     qre::json::Value job;
-    if (demo) {
+    if (opts.demo) {
       job = qre::json::parse(kDemoJob);
-    } else if (path == "-") {
+    } else if (opts.path == "-") {
       std::ostringstream ss;
       ss << std::cin.rdbuf();
       job = qre::json::parse(ss.str());
     } else {
-      job = qre::json::parse_file(path);
+      job = qre::json::parse_file(opts.path);
     }
 
-    if (text_mode && job.find("items") == nullptr) {
+    if (opts.expand_only) {
+      for (const qre::json::Value& item : qre::service::expand_sweep(job)) {
+        std::printf("%s\n", item.dump().c_str());
+      }
+      return 0;
+    }
+
+    if (opts.text_mode && job.find("items") == nullptr && job.find("sweep") == nullptr) {
       qre::EstimationInput input = qre::estimation_input_from_json(job);
       qre::ResourceEstimate e = qre::estimate(input);
       std::printf("%s\n%s", qre::report_to_text(e).c_str(),
                   qre::space_diagram(e).c_str());
       return 0;
     }
-    std::printf("%s\n", qre::run_job(job).pretty().c_str());
+
+    qre::service::EngineOptions engine;
+    engine.num_workers = opts.num_workers;
+    engine.use_cache = opts.use_cache;
+    if (opts.stream) {
+      engine.on_result = [](std::size_t index, const qre::json::Value& result) {
+        qre::json::Object line;
+        line.emplace_back("item", qre::json::Value(static_cast<std::uint64_t>(index)));
+        line.emplace_back("result", result);
+        std::printf("%s\n", qre::json::Value(std::move(line)).dump().c_str());
+        std::fflush(stdout);
+      };
+    }
+
+    qre::json::Value result = qre::run_job(job, engine);
+    if (opts.stream) {
+      // Items already went to stdout line by line; the batch summary goes
+      // to stderr so piped NDJSON stays clean. Non-batch jobs have no item
+      // lines, so their whole result still belongs on stdout.
+      if (const qre::json::Value* stats = result.find("batchStats")) {
+        std::fprintf(stderr, "%s\n", stats->dump().c_str());
+      } else {
+        std::printf("%s\n", result.dump().c_str());
+      }
+      return 0;
+    }
+    std::printf("%s\n", result.pretty().c_str());
     return 0;
   } catch (const qre::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
