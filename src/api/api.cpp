@@ -1,0 +1,217 @@
+#include "api/api.hpp"
+
+#include "common/error.hpp"
+#include "report/report.hpp"
+#include "service/sweep.hpp"
+
+namespace qre::api {
+
+namespace {
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+/// Registry-aware counterpart of QubitParams::from_json: a "name" matching
+/// a registered profile (builtin or pack-loaded) becomes the override base;
+/// everything else — custom models, field overrides, key checking — is the
+/// module parser's single implementation.
+QubitParams parse_qubit(const json::Value& v, const Registry& registry, Diagnostics* diags) {
+  if (const json::Value* name = v.find("name")) {
+    if (const QubitParams* found = registry.find_qubit(name->as_string())) {
+      check_known_keys(v, QubitParams::json_keys(), "/qubitParams", diags);
+      QubitParams q = *found;
+      q.apply_json_overrides(v);
+      return q;
+    }
+    if (v.find("instructionSet") == nullptr) {
+      throw_error("unknown qubit profile '" + name->as_string() +
+                  "'; registered profiles: " + join_names(registry.qubit_names()));
+    }
+  }
+  return QubitParams::from_json(v, diags);  // custom model
+}
+
+/// Registry-aware counterpart of QecScheme::from_json.
+QecScheme parse_qec(const json::Value& v, InstructionSet set, const Registry& registry,
+                    Diagnostics* diags) {
+  if (const json::Value* name = v.find("name")) {
+    const QecScheme* found = registry.find_qec(name->as_string(), set);
+    if (found == nullptr) {
+      throw_error("unknown QEC scheme '" + name->as_string() + "' for " +
+                  std::string(to_string(set)) +
+                  " hardware; registered schemes: " + join_names(registry.qec_names()));
+    }
+    check_known_keys(v, QecScheme::json_keys(), "/qecScheme", diags);
+    return QecScheme::customize(*found, v);
+  }
+  return QecScheme::from_json(v, set, diags);  // default scheme + overrides
+}
+
+DistillationUnit parse_unit(const json::Value& v, const std::string& base_path,
+                            const Registry& registry, Diagnostics* diags) {
+  if (v.is_object() && v.as_object().size() == 1) {
+    if (const json::Value* name = v.find("name")) {
+      const DistillationUnit* found = registry.find_distillation(name->as_string());
+      QRE_REQUIRE(found != nullptr, "unknown distillation unit template '" +
+                                        name->as_string() + "'");
+      return *found;
+    }
+  }
+  return DistillationUnit::from_json(v, diags, base_path);
+}
+
+json::Value item_error(const char* code, const std::string& message,
+                       const Diagnostics* diags) {
+  json::Object error;
+  error.emplace_back("code", std::string(code));
+  error.emplace_back("message", message);
+  json::Object out;
+  out.emplace_back("error", json::Value(std::move(error)));
+  if (diags != nullptr && !diags->empty()) out.emplace_back("diagnostics", diags->to_json());
+  return json::Value(std::move(out));
+}
+
+}  // namespace
+
+EstimateRequest EstimateRequest::parse(const json::Value& job, const Registry& registry) {
+  EstimateRequest request;
+  request.document = upgrade_job(job, request.diagnostics, &request.source_version);
+  if (!request.diagnostics.has_errors()) {
+    validate_job(request.document, registry, request.diagnostics);
+  }
+  return request;
+}
+
+json::Value EstimateResponse::to_json() const {
+  json::Object o;
+  o.emplace_back("schemaVersion", kSchemaVersion);
+  o.emplace_back("success", success);
+  o.emplace_back("diagnostics", diagnostics.to_json());
+  if (success) o.emplace_back("result", result);
+  return json::Value(std::move(o));
+}
+
+EstimationInput input_from_document(const json::Value& doc, const Registry& registry,
+                                    Diagnostics* diags) {
+  QRE_REQUIRE(doc.is_object(), "estimation job must be a JSON object");
+  check_known_keys(doc, job_keys(), "", diags);
+  EstimationInput input;
+  input.counts = LogicalCounts::from_json(doc.at("logicalCounts"), diags);
+  if (const json::Value* qubit = doc.find("qubitParams")) {
+    input.qubit = parse_qubit(*qubit, registry, diags);
+  }
+  // The registry's entry for the default scheme wins (a pack may re-tune
+  // it); QecScheme::default_for stays the single source of the name table.
+  input.qec = QecScheme::default_for(input.qubit.instruction_set);
+  if (const QecScheme* scheme =
+          registry.find_qec(input.qec.name(), input.qubit.instruction_set)) {
+    input.qec = *scheme;
+  }
+  if (const json::Value* qec = doc.find("qecScheme")) {
+    input.qec = parse_qec(*qec, input.qubit.instruction_set, registry, diags);
+  }
+  if (const json::Value* budget = doc.find("errorBudget")) {
+    input.budget = ErrorBudget::from_json(*budget, diags);
+  }
+  if (const json::Value* constraints = doc.find("constraints")) {
+    input.constraints = Constraints::from_json(*constraints, diags);
+  }
+  if (const json::Value* units = doc.find("distillationUnitSpecifications")) {
+    input.distillation_units.clear();
+    const json::Array& unit_array = units->as_array();
+    for (std::size_t i = 0; i < unit_array.size(); ++i) {
+      input.distillation_units.push_back(parse_unit(
+          unit_array[i], pointer_join("/distillationUnitSpecifications", i), registry,
+          diags));
+    }
+    QRE_REQUIRE(!input.distillation_units.empty(),
+                "distillationUnitSpecifications must not be empty");
+  }
+  return input;
+}
+
+json::Value run_single_document(const json::Value& doc, const Registry& registry,
+                                Diagnostics* diags) {
+  EstimationInput input = input_from_document(doc, registry, diags);
+  std::string estimate_type = "singlePoint";
+  if (const json::Value* type = doc.find("estimateType")) {
+    estimate_type = type->as_string();
+  }
+  if (estimate_type == "singlePoint") {
+    return report_to_json(estimate(input));
+  }
+  if (estimate_type == "frontier") {
+    json::Array points;
+    for (const ResourceEstimate& e : estimate_frontier(input)) {
+      points.push_back(report_to_json(e));
+    }
+    json::Object out;
+    out.emplace_back("frontier", json::Value(std::move(points)));
+    return json::Value(std::move(out));
+  }
+  throw_error("unknown estimateType '" + estimate_type +
+              "' (expected singlePoint or frontier)");
+}
+
+EstimateResponse run(const EstimateRequest& request, const service::EngineOptions& options,
+                     const Registry& registry) {
+  EstimateResponse response;
+  response.diagnostics = request.diagnostics;
+  if (!request.ok()) return response;
+
+  const json::Value& doc = request.document;
+  const json::Value* items = doc.find("items");
+  const json::Value* sweep = doc.find("sweep");
+
+  try {
+    if (items != nullptr || sweep != nullptr) {
+      std::vector<json::Value> expanded;
+      if (sweep != nullptr) {
+        expanded = service::expand_sweep(doc);
+      } else {
+        expanded.reserve(items->as_array().size());
+        for (const json::Value& item : items->as_array()) {
+          expanded.push_back(merge_job_item(doc, item));
+        }
+      }
+      auto runner = [&registry](const json::Value& item) -> json::Value {
+        // Per-item isolation: a merged item is validated as a complete
+        // single job of its own, so an invalid item degrades to a
+        // structured "invalid-item" entry (with its full diagnostic list,
+        // paths relative to the item document) instead of aborting the
+        // batch. Runtime failures are isolated by the engine.
+        Diagnostics item_diags;
+        validate_job(item, registry, item_diags);
+        if (item_diags.has_errors()) {
+          return item_error("invalid-item", item_diags.summary(), &item_diags);
+        }
+        Diagnostics sink;  // tolerate unknown keys; validation warned above
+        return run_single_document(item, registry, &sink);
+      };
+      service::BatchStats stats;
+      json::Array results = service::run_batch(expanded, runner, options, &stats);
+      json::Object out;
+      out.emplace_back("results", json::Value(std::move(results)));
+      out.emplace_back("batchStats", stats.to_json());
+      response.result = json::Value(std::move(out));
+      response.success = true;
+    } else {
+      Diagnostics sink;
+      response.result = run_single_document(doc, registry, &sink);
+      response.success = true;
+    }
+  } catch (const ValidationError& e) {
+    response.diagnostics.append(e.diagnostics());
+  } catch (const std::exception& e) {
+    response.diagnostics.error("estimation-failed", "", e.what());
+  }
+  return response;
+}
+
+}  // namespace qre::api

@@ -1,0 +1,76 @@
+// Stable public API façade (v2).
+//
+// Everything that consumes the estimator as a service — the CLI, the batch
+// engine wiring in core/job.cpp, examples, external embedders — sits on this
+// layer:
+//
+//   EstimateRequest request = api::EstimateRequest::parse(document);
+//   if (!request.ok()) { /* request.diagnostics lists every problem */ }
+//   EstimateResponse response = api::run(request);
+//   response.to_json();  // {"schemaVersion": 2, "success": ...,
+//                        //  "diagnostics": [...], "result": ...}
+//
+// parse() upgrades v1 documents through the schema shim, validates the
+// result against a profile registry (collecting ALL problems as structured
+// diagnostics, not throwing on the first), and never raises. run() executes
+// a valid request — single estimates, frontiers, batches, and sweeps, the
+// latter two on the concurrent engine — and reports failures, including
+// per-item failures inside a batch, as structured diagnostics rather than
+// opaque error strings.
+#pragma once
+
+#include "api/registry.hpp"
+#include "api/schema.hpp"
+#include "common/diagnostics.hpp"
+#include "core/estimator.hpp"
+#include "json/json.hpp"
+#include "service/engine.hpp"
+
+namespace qre::api {
+
+/// A parsed, validated job document (normalized to schema v2).
+struct EstimateRequest {
+  json::Value document;      // normalized v2 document
+  int source_version = kSchemaVersion;  // version the input declared
+  Diagnostics diagnostics;   // everything the upgrade + validation passes found
+
+  bool ok() const { return !diagnostics.has_errors(); }
+
+  /// Upgrades, normalizes, and validates `job`. Never throws: problems are
+  /// collected on the returned request's diagnostics.
+  static EstimateRequest parse(const json::Value& job,
+                               const Registry& registry = Registry::global());
+};
+
+/// The outcome of running a request.
+struct EstimateResponse {
+  bool success = false;
+  json::Value result;        // report | {"frontier": [...]} | {"results": [...], "batchStats": {...}}
+  Diagnostics diagnostics;   // request diagnostics plus runtime failures
+
+  /// {"schemaVersion": 2, "success": ..., "diagnostics": [...], "result": ...}.
+  json::Value to_json() const;
+};
+
+/// Builds the estimator input from a (single, non-batch) job document,
+/// resolving qubit/QEC/distillation names through `registry`. With a
+/// diagnostics sink, unknown keys are tolerated as warnings; without one
+/// they throw, as do all hard errors (qre::Error).
+EstimationInput input_from_document(const json::Value& doc, const Registry& registry,
+                                    Diagnostics* diags = nullptr);
+
+/// Runs one non-batch document: the report object, or {"frontier": [...]}.
+/// Throws qre::Error (or ValidationError) on invalid/infeasible input.
+json::Value run_single_document(const json::Value& doc, const Registry& registry,
+                                Diagnostics* diags = nullptr);
+
+/// Executes a request. Invalid requests return success=false with the
+/// validation diagnostics; runtime failures of single estimates become
+/// "estimation-failed" diagnostics; batch/sweep items are isolated as
+/// structured {"error": {"code", "message"}, "diagnostics": [...]} entries
+/// in "results". Never throws.
+EstimateResponse run(const EstimateRequest& request,
+                     const service::EngineOptions& options = {},
+                     const Registry& registry = Registry::global());
+
+}  // namespace qre::api

@@ -1,0 +1,278 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qre::api {
+
+namespace {
+
+
+std::vector<std::string_view> keys_plus(const std::vector<std::string_view>& base,
+                                        std::initializer_list<std::string_view> extra) {
+  std::vector<std::string_view> keys = base;
+  keys.insert(keys.end(), extra.begin(), extra.end());
+  return keys;
+}
+
+}  // namespace
+
+Registry Registry::with_builtins() {
+  Registry r;
+  r.register_qubit(QubitParams::gate_ns_e3());
+  r.register_qubit(QubitParams::gate_ns_e4());
+  r.register_qubit(QubitParams::gate_us_e3());
+  r.register_qubit(QubitParams::gate_us_e4());
+  r.register_qubit(QubitParams::maj_ns_e4());
+  r.register_qubit(QubitParams::maj_ns_e6());
+  r.register_qec(InstructionSet::kGateBased, QecScheme::surface_code_gate_based());
+  r.register_qec(InstructionSet::kMajorana, QecScheme::surface_code_majorana());
+  r.register_qec(InstructionSet::kMajorana, QecScheme::floquet_code());
+  for (DistillationUnit& u : DistillationUnit::default_units()) {
+    r.register_distillation(std::move(u));
+  }
+  return r;
+}
+
+Registry& Registry::global() {
+  static Registry instance = with_builtins();
+  return instance;
+}
+
+void Registry::register_qubit(QubitParams profile) {
+  QRE_REQUIRE(!profile.name.empty(), "a registered qubit profile needs a name");
+  profile.validate();
+  for (QubitParams& q : qubits_) {
+    if (q.name == profile.name) {
+      q = std::move(profile);
+      return;
+    }
+  }
+  qubits_.push_back(std::move(profile));
+}
+
+const QubitParams* Registry::find_qubit(std::string_view name) const {
+  for (const QubitParams& q : qubits_) {
+    if (q.name == name) return &q;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::qubit_names() const {
+  std::vector<std::string> names;
+  names.reserve(qubits_.size());
+  for (const QubitParams& q : qubits_) names.push_back(q.name);
+  return names;
+}
+
+void Registry::register_qec(InstructionSet set, QecScheme scheme) {
+  QRE_REQUIRE(!scheme.name().empty(), "a registered QEC scheme needs a name");
+  for (QecEntry& e : qec_) {
+    if (e.set == set && e.scheme.name() == scheme.name()) {
+      e.scheme = std::move(scheme);
+      return;
+    }
+  }
+  qec_.push_back({set, std::move(scheme)});
+}
+
+const QecScheme* Registry::find_qec(std::string_view name, InstructionSet set) const {
+  for (const QecEntry& e : qec_) {
+    if (e.set == set && e.scheme.name() == name) return &e.scheme;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::qec_names() const {
+  std::vector<std::string> names;
+  for (const QecEntry& e : qec_) {
+    if (std::find(names.begin(), names.end(), e.scheme.name()) == names.end()) {
+      names.push_back(e.scheme.name());
+    }
+  }
+  return names;
+}
+
+void Registry::register_distillation(DistillationUnit unit) {
+  QRE_REQUIRE(!unit.name.empty(), "a registered distillation unit needs a name");
+  unit.validate();
+  for (DistillationUnit& u : distillation_) {
+    if (u.name == unit.name) {
+      u = std::move(unit);
+      return;
+    }
+  }
+  distillation_.push_back(std::move(unit));
+}
+
+const DistillationUnit* Registry::find_distillation(std::string_view name) const {
+  for (const DistillationUnit& u : distillation_) {
+    if (u.name == name) return &u;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::distillation_names() const {
+  std::vector<std::string> names;
+  names.reserve(distillation_.size());
+  for (const DistillationUnit& u : distillation_) names.push_back(u.name);
+  return names;
+}
+
+void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
+  if (!pack.is_object()) {
+    diags.error("type-mismatch", "", "profile pack must be a JSON object");
+    return;
+  }
+  check_known_keys(pack, {"schemaVersion", "qubitParams", "qecSchemes", "distillationUnits"},
+                   "", &diags);
+  if (const json::Value* version = pack.find("schemaVersion")) {
+    if (!version->is_number() || version->as_double() != 2.0) {
+      diags.error("unsupported-version", "/schemaVersion",
+                  "profile packs use schemaVersion 2");
+      return;
+    }
+  }
+
+  if (const json::Value* profiles = pack.find("qubitParams")) {
+    if (!profiles->is_array()) {
+      diags.error("type-mismatch", "/qubitParams", "qubitParams must be an array");
+    } else {
+      const std::vector<std::string_view> allowed =
+          keys_plus(QubitParams::json_keys(), {"base"});
+      for (std::size_t i = 0; i < profiles->as_array().size(); ++i) {
+        const json::Value& entry = profiles->as_array()[i];
+        const std::string path = pointer_join("/qubitParams", i);
+        if (!entry.is_object()) {
+          diags.error("type-mismatch", path, "qubit profile entry must be an object");
+          continue;
+        }
+        check_known_keys(entry, allowed, path, &diags);
+        const json::Value* name = entry.find("name");
+        if (name == nullptr || !name->is_string()) {
+          diags.error("required-missing", pointer_join(path, "name"),
+                      "qubit profile entry needs a string 'name'");
+          continue;
+        }
+        try {
+          QubitParams q;
+          if (const json::Value* base = entry.find("base")) {
+            const QubitParams* found = find_qubit(base->as_string());
+            if (found == nullptr) {
+              diags.error("unknown-name", pointer_join(path, "base"),
+                          "unknown base qubit profile '" + base->as_string() + "'");
+              continue;
+            }
+            q = *found;
+          } else if (const QubitParams* existing = find_qubit(name->as_string())) {
+            q = *existing;  // re-tuning an already-registered profile
+          } else if (entry.find("instructionSet") == nullptr) {
+            diags.error("required-missing", pointer_join(path, "instructionSet"),
+                        "new qubit profile needs 'instructionSet' or 'base'");
+            continue;
+          }
+          q.name = name->as_string();
+          q.apply_json_overrides(entry);
+          register_qubit(std::move(q));
+        } catch (const Error& e) {
+          diags.error("value-range", path, e.what());
+        }
+      }
+    }
+  }
+
+  if (const json::Value* schemes = pack.find("qecSchemes")) {
+    if (!schemes->is_array()) {
+      diags.error("type-mismatch", "/qecSchemes", "qecSchemes must be an array");
+    } else {
+      const std::vector<std::string_view> allowed =
+          keys_plus(QecScheme::json_keys(), {"base", "instructionSet"});
+      for (std::size_t i = 0; i < schemes->as_array().size(); ++i) {
+        const json::Value& entry = schemes->as_array()[i];
+        const std::string path = pointer_join("/qecSchemes", i);
+        if (!entry.is_object()) {
+          diags.error("type-mismatch", path, "QEC scheme entry must be an object");
+          continue;
+        }
+        check_known_keys(entry, allowed, path, &diags);
+        const json::Value* name = entry.find("name");
+        if (name == nullptr || !name->is_string()) {
+          diags.error("required-missing", pointer_join(path, "name"),
+                      "QEC scheme entry needs a string 'name'");
+          continue;
+        }
+        const json::Value* set_field = entry.find("instructionSet");
+        InstructionSet set = InstructionSet::kGateBased;
+        if (set_field == nullptr || !set_field->is_string() ||
+            !try_parse_instruction_set(set_field->as_string(), set)) {
+          diags.error("required-missing", pointer_join(path, "instructionSet"),
+                      "QEC scheme entry needs instructionSet GateBased or Majorana");
+          continue;
+        }
+        try {
+          QecScheme base = QecScheme::default_for(set);
+          if (const json::Value* base_field = entry.find("base")) {
+            const QecScheme* found = find_qec(base_field->as_string(), set);
+            if (found == nullptr) {
+              diags.error("unknown-name", pointer_join(path, "base"),
+                          "unknown base QEC scheme '" + base_field->as_string() + "'");
+              continue;
+            }
+            base = *found;
+          } else if (const QecScheme* existing = find_qec(name->as_string(), set)) {
+            base = *existing;
+          }
+          register_qec(set, QecScheme::customize(std::move(base), entry)
+                                .with_name(name->as_string()));
+        } catch (const Error& e) {
+          diags.error("value-range", path, e.what());
+        }
+      }
+    }
+  }
+
+  if (const json::Value* units = pack.find("distillationUnits")) {
+    if (!units->is_array()) {
+      diags.error("type-mismatch", "/distillationUnits", "distillationUnits must be an array");
+    } else {
+      for (std::size_t i = 0; i < units->as_array().size(); ++i) {
+        const std::string path = pointer_join("/distillationUnits", i);
+        try {
+          register_distillation(
+              DistillationUnit::from_json(units->as_array()[i], &diags, path));
+        } catch (const Error& e) {
+          diags.error("value-range", path, e.what());
+        }
+      }
+    }
+  }
+}
+
+json::Value Registry::to_json() const {
+  json::Object out;
+  out.emplace_back("schemaVersion", 2);
+
+  json::Array qubits;
+  qubits.reserve(qubits_.size());
+  for (const QubitParams& q : qubits_) qubits.push_back(q.to_json());
+  out.emplace_back("qubitParams", json::Value(std::move(qubits)));
+
+  json::Array schemes;
+  schemes.reserve(qec_.size());
+  for (const QecEntry& e : qec_) {
+    json::Value scheme = e.scheme.to_json();
+    scheme.set("instructionSet", std::string(to_string(e.set)));
+    schemes.push_back(std::move(scheme));
+  }
+  out.emplace_back("qecSchemes", json::Value(std::move(schemes)));
+
+  json::Array units;
+  units.reserve(distillation_.size());
+  for (const DistillationUnit& u : distillation_) units.push_back(u.to_json());
+  out.emplace_back("distillationUnits", json::Value(std::move(units)));
+
+  return json::Value(std::move(out));
+}
+
+}  // namespace qre::api

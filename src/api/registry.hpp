@@ -1,0 +1,99 @@
+// Profile registry (API v2).
+//
+// The paper's estimator is valuable because its inputs are customizable:
+// qubit models, QEC schemes, and distillation units are self-describing
+// JSON, and real studies (Section IV-C; Quetschlich et al., arXiv:2402.12434)
+// iterate over custom hardware specifications. The registry is the single
+// place those named specifications live: the six built-in qubit presets, the
+// surface/floquet QEC schemes, and the default distillation units are seeded
+// at startup, and clients register additional profiles at runtime — directly
+// or by loading a JSON "profile pack":
+//
+//   {
+//     "schemaVersion": 2,
+//     "qubitParams": [
+//       {"name": "fast_transmon", "base": "qubit_gate_ns_e3",
+//        "oneQubitGateTime": 20},
+//       {"name": "exotic", "instructionSet": "Majorana", ...full model...}
+//     ],
+//     "qecSchemes": [
+//       {"name": "dense_surface", "instructionSet": "GateBased",
+//        "base": "surface_code", "crossingPrefactor": 0.05}
+//     ],
+//     "distillationUnits": [ { ...full unit specification... } ]
+//   }
+//
+// Registration is by name with last-wins override semantics, so a pack can
+// also re-tune a built-in preset. All name lookups of the job-parsing layer
+// (api::input_from_document and the schema validator) resolve against a
+// registry rather than against hard-coded preset tables, which is what makes
+// the service extensible without recompiling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "json/json.hpp"
+#include "profiles/qubit_params.hpp"
+#include "qec/qec_scheme.hpp"
+#include "tfactory/distillation_unit.hpp"
+
+namespace qre::api {
+
+class Registry {
+ public:
+  /// An empty registry (rarely wanted; see with_builtins / global).
+  Registry() = default;
+
+  /// A registry seeded with the built-in presets: the six paper qubit
+  /// models, surface_code (both instruction sets) + floquet_code, and the
+  /// two default distillation units.
+  static Registry with_builtins();
+
+  /// The mutable process-wide registry used by the default lookup paths
+  /// (run_job, qre_cli). Seeded with the builtins on first access.
+  static Registry& global();
+
+  // --- qubit profiles ----------------------------------------------------
+  /// Registers (or overrides, by name) a validated qubit model.
+  void register_qubit(QubitParams profile);
+  const QubitParams* find_qubit(std::string_view name) const;
+  std::vector<std::string> qubit_names() const;  // registration order
+
+  // --- QEC schemes -------------------------------------------------------
+  /// Registers (or overrides, by name + instruction set) a QEC scheme.
+  void register_qec(InstructionSet set, QecScheme scheme);
+  const QecScheme* find_qec(std::string_view name, InstructionSet set) const;
+  std::vector<std::string> qec_names() const;  // unique names, in order
+
+  // --- distillation unit templates --------------------------------------
+  /// Registers (or overrides, by name) a distillation unit template, usable
+  /// from jobs as {"name": "..."} without repeating the full specification.
+  void register_distillation(DistillationUnit unit);
+  const DistillationUnit* find_distillation(std::string_view name) const;
+  std::vector<std::string> distillation_names() const;
+
+  /// Loads a JSON profile pack (schema in the header comment). Problems are
+  /// collected on `diags`; entries that fail to build are skipped, valid
+  /// entries are still registered.
+  void load_profile_pack(const json::Value& pack, Diagnostics& diags);
+
+  /// Dumps the full contents — the qre_cli --list-profiles document:
+  /// {"schemaVersion": 2, "qubitParams": [...], "qecSchemes": [...],
+  ///  "distillationUnits": [...]}.
+  json::Value to_json() const;
+
+ private:
+  struct QecEntry {
+    InstructionSet set;
+    QecScheme scheme;
+  };
+
+  std::vector<QubitParams> qubits_;
+  std::vector<QecEntry> qec_;
+  std::vector<DistillationUnit> distillation_;
+};
+
+}  // namespace qre::api

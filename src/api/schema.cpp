@@ -1,0 +1,555 @@
+#include "api/schema.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/error_budget.hpp"
+#include "core/estimator.hpp"
+#include "counter/logical_counts.hpp"
+#include "formula/formula.hpp"
+#include "service/sweep.hpp"
+
+namespace qre::api {
+
+namespace {
+
+enum class Kind { kNumber, kUint, kString, kObject, kArray };
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNumber: return "a number";
+    case Kind::kUint: return "a non-negative integer";
+    case Kind::kString: return "a string";
+    case Kind::kObject: return "an object";
+    case Kind::kArray: return "an array";
+  }
+  return "?";
+}
+
+bool matches_kind(const json::Value& v, Kind k) {
+  switch (k) {
+    case Kind::kNumber: return v.is_number();
+    case Kind::kUint:
+      return v.is_number() && v.as_double() >= 0.0 &&
+             v.as_double() == std::floor(v.as_double());
+    case Kind::kString: return v.is_string();
+    case Kind::kObject: return v.is_object();
+    case Kind::kArray: return v.is_array();
+  }
+  return false;
+}
+
+/// Looks up `key` in `obj` and type-checks it. Present-but-wrong-type yields
+/// a "type-mismatch" diagnostic, absent-but-required a "required-missing"
+/// one; both return nullptr so callers can keep validating other fields.
+const json::Value* expect(const json::Value& obj, std::string_view key, Kind kind,
+                          const std::string& base, Diagnostics& diags,
+                          bool required = false) {
+  const json::Value* field = obj.find(key);
+  if (field == nullptr) {
+    if (required) {
+      diags.error("required-missing", pointer_join(base, key),
+                  "required field '" + std::string(key) + "' is missing");
+    }
+    return nullptr;
+  }
+  if (!matches_kind(*field, kind)) {
+    diags.error("type-mismatch", pointer_join(base, key),
+                "'" + std::string(key) + "' must be " + kind_name(kind));
+    return nullptr;
+  }
+  return field;
+}
+
+void check_positive_number(const json::Value& v, std::string_view key,
+                           const std::string& base, Diagnostics& diags) {
+  if (v.as_double() <= 0.0) {
+    diags.error("value-range", pointer_join(base, key),
+                "'" + std::string(key) + "' must be positive");
+  }
+}
+
+void check_probability(const json::Value& v, std::string_view key, const std::string& base,
+                       Diagnostics& diags) {
+  if (!(v.as_double() > 0.0 && v.as_double() < 1.0)) {
+    diags.error("value-range", pointer_join(base, key),
+                "'" + std::string(key) + "' must be in (0, 1)");
+  }
+}
+
+void check_formula(const json::Value& v, std::string_view key, const std::string& base,
+                   Diagnostics& diags) {
+  try {
+    Formula::parse(v.as_string());
+  } catch (const Error& e) {
+    diags.error("invalid-formula", pointer_join(base, key), e.what());
+  }
+}
+
+/// The instruction set a document's qubitParams section resolves to, used
+/// to pick the QEC scheme namespace. Falls back to gate-based (the default
+/// profile) when the section is absent or too broken to tell.
+InstructionSet resolve_instruction_set(const json::Value& doc, const Registry& registry) {
+  InstructionSet set = InstructionSet::kGateBased;
+  const json::Value* qubit = doc.find("qubitParams");
+  if (qubit == nullptr || !qubit->is_object()) return set;
+  if (const json::Value* name = qubit->find("name")) {
+    if (name->is_string()) {
+      if (const QubitParams* profile = registry.find_qubit(name->as_string())) {
+        set = profile->instruction_set;
+      }
+    }
+  }
+  if (const json::Value* is = qubit->find("instructionSet")) {
+    if (is->is_string()) try_parse_instruction_set(is->as_string(), set);
+  }
+  return set;
+}
+
+void validate_counts(const json::Value& v, const std::string& base, Diagnostics& diags) {
+  if (!v.is_object()) {
+    diags.error("type-mismatch", base, "logicalCounts must be an object");
+    return;
+  }
+  check_known_keys(v, LogicalCounts::json_keys(), base, &diags);
+  if (const json::Value* n = expect(v, "numQubits", Kind::kUint, base, diags, true)) {
+    if (n->as_double() <= 0.0) {
+      diags.error("value-range", pointer_join(base, "numQubits"),
+                  "'numQubits' must be positive");
+    }
+  }
+  for (std::string_view key : {"tCount", "rotationCount", "rotationDepth", "cczCount",
+                               "ccixCount", "measurementCount", "cliffordCount"}) {
+    expect(v, key, Kind::kUint, base, diags);
+  }
+  const json::Value* rc = v.find("rotationCount");
+  const json::Value* rd = v.find("rotationDepth");
+  const double rotations = rc != nullptr && matches_kind(*rc, Kind::kUint) ? rc->as_double() : 0.0;
+  const double depth = rd != nullptr && matches_kind(*rd, Kind::kUint) ? rd->as_double() : 0.0;
+  if (depth > rotations) {
+    diags.error("value-range", pointer_join(base, "rotationDepth"),
+                "'rotationDepth' cannot exceed 'rotationCount'");
+  } else if (rotations > 0.0 && depth == 0.0) {
+    diags.error("value-range", pointer_join(base, "rotationDepth"),
+                "'rotationDepth' must be positive when rotations are present");
+  }
+}
+
+void validate_qubit(const json::Value& v, const std::string& base, const Registry& registry,
+                    Diagnostics& diags) {
+  if (!v.is_object()) {
+    diags.error("type-mismatch", base, "qubitParams must be an object");
+    return;
+  }
+  check_known_keys(v, QubitParams::json_keys(), base, &diags);
+
+  const QubitParams* profile = nullptr;
+  if (const json::Value* name = expect(v, "name", Kind::kString, base, diags)) {
+    profile = registry.find_qubit(name->as_string());
+  }
+  bool set_known = profile != nullptr;
+  InstructionSet set =
+      profile != nullptr ? profile->instruction_set : InstructionSet::kGateBased;
+  if (const json::Value* is = expect(v, "instructionSet", Kind::kString, base, diags)) {
+    if (try_parse_instruction_set(is->as_string(), set)) {
+      set_known = true;
+    } else {
+      diags.error("invalid-value", pointer_join(base, "instructionSet"),
+                  "unknown instructionSet '" + is->as_string() +
+                      "' (expected GateBased or Majorana)");
+      set_known = false;
+    }
+  }
+  if (profile == nullptr) {
+    const json::Value* name = v.find("name");
+    if (v.find("instructionSet") == nullptr) {
+      diags.error("unknown-name", pointer_join(base, "name"),
+                  name != nullptr && name->is_string()
+                      ? "unknown qubit profile '" + name->as_string() +
+                            "' and no 'instructionSet' to build a custom model"
+                      : "custom qubit model requires 'instructionSet'");
+    } else if (set_known) {
+      // A fully custom model: the per-instruction-set fields are required.
+      const std::vector<std::string_view> required =
+          set == InstructionSet::kGateBased
+              ? std::vector<std::string_view>{"oneQubitMeasurementTime", "oneQubitGateTime",
+                                              "twoQubitGateTime", "tGateTime",
+                                              "oneQubitMeasurementErrorRate",
+                                              "oneQubitGateErrorRate", "twoQubitGateErrorRate",
+                                              "tGateErrorRate", "idleErrorRate"}
+              : std::vector<std::string_view>{"oneQubitMeasurementTime",
+                                              "twoQubitJointMeasurementTime", "tGateTime",
+                                              "oneQubitMeasurementErrorRate",
+                                              "twoQubitJointMeasurementErrorRate",
+                                              "tGateErrorRate", "idleErrorRate"};
+      for (std::string_view key : required) expect(v, key, Kind::kNumber, base, diags, true);
+    }
+  }
+  for (std::string_view key :
+       {"oneQubitMeasurementTime", "oneQubitGateTime", "twoQubitGateTime",
+        "twoQubitJointMeasurementTime", "tGateTime"}) {
+    if (const json::Value* f = expect(v, key, Kind::kNumber, base, diags)) {
+      check_positive_number(*f, key, base, diags);
+    }
+  }
+  for (std::string_view key :
+       {"oneQubitMeasurementErrorRate", "oneQubitGateErrorRate", "twoQubitGateErrorRate",
+        "twoQubitJointMeasurementErrorRate", "tGateErrorRate", "idleErrorRate"}) {
+    if (const json::Value* f = expect(v, key, Kind::kNumber, base, diags)) {
+      check_probability(*f, key, base, diags);
+    }
+  }
+}
+
+void validate_qec(const json::Value& v, const std::string& base, InstructionSet set,
+                  const Registry& registry, Diagnostics& diags) {
+  if (!v.is_object()) {
+    diags.error("type-mismatch", base, "qecScheme must be an object");
+    return;
+  }
+  check_known_keys(v, QecScheme::json_keys(), base, &diags);
+  if (const json::Value* name = expect(v, "name", Kind::kString, base, diags)) {
+    if (registry.find_qec(name->as_string(), set) == nullptr) {
+      diags.error("unknown-name", pointer_join(base, "name"),
+                  "unknown QEC scheme '" + name->as_string() + "' for " +
+                      std::string(to_string(set)) + " hardware");
+    }
+  }
+  if (const json::Value* t = expect(v, "errorCorrectionThreshold", Kind::kNumber, base, diags)) {
+    check_probability(*t, "errorCorrectionThreshold", base, diags);
+  }
+  if (const json::Value* a = expect(v, "crossingPrefactor", Kind::kNumber, base, diags)) {
+    check_positive_number(*a, "crossingPrefactor", base, diags);
+  }
+  for (std::string_view key : {"logicalCycleTime", "physicalQubitsPerLogicalQubit"}) {
+    if (const json::Value* f = expect(v, key, Kind::kString, base, diags)) {
+      check_formula(*f, key, base, diags);
+    }
+  }
+  if (const json::Value* m = expect(v, "maxCodeDistance", Kind::kUint, base, diags)) {
+    if (m->as_double() < 1.0) {
+      diags.error("value-range", pointer_join(base, "maxCodeDistance"),
+                  "'maxCodeDistance' must be >= 1");
+    }
+  }
+}
+
+void validate_budget(const json::Value& v, const std::string& base, Diagnostics& diags) {
+  if (v.is_number()) {
+    if (!(v.as_double() > 0.0 && v.as_double() < 1.0)) {
+      diags.error("value-range", base, "error budget must be in (0, 1)");
+    }
+    return;
+  }
+  if (!v.is_object()) {
+    diags.error("type-mismatch", base, "errorBudget must be a number or an object");
+    return;
+  }
+  check_known_keys(v, ErrorBudget::json_keys(), base, &diags);
+  if (v.find("total") != nullptr) {
+    if (const json::Value* t = expect(v, "total", Kind::kNumber, base, diags)) {
+      check_probability(*t, "total", base, diags);
+    }
+    return;
+  }
+  const json::Value* logical = expect(v, "logical", Kind::kNumber, base, diags, true);
+  const json::Value* tstates = expect(v, "tstates", Kind::kNumber, base, diags, true);
+  const json::Value* rotations = expect(v, "rotations", Kind::kNumber, base, diags, true);
+  if (logical != nullptr && logical->as_double() <= 0.0) {
+    diags.error("value-range", pointer_join(base, "logical"),
+                "'logical' budget part must be positive");
+  }
+  for (const auto& [field, key] : {std::pair{tstates, std::string_view("tstates")},
+                                   std::pair{rotations, std::string_view("rotations")}}) {
+    if (field != nullptr && field->as_double() < 0.0) {
+      diags.error("value-range", pointer_join(base, key),
+                  "'" + std::string(key) + "' budget part must be non-negative");
+    }
+  }
+  if (logical != nullptr && tstates != nullptr && rotations != nullptr) {
+    const double total = logical->as_double() + tstates->as_double() + rotations->as_double();
+    if (total >= 1.0) {
+      diags.error("value-range", base, "error budget parts must sum below 1");
+    }
+  }
+}
+
+void validate_constraints(const json::Value& v, const std::string& base, Diagnostics& diags) {
+  if (!v.is_object()) {
+    diags.error("type-mismatch", base, "constraints must be an object");
+    return;
+  }
+  check_known_keys(v, Constraints::json_keys(), base, &diags);
+  if (const json::Value* f = expect(v, "logicalDepthFactor", Kind::kNumber, base, diags)) {
+    if (f->as_double() < 1.0) {
+      diags.error("value-range", pointer_join(base, "logicalDepthFactor"),
+                  "'logicalDepthFactor' must be >= 1");
+    }
+  }
+  for (std::string_view key : {"maxTFactories", "maxPhysicalQubits"}) {
+    if (const json::Value* f = expect(v, key, Kind::kUint, base, diags)) {
+      if (f->as_double() < 1.0) {
+        diags.error("value-range", pointer_join(base, key),
+                    "'" + std::string(key) + "' must be >= 1");
+      }
+    }
+  }
+  // numTsPerRotation accepts 0 ("rotations are free"), matching the parser.
+  expect(v, "numTsPerRotation", Kind::kUint, base, diags);
+  if (const json::Value* f = expect(v, "maxDuration", Kind::kNumber, base, diags)) {
+    check_positive_number(*f, "maxDuration", base, diags);
+  }
+}
+
+void validate_units(const json::Value& v, const std::string& base, const Registry& registry,
+                    Diagnostics& diags) {
+  if (!v.is_array()) {
+    diags.error("type-mismatch", base, "distillationUnitSpecifications must be an array");
+    return;
+  }
+  if (v.as_array().empty()) {
+    diags.error("value-range", base, "distillationUnitSpecifications must not be empty");
+    return;
+  }
+  for (std::size_t i = 0; i < v.as_array().size(); ++i) {
+    const json::Value& unit = v.as_array()[i];
+    const std::string path = pointer_join(base, i);
+    if (!unit.is_object()) {
+      diags.error("type-mismatch", path, "distillation unit specification must be an object");
+      continue;
+    }
+    // A name-only entry references a registered template.
+    if (unit.as_object().size() == 1 && unit.find("name") != nullptr) {
+      const json::Value* name = expect(unit, "name", Kind::kString, path, diags);
+      if (name != nullptr && registry.find_distillation(name->as_string()) == nullptr) {
+        diags.error("unknown-name", pointer_join(path, "name"),
+                    "unknown distillation unit template '" + name->as_string() + "'");
+      }
+      continue;
+    }
+    check_known_keys(unit, DistillationUnit::json_keys(), path, &diags);
+    expect(unit, "name", Kind::kString, path, diags, true);
+    const json::Value* in = expect(unit, "numInputTs", Kind::kUint, path, diags, true);
+    const json::Value* out = expect(unit, "numOutputTs", Kind::kUint, path, diags, true);
+    if (in != nullptr && out != nullptr &&
+        !(out->as_double() > 0.0 && out->as_double() < in->as_double())) {
+      diags.error("value-range", pointer_join(path, "numOutputTs"),
+                  "a distillation unit must output fewer (but at least one) T states "
+                  "than it consumes");
+    }
+    for (std::string_view key : {"failureProbabilityFormula", "outputErrorRateFormula"}) {
+      if (const json::Value* f = expect(unit, key, Kind::kString, path, diags, true)) {
+        check_formula(*f, key, path, diags);
+      }
+    }
+    const json::Value* phys = expect(unit, "physicalQubitSpecification", Kind::kObject, path, diags);
+    const json::Value* log = expect(unit, "logicalQubitSpecification", Kind::kObject, path, diags);
+    if (phys == nullptr && log == nullptr && unit.find("physicalQubitSpecification") == nullptr &&
+        unit.find("logicalQubitSpecification") == nullptr) {
+      diags.error("required-missing", path,
+                  "distillation unit needs a physicalQubitSpecification or "
+                  "logicalQubitSpecification");
+    }
+    if (phys != nullptr) {
+      const std::string spec = pointer_join(path, "physicalQubitSpecification");
+      check_known_keys(*phys, DistillationUnit::physical_spec_keys(), spec, &diags);
+      expect(*phys, "numUnitQubits", Kind::kUint, spec, diags, true);
+      if (const json::Value* f = expect(*phys, "durationFormula", Kind::kString, spec, diags, true)) {
+        check_formula(*f, "durationFormula", spec, diags);
+      }
+    }
+    if (log != nullptr) {
+      const std::string spec = pointer_join(path, "logicalQubitSpecification");
+      check_known_keys(*log, DistillationUnit::logical_spec_keys(), spec, &diags);
+      expect(*log, "numUnitQubits", Kind::kUint, spec, diags, true);
+      expect(*log, "durationInLogicalCycles", Kind::kUint, spec, diags, true);
+    }
+  }
+}
+
+void validate_estimate_type(const json::Value& v, const std::string& base, Diagnostics& diags) {
+  if (!v.is_string()) {
+    diags.error("type-mismatch", base, "estimateType must be a string");
+    return;
+  }
+  if (v.as_string() != "singlePoint" && v.as_string() != "frontier") {
+    diags.error("invalid-value", base,
+                "unknown estimateType '" + v.as_string() +
+                    "' (expected singlePoint or frontier)");
+  }
+}
+
+/// Validates the estimation sections `doc` carries (paths are anchored at
+/// the document root; batch items are validated as documents of their own).
+void validate_sections(const json::Value& doc, const Registry& registry,
+                       Diagnostics& diags) {
+  if (const json::Value* counts = doc.find("logicalCounts")) {
+    validate_counts(*counts, "/logicalCounts", diags);
+  }
+  if (const json::Value* qubit = doc.find("qubitParams")) {
+    validate_qubit(*qubit, "/qubitParams", registry, diags);
+  }
+  if (const json::Value* qec = doc.find("qecScheme")) {
+    validate_qec(*qec, "/qecScheme", resolve_instruction_set(doc, registry), registry,
+                 diags);
+  }
+  if (const json::Value* budget = doc.find("errorBudget")) {
+    validate_budget(*budget, "/errorBudget", diags);
+  }
+  if (const json::Value* constraints = doc.find("constraints")) {
+    validate_constraints(*constraints, "/constraints", diags);
+  }
+  if (const json::Value* units = doc.find("distillationUnitSpecifications")) {
+    validate_units(*units, "/distillationUnitSpecifications", registry, diags);
+  }
+  if (const json::Value* type = doc.find("estimateType")) {
+    validate_estimate_type(*type, "/estimateType", diags);
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& job_keys() {
+  static const std::vector<std::string_view> kKeys = {
+      "schemaVersion", "logicalCounts",
+      "qubitParams",   "qecScheme",
+      "errorBudget",   "constraints",
+      "distillationUnitSpecifications", "estimateType",
+      "items",         "sweep",
+  };
+  return kKeys;
+}
+
+json::Value upgrade_job(const json::Value& job, Diagnostics& diags, int* source_version) {
+  if (source_version != nullptr) *source_version = 1;
+  if (!job.is_object()) return job;  // the validator reports the type error
+  json::Value upgraded = job;
+  const json::Value* version = job.find("schemaVersion");
+  if (version == nullptr) {
+    upgraded.set("schemaVersion", kSchemaVersion);
+    return upgraded;
+  }
+  if (!version->is_number()) {
+    diags.error("type-mismatch", "/schemaVersion", "schemaVersion must be a number");
+    return upgraded;
+  }
+  const double declared = version->as_double();
+  if (declared == 1.0) {
+    upgraded.set("schemaVersion", kSchemaVersion);
+    return upgraded;
+  }
+  if (declared == 2.0) {
+    if (source_version != nullptr) *source_version = 2;
+    return upgraded;
+  }
+  diags.error("unsupported-version", "/schemaVersion",
+              "unsupported schemaVersion " + version->dump() + " (this service handles 1 and 2)");
+  return upgraded;
+}
+
+void validate_batch_items(const json::Value& job, const Registry& registry,
+                          Diagnostics& diags) {
+  if (!job.is_object()) return;
+  const json::Value* items = job.find("items");
+  if (items == nullptr || !items->is_array()) return;
+  for (std::size_t i = 0; i < items->as_array().size(); ++i) {
+    const json::Value& item = items->as_array()[i];
+    if (!item.is_object()) continue;  // the structural pass already flagged it
+    Diagnostics item_diags;
+    validate_job(merge_job_item(job, item), registry, item_diags);
+    const std::string prefix = pointer_join("/items", i);
+    for (const Diagnostic& d : item_diags.entries()) {
+      // Report only what this item causes: problems in sections the item
+      // itself overrides, or logicalCounts missing on both levels. Findings
+      // in inherited sections were already reported at the top level.
+      if (d.path.empty()) continue;
+      const std::size_t next = d.path.find('/', 1);
+      const std::string section = d.path.substr(1, next == std::string::npos
+                                                       ? std::string::npos
+                                                       : next - 1);
+      if (item.find(section) != nullptr || d.path == "/logicalCounts") {
+        diags.add({d.severity, d.code, prefix + d.path, d.message});
+      }
+    }
+  }
+}
+
+json::Value merge_job_item(const json::Value& base, const json::Value& overlay) {
+  json::Object pruned;
+  for (const auto& [k, v] : base.as_object()) {
+    if (k != "items" && k != "sweep") pruned.emplace_back(k, v);
+  }
+  json::Value merged{std::move(pruned)};
+  for (const auto& [k, v] : overlay.as_object()) merged.set(k, v);
+  return merged;
+}
+
+void validate_job(const json::Value& job, const Registry& registry, Diagnostics& diags) {
+  if (!job.is_object()) {
+    diags.error("type-mismatch", "", "estimation job must be a JSON object");
+    return;
+  }
+  check_known_keys(job, job_keys(), "", &diags);
+  if (const json::Value* version = job.find("schemaVersion")) {
+    if (!version->is_number() || version->as_double() != static_cast<double>(kSchemaVersion)) {
+      diags.error("unsupported-version", "/schemaVersion",
+                  "expected schemaVersion 2; run v1 documents through the upgrade shim");
+    }
+  }
+
+  const json::Value* items = job.find("items");
+  const json::Value* sweep = job.find("sweep");
+  if (items != nullptr && sweep != nullptr) {
+    diags.error("mutually-exclusive", "/items", "a job cannot carry both items and sweep");
+  }
+
+  validate_sections(job, registry, diags);
+
+  bool counts_may_come_later = false;
+  if (sweep != nullptr) {
+    if (!sweep->is_object()) {
+      diags.error("type-mismatch", "/sweep", "sweep must be an object");
+    } else {
+      try {
+        for (const service::SweepAxis& axis : service::sweep_axes(*sweep)) {
+          if (axis.path == "logicalCounts" || axis.path.rfind("logicalCounts.", 0) == 0) {
+            counts_may_come_later = true;
+          }
+        }
+      } catch (const Error& e) {
+        diags.error("invalid-sweep", "/sweep", e.what());
+      }
+    }
+  }
+  if (items != nullptr) {
+    // Only the batch *structure* is validated here; each item's content is
+    // validated individually when the batch runs, so one bad item degrades
+    // to a structured "invalid-item" result entry instead of rejecting the
+    // whole request (the engine's per-item isolation contract).
+    if (!items->is_array()) {
+      diags.error("type-mismatch", "/items", "items must be an array");
+    } else {
+      for (std::size_t i = 0; i < items->as_array().size(); ++i) {
+        const json::Value& item = items->as_array()[i];
+        const std::string path = pointer_join("/items", i);
+        if (!item.is_object()) {
+          diags.error("type-mismatch", path, "batch item must be an object");
+          continue;
+        }
+        check_known_keys(item, job_keys(), path, &diags);
+        if (item.find("items") != nullptr || item.find("sweep") != nullptr) {
+          diags.error("mutually-exclusive", path,
+                      "a batch item must not itself carry items or sweep");
+        }
+      }
+    }
+  }
+
+  if (job.find("logicalCounts") == nullptr && items == nullptr && !counts_may_come_later) {
+    diags.error("required-missing", "/logicalCounts",
+                "required field 'logicalCounts' is missing");
+  }
+}
+
+}  // namespace qre::api

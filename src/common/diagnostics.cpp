@@ -1,0 +1,108 @@
+#include "common/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace qre {
+
+std::string_view to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+json::Value Diagnostic::to_json() const {
+  json::Object o;
+  o.emplace_back("severity", std::string(to_string(severity)));
+  o.emplace_back("code", code);
+  o.emplace_back("path", path);
+  o.emplace_back("message", message);
+  return json::Value(std::move(o));
+}
+
+void Diagnostics::error(std::string code, std::string path, std::string message) {
+  entries_.push_back({Severity::kError, std::move(code), std::move(path), std::move(message)});
+}
+
+void Diagnostics::warning(std::string code, std::string path, std::string message) {
+  entries_.push_back({Severity::kWarning, std::move(code), std::move(path), std::move(message)});
+}
+
+void Diagnostics::add(Diagnostic d) { entries_.push_back(std::move(d)); }
+
+void Diagnostics::append(const Diagnostics& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(), other.entries_.end());
+}
+
+bool Diagnostics::has_errors() const { return num_errors() > 0; }
+
+std::size_t Diagnostics::num_errors() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+json::Value Diagnostics::to_json() const {
+  json::Array a;
+  a.reserve(entries_.size());
+  for (const Diagnostic& d : entries_) a.push_back(d.to_json());
+  return json::Value(std::move(a));
+}
+
+std::string Diagnostics::summary() const {
+  std::string out;
+  for (const Diagnostic& d : entries_) {
+    if (d.severity != Severity::kError) continue;
+    if (!out.empty()) out += "; ";
+    if (!d.path.empty()) {
+      out += d.path;
+      out += ": ";
+    }
+    out += d.message;
+  }
+  return out.empty() ? "document is valid" : out;
+}
+
+ValidationError::ValidationError(Diagnostics diagnostics)
+    : Error("invalid job document: " + diagnostics.summary()),
+      diagnostics_(std::move(diagnostics)) {}
+
+std::string pointer_join(std::string_view base, std::string_view token) {
+  std::string out(base);
+  out += '/';
+  for (char c : token) {
+    if (c == '~') {
+      out += "~0";
+    } else if (c == '/') {
+      out += "~1";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string pointer_join(std::string_view base, std::size_t index) {
+  return std::string(base) + "/" + std::to_string(index);
+}
+
+void check_known_keys(const json::Value& v, const std::vector<std::string_view>& allowed,
+                      std::string_view base_path, Diagnostics* diags) {
+  if (!v.is_object()) return;
+  std::string unknown;
+  for (const auto& [key, value] : v.as_object()) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) != allowed.end()) continue;
+    if (diags != nullptr) {
+      diags->warning("unknown-key", pointer_join(base_path, key),
+                     "unknown key '" + key + "'");
+    } else {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "'" + key + "'";
+    }
+  }
+  if (unknown.empty()) return;
+  std::string where = base_path.empty() ? std::string("document")
+                                        : "object at " + std::string(base_path);
+  throw_error(where + " carries unknown key(s) " + unknown +
+              " (typo? unknown keys are rejected since schema v2)");
+}
+
+}  // namespace qre

@@ -1,0 +1,101 @@
+// Structured validation diagnostics (API v2).
+//
+// The estimator's service surface reports input problems as a list of
+// {severity, code, path, message} records instead of a single thrown string:
+// a strict validation pass collects *all* problems of a job document —
+// including unknown-key warnings, the silent-typo class of bugs — and
+// returns them together, each anchored to the offending field by a JSON
+// pointer (RFC 6901) such as "/qubitParams/tGateErrorRate".
+//
+// Codes are stable kebab-case identifiers meant for programmatic handling:
+//
+//   required-missing     a mandatory field is absent
+//   type-mismatch        a field has the wrong JSON type
+//   value-range          a value is outside its legal range
+//   unknown-key          an object carries a key the schema does not define
+//   unknown-name         a name does not resolve against the registry
+//   invalid-value        an enumerated field has an unknown value
+//   invalid-formula      a formula string does not parse
+//   mutually-exclusive   two fields cannot be combined
+//   unsupported-version  the document's schemaVersion is not handled
+//   invalid-sweep        a sweep grid does not expand
+//   invalid-item         a batch item failed validation
+//   estimation-failed    a structurally valid input was infeasible at runtime
+//
+// This lives in common/ (not api/) so the per-module from_json parsers can
+// feed the same channel without depending on the API layer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json/json.hpp"
+
+namespace qre {
+
+enum class Severity { kWarning, kError };
+
+std::string_view to_string(Severity s);
+
+/// One validation finding, anchored by a JSON pointer into the document.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     // stable identifier, see the table above
+  std::string path;     // JSON pointer ("" addresses the whole document)
+  std::string message;  // human-readable explanation
+
+  json::Value to_json() const;
+};
+
+/// An ordered collection of diagnostics: the result of a validation pass.
+class Diagnostics {
+ public:
+  void error(std::string code, std::string path, std::string message);
+  void warning(std::string code, std::string path, std::string message);
+  void add(Diagnostic d);
+  void append(const Diagnostics& other);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  bool has_errors() const;
+  std::size_t num_errors() const;
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+
+  /// Serializes as a JSON array of diagnostic objects.
+  json::Value to_json() const;
+
+  /// One-line rendition ("path: message; path: message; ...") of the
+  /// error-severity entries, used for ValidationError::what().
+  std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> entries_;
+};
+
+/// Thrown when a document fails validation; carries the full diagnostic
+/// list so callers can render structured output instead of a flat string.
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(Diagnostics diagnostics);
+
+  const Diagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  Diagnostics diagnostics_;
+};
+
+/// Appends an escaped JSON-pointer token to `base` (RFC 6901: "~" -> "~0",
+/// "/" -> "~1").
+std::string pointer_join(std::string_view base, std::string_view token);
+std::string pointer_join(std::string_view base, std::size_t index);
+
+/// Scans object `v` for keys outside `allowed`. Each unknown key becomes an
+/// "unknown-key" warning on `diags` when a sink is given; with diags ==
+/// nullptr a single qre::Error listing every unknown key is thrown instead.
+/// Non-objects pass through silently (their type is someone else's check).
+void check_known_keys(const json::Value& v, const std::vector<std::string_view>& allowed,
+                      std::string_view base_path, Diagnostics* diags);
+
+}  // namespace qre

@@ -22,8 +22,15 @@ ErrorBudget ErrorBudget::from_parts(double logical, double tstates, double rotat
   return b;
 }
 
-ErrorBudget ErrorBudget::from_json(const json::Value& v) {
+const std::vector<std::string_view>& ErrorBudget::json_keys() {
+  static const std::vector<std::string_view> kKeys = {"total", "logical", "tstates",
+                                                      "rotations"};
+  return kKeys;
+}
+
+ErrorBudget ErrorBudget::from_json(const json::Value& v, Diagnostics* diags) {
   if (v.is_number()) return from_total(v.as_double());
+  check_known_keys(v, json_keys(), "/errorBudget", diags);
   if (const json::Value* total = v.find("total")) return from_total(total->as_double());
   return from_parts(v.at("logical").as_double(), v.at("tstates").as_double(),
                     v.at("rotations").as_double());

@@ -15,7 +15,10 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
+#include <vector>
 
+#include "common/diagnostics.hpp"
 #include "json/json.hpp"
 
 namespace qre {
@@ -39,9 +42,14 @@ class ErrorBudget {
   /// Fully explicit partition.
   static ErrorBudget from_parts(double logical, double tstates, double rotations);
 
-  /// Accepts {"total": x} or {"logical": a, "tstates": b, "rotations": c}.
-  static ErrorBudget from_json(const json::Value& v);
+  /// Accepts a bare number, {"total": x}, or {"logical": a, "tstates": b,
+  /// "rotations": c}. Unknown object keys warn on `diags` when a sink is
+  /// given and are rejected otherwise.
+  static ErrorBudget from_json(const json::Value& v, Diagnostics* diags = nullptr);
   json::Value to_json() const;
+
+  /// The object keys from_json understands; shared with the validator.
+  static const std::vector<std::string_view>& json_keys();
 
   double total() const;
 

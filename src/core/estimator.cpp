@@ -10,7 +10,16 @@
 
 namespace qre {
 
-Constraints Constraints::from_json(const json::Value& v) {
+const std::vector<std::string_view>& Constraints::json_keys() {
+  static const std::vector<std::string_view> kKeys = {
+      "logicalDepthFactor", "maxTFactories", "maxDuration", "maxPhysicalQubits",
+      "numTsPerRotation",
+  };
+  return kKeys;
+}
+
+Constraints Constraints::from_json(const json::Value& v, Diagnostics* diags) {
+  check_known_keys(v, json_keys(), "/constraints", diags);
   Constraints c;
   if (const json::Value* f = v.find("logicalDepthFactor")) {
     c.logical_depth_factor = f->as_double();
@@ -20,9 +29,13 @@ Constraints Constraints::from_json(const json::Value& v) {
     c.max_t_factories = f->as_uint();
     QRE_REQUIRE(*c.max_t_factories >= 1, "maxTFactories must be >= 1");
   }
-  if (const json::Value* f = v.find("maxDuration")) c.max_duration_ns = f->as_double();
+  if (const json::Value* f = v.find("maxDuration")) {
+    c.max_duration_ns = f->as_double();
+    QRE_REQUIRE(*c.max_duration_ns > 0.0, "maxDuration must be positive");
+  }
   if (const json::Value* f = v.find("maxPhysicalQubits")) {
     c.max_physical_qubits = f->as_uint();
+    QRE_REQUIRE(*c.max_physical_qubits >= 1, "maxPhysicalQubits must be >= 1");
   }
   if (const json::Value* f = v.find("numTsPerRotation")) {
     c.num_ts_per_rotation = f->as_uint();

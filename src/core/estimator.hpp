@@ -48,8 +48,12 @@ struct Constraints {
   /// Override for the number of T states consumed per rotation.
   std::optional<std::uint64_t> num_ts_per_rotation;
 
-  static Constraints from_json(const json::Value& v);
+  /// Unknown keys warn on `diags` when a sink is given, reject otherwise.
+  static Constraints from_json(const json::Value& v, Diagnostics* diags = nullptr);
   json::Value to_json() const;
+
+  /// The keys from_json understands; shared with the schema validator.
+  static const std::vector<std::string_view>& json_keys();
 };
 
 struct EstimationInput {

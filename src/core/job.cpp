@@ -1,79 +1,19 @@
 #include "core/job.hpp"
 
+#include "api/api.hpp"
 #include "common/error.hpp"
-#include "report/report.hpp"
-#include "service/engine.hpp"
-#include "service/sweep.hpp"
 
 namespace qre {
 
-namespace {
-
-/// Merges `overlay` onto `base` (top-level keys only): item fields override
-/// the job-level defaults. The batch-shaping keys are never inherited.
-json::Value merge_job(const json::Value& base, const json::Value& overlay) {
-  json::Object pruned;
-  for (const auto& [k, v] : base.as_object()) {
-    if (k != "items" && k != "sweep") pruned.emplace_back(k, v);
-  }
-  json::Value merged{std::move(pruned)};
-  for (const auto& [k, v] : overlay.as_object()) merged.set(k, v);
-  return merged;
-}
-
-}  // namespace
-
 EstimationInput estimation_input_from_json(const json::Value& job) {
-  QRE_REQUIRE(job.is_object(), "estimation job must be a JSON object");
-  EstimationInput input;
-  input.counts = LogicalCounts::from_json(job.at("logicalCounts"));
-  if (const json::Value* qubit = job.find("qubitParams")) {
-    input.qubit = QubitParams::from_json(*qubit);
-  }
-  input.qec = QecScheme::default_for(input.qubit.instruction_set);
-  if (const json::Value* qec = job.find("qecScheme")) {
-    input.qec = QecScheme::from_json(*qec, input.qubit.instruction_set);
-  }
-  if (const json::Value* budget = job.find("errorBudget")) {
-    input.budget = ErrorBudget::from_json(*budget);
-  }
-  if (const json::Value* constraints = job.find("constraints")) {
-    input.constraints = Constraints::from_json(*constraints);
-  }
-  if (const json::Value* units = job.find("distillationUnitSpecifications")) {
-    input.distillation_units.clear();
-    for (const json::Value& unit : units->as_array()) {
-      input.distillation_units.push_back(DistillationUnit::from_json(unit));
-    }
-    QRE_REQUIRE(!input.distillation_units.empty(),
-                "distillationUnitSpecifications must not be empty");
-  }
-  return input;
+  return api::input_from_document(job, api::Registry::global());
 }
 
 json::Value run_single_job(const json::Value& job) {
   QRE_REQUIRE(job.is_object(), "estimation job must be a JSON object");
   QRE_REQUIRE(job.find("items") == nullptr && job.find("sweep") == nullptr,
               "batch item must not itself carry items or sweep");
-  EstimationInput input = estimation_input_from_json(job);
-  std::string estimate_type = "singlePoint";
-  if (const json::Value* type = job.find("estimateType")) {
-    estimate_type = type->as_string();
-  }
-  if (estimate_type == "singlePoint") {
-    return report_to_json(estimate(input));
-  }
-  if (estimate_type == "frontier") {
-    json::Array points;
-    for (const ResourceEstimate& e : estimate_frontier(input)) {
-      points.push_back(report_to_json(e));
-    }
-    json::Object out;
-    out.emplace_back("frontier", json::Value(std::move(points)));
-    return json::Value(std::move(out));
-  }
-  throw_error("unknown estimateType '" + estimate_type +
-              "' (expected singlePoint or frontier)");
+  return api::run_single_document(job, api::Registry::global());
 }
 
 json::Value run_job(const json::Value& job) {
@@ -81,34 +21,13 @@ json::Value run_job(const json::Value& job) {
 }
 
 json::Value run_job(const json::Value& job, const service::EngineOptions& options) {
-  QRE_REQUIRE(job.is_object(), "estimation job must be a JSON object");
-
-  const json::Value* items = job.find("items");
-  const json::Value* sweep = job.find("sweep");
-  QRE_REQUIRE(items == nullptr || sweep == nullptr,
-              "job cannot carry both items and sweep");
-
-  if (items != nullptr || sweep != nullptr) {
-    std::vector<json::Value> expanded;
-    if (sweep != nullptr) {
-      expanded = service::expand_sweep(job);
-    } else {
-      expanded.reserve(items->as_array().size());
-      for (const json::Value& item : items->as_array()) {
-        expanded.push_back(merge_job(job, item));
-      }
-    }
-    service::BatchStats stats;
-    json::Array results = service::run_batch(
-        expanded, [](const json::Value& j) { return run_single_job(j); }, options,
-        &stats);
-    json::Object out;
-    out.emplace_back("results", json::Value(std::move(results)));
-    out.emplace_back("batchStats", stats.to_json());
-    return json::Value(std::move(out));
-  }
-
-  return run_single_job(job);
+  api::EstimateRequest request = api::EstimateRequest::parse(job);
+  if (!request.ok()) throw ValidationError(std::move(request.diagnostics));
+  api::EstimateResponse response = api::run(request, options);
+  // A valid request that still failed (infeasible single estimate) surfaces
+  // as runtime diagnostics; rethrow them with their plain messages.
+  if (!response.success) throw Error(response.diagnostics.summary());
+  return response.result;
 }
 
 json::Value run_job_file(const std::string& path) { return run_job(json::parse_file(path)); }

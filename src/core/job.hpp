@@ -6,8 +6,9 @@
 // JSON document in, one out, covering single estimates, frontier estimates,
 // and batched parameter sweeps.
 //
-// Job schema:
+// Job schema (v2; see docs/schema_v2.md and src/api/):
 //   {
+//     "schemaVersion": 2,                                         // 1/absent -> upgrade shim
 //     "logicalCounts": { "numQubits": ..., "tCount": ..., ... },  // required
 //     "qubitParams":  { "name": "qubit_gate_ns_e3", ...overrides },
 //     "qecScheme":    { "name": "surface_code", ...overrides },
@@ -16,6 +17,11 @@
 //     "distillationUnitSpecifications": [ { ...unit... }, ... ],
 //     "estimateType": "singlePoint" | "frontier"
 //   }
+//
+// These entry points are thin wrappers over the api/ façade: documents are
+// validated up front (all problems collected as structured diagnostics —
+// run_job throws qre::ValidationError carrying them), and named profiles
+// resolve through api::Registry::global().
 //
 // Batched jobs wrap per-item overrides:
 //   { "items": [ {..job..}, {..job..} ] }  ->  { "results": [ ... ] }
@@ -54,7 +60,8 @@ json::Value run_single_job(const json::Value& job);
 /// Runs a job document and returns the result document. Single jobs yield
 /// run_single_job's output; batched and sweep jobs yield
 /// {"results": [...], "batchStats": {...}} in item order. Per-item failures
-/// are reported as {"error": "..."} entries instead of aborting the batch.
+/// are reported as structured {"error": {"code", "message"}} entries
+/// instead of aborting the batch.
 json::Value run_job(const json::Value& job);
 
 /// run_job with explicit engine options (worker-pool width, caching,

@@ -6,7 +6,16 @@
 
 namespace qre {
 
-LogicalCounts LogicalCounts::from_json(const json::Value& v) {
+const std::vector<std::string_view>& LogicalCounts::json_keys() {
+  static const std::vector<std::string_view> kKeys = {
+      "numQubits", "tCount",           "rotationCount", "rotationDepth",
+      "cczCount",  "ccixCount",        "measurementCount", "cliffordCount",
+  };
+  return kKeys;
+}
+
+LogicalCounts LogicalCounts::from_json(const json::Value& v, Diagnostics* diags) {
+  check_known_keys(v, json_keys(), "/logicalCounts", diags);
   LogicalCounts c;
   c.num_qubits = v.at("numQubits").as_uint();
   QRE_REQUIRE(c.num_qubits > 0, "LogicalCounts: numQubits must be positive");

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
+#include "common/diagnostics.hpp"
 #include "json/json.hpp"
 
 namespace qre {
@@ -41,8 +43,13 @@ struct LogicalCounts {
   /// Parses {"numQubits": ..., "tCount": ..., "rotationCount": ...,
   /// "rotationDepth": ..., "cczCount": ..., "ccixCount": ...,
   /// "measurementCount": ...}; all fields except numQubits default to 0.
-  static LogicalCounts from_json(const json::Value& v);
+  /// Unknown keys are reported as warnings on `diags` when a sink is given
+  /// and rejected (qre::Error) otherwise.
+  static LogicalCounts from_json(const json::Value& v, Diagnostics* diags = nullptr);
   json::Value to_json() const;
+
+  /// The keys from_json understands; shared with the schema validator.
+  static const std::vector<std::string_view>& json_keys();
 
   /// Composes subroutines executed one after another on a shared machine —
   /// the AccountForEstimates pattern (paper Section IV-B3): gate and

@@ -14,6 +14,18 @@ std::string_view to_string(InstructionSet s) {
   return "?";
 }
 
+bool try_parse_instruction_set(std::string_view s, InstructionSet& out) {
+  if (s == "GateBased" || s == "gate_based" || s == "gateBased") {
+    out = InstructionSet::kGateBased;
+    return true;
+  }
+  if (s == "Majorana" || s == "majorana") {
+    out = InstructionSet::kMajorana;
+    return true;
+  }
+  return false;
+}
+
 namespace {
 
 QubitParams gate_based(std::string name, double gate_ns, double meas_ns, double clifford_err,
@@ -84,7 +96,27 @@ QubitParams QubitParams::from_name(std::string_view name) {
               "qubit_gate_us_e4, qubit_maj_ns_e4, qubit_maj_ns_e6");
 }
 
-QubitParams QubitParams::from_json(const json::Value& v) {
+const std::vector<std::string_view>& QubitParams::json_keys() {
+  static const std::vector<std::string_view> kKeys = {
+      "name",
+      "instructionSet",
+      "oneQubitMeasurementTime",
+      "oneQubitGateTime",
+      "twoQubitGateTime",
+      "twoQubitJointMeasurementTime",
+      "tGateTime",
+      "oneQubitMeasurementErrorRate",
+      "oneQubitGateErrorRate",
+      "twoQubitGateErrorRate",
+      "twoQubitJointMeasurementErrorRate",
+      "tGateErrorRate",
+      "idleErrorRate",
+  };
+  return kKeys;
+}
+
+QubitParams QubitParams::from_json(const json::Value& v, Diagnostics* diags) {
+  check_known_keys(v, json_keys(), "/qubitParams", diags);
   QubitParams q;
   bool have_preset = false;
   if (const json::Value* name = v.find("name")) {
@@ -98,35 +130,36 @@ QubitParams QubitParams::from_json(const json::Value& v) {
       q.name = n;
     }
   }
+  if (!have_preset && v.find("instructionSet") == nullptr) {
+    throw_error("custom qubit model requires 'instructionSet'");
+  }
+  q.apply_json_overrides(v);
+  return q;
+}
+
+void QubitParams::apply_json_overrides(const json::Value& v) {
   if (const json::Value* is = v.find("instructionSet")) {
     const std::string& s = is->as_string();
-    if (s == "GateBased" || s == "gate_based" || s == "gateBased") {
-      q.instruction_set = InstructionSet::kGateBased;
-    } else if (s == "Majorana" || s == "majorana") {
-      q.instruction_set = InstructionSet::kMajorana;
-    } else {
+    if (!try_parse_instruction_set(s, instruction_set)) {
       throw_error("unknown instructionSet '" + s + "' (expected GateBased or Majorana)");
     }
-  } else if (!have_preset) {
-    throw_error("custom qubit model requires 'instructionSet'");
   }
 
   auto override_field = [&v](const char* key, double& field) {
     if (const json::Value* f = v.find(key)) field = f->as_double();
   };
-  override_field("oneQubitMeasurementTime", q.one_qubit_measurement_time_ns);
-  override_field("oneQubitGateTime", q.one_qubit_gate_time_ns);
-  override_field("twoQubitGateTime", q.two_qubit_gate_time_ns);
-  override_field("twoQubitJointMeasurementTime", q.two_qubit_joint_measurement_time_ns);
-  override_field("tGateTime", q.t_gate_time_ns);
-  override_field("oneQubitMeasurementErrorRate", q.one_qubit_measurement_error_rate);
-  override_field("oneQubitGateErrorRate", q.one_qubit_gate_error_rate);
-  override_field("twoQubitGateErrorRate", q.two_qubit_gate_error_rate);
-  override_field("twoQubitJointMeasurementErrorRate", q.two_qubit_joint_measurement_error_rate);
-  override_field("tGateErrorRate", q.t_gate_error_rate);
-  override_field("idleErrorRate", q.idle_error_rate);
-  q.validate();
-  return q;
+  override_field("oneQubitMeasurementTime", one_qubit_measurement_time_ns);
+  override_field("oneQubitGateTime", one_qubit_gate_time_ns);
+  override_field("twoQubitGateTime", two_qubit_gate_time_ns);
+  override_field("twoQubitJointMeasurementTime", two_qubit_joint_measurement_time_ns);
+  override_field("tGateTime", t_gate_time_ns);
+  override_field("oneQubitMeasurementErrorRate", one_qubit_measurement_error_rate);
+  override_field("oneQubitGateErrorRate", one_qubit_gate_error_rate);
+  override_field("twoQubitGateErrorRate", two_qubit_gate_error_rate);
+  override_field("twoQubitJointMeasurementErrorRate", two_qubit_joint_measurement_error_rate);
+  override_field("tGateErrorRate", t_gate_error_rate);
+  override_field("idleErrorRate", idle_error_rate);
+  validate();
 }
 
 json::Value QubitParams::to_json() const {

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/diagnostics.hpp"
 #include "json/json.hpp"
 
 namespace qre {
@@ -37,6 +38,11 @@ namespace qre {
 enum class InstructionSet { kGateBased, kMajorana };
 
 std::string_view to_string(InstructionSet s);
+
+/// Parses the accepted spellings ("GateBased"/"gate_based"/"gateBased",
+/// "Majorana"/"majorana"); returns false and leaves `out` untouched for
+/// anything else. The one place the spelling table lives.
+bool try_parse_instruction_set(std::string_view s, InstructionSet& out);
 
 /// Physical qubit properties. All durations are in nanoseconds, all error
 /// rates are probabilities per operation.
@@ -76,10 +82,19 @@ struct QubitParams {
 
   /// Builds a model from JSON. If the object carries a "name" matching a
   /// preset, the remaining fields override that preset; otherwise all fields
-  /// are required for the given instruction set.
-  static QubitParams from_json(const json::Value& v);
+  /// are required for the given instruction set. Unknown keys warn on
+  /// `diags` when a sink is given and are rejected otherwise.
+  static QubitParams from_json(const json::Value& v, Diagnostics* diags = nullptr);
+
+  /// Applies the JSON overrides ("instructionSet" plus the numeric fields)
+  /// onto this model and validates the result. Used by from_json after
+  /// preset resolution and by the API registry after profile lookup.
+  void apply_json_overrides(const json::Value& v);
 
   json::Value to_json() const;
+
+  /// The keys from_json understands; shared with the schema validator.
+  static const std::vector<std::string_view>& json_keys();
 
   /// The representative physical Clifford error rate used by the QEC
   /// logical-error model: the worst error rate among the Clifford-level

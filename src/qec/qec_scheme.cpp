@@ -53,30 +53,53 @@ QecScheme QecScheme::from_name(std::string_view name, InstructionSet set) {
               "'; known schemes: surface_code, floquet_code");
 }
 
-QecScheme QecScheme::from_json(const json::Value& v, InstructionSet set) {
+const std::vector<std::string_view>& QecScheme::json_keys() {
+  static const std::vector<std::string_view> kKeys = {
+      "name",
+      "errorCorrectionThreshold",
+      "crossingPrefactor",
+      "logicalCycleTime",
+      "physicalQubitsPerLogicalQubit",
+      "maxCodeDistance",
+  };
+  return kKeys;
+}
+
+QecScheme QecScheme::from_json(const json::Value& v, InstructionSet set, Diagnostics* diags) {
+  check_known_keys(v, json_keys(), "/qecScheme", diags);
   QecScheme scheme = default_for(set);
   if (const json::Value* name = v.find("name")) {
     scheme = from_name(name->as_string(), set);
   }
+  return customize(std::move(scheme), v);
+}
+
+QecScheme QecScheme::customize(QecScheme base, const json::Value& v) {
   if (const json::Value* t = v.find("errorCorrectionThreshold")) {
-    scheme.threshold_ = t->as_double();
+    base.threshold_ = t->as_double();
   }
   if (const json::Value* a = v.find("crossingPrefactor")) {
-    scheme.crossing_prefactor_ = a->as_double();
+    base.crossing_prefactor_ = a->as_double();
   }
   if (const json::Value* f = v.find("logicalCycleTime")) {
-    scheme.logical_cycle_time_ = Formula::parse(f->as_string());
+    base.logical_cycle_time_ = Formula::parse(f->as_string());
   }
   if (const json::Value* f = v.find("physicalQubitsPerLogicalQubit")) {
-    scheme.physical_qubits_per_logical_qubit_ = Formula::parse(f->as_string());
+    base.physical_qubits_per_logical_qubit_ = Formula::parse(f->as_string());
   }
   if (const json::Value* m = v.find("maxCodeDistance")) {
-    scheme.max_code_distance_ = m->as_uint();
+    base.max_code_distance_ = m->as_uint();
   }
-  QRE_REQUIRE(scheme.threshold_ > 0.0 && scheme.threshold_ < 1.0,
+  QRE_REQUIRE(base.threshold_ > 0.0 && base.threshold_ < 1.0,
               "QEC errorCorrectionThreshold must be in (0, 1)");
-  QRE_REQUIRE(scheme.crossing_prefactor_ > 0.0, "QEC crossingPrefactor must be positive");
-  return scheme;
+  QRE_REQUIRE(base.crossing_prefactor_ > 0.0, "QEC crossingPrefactor must be positive");
+  return base;
+}
+
+QecScheme QecScheme::with_name(std::string name) const {
+  QecScheme copy = *this;
+  copy.name_ = std::move(name);
+  return copy;
 }
 
 json::Value QecScheme::to_json() const {

@@ -20,7 +20,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/diagnostics.hpp"
 #include "formula/formula.hpp"
 #include "json/json.hpp"
 #include "profiles/qubit_params.hpp"
@@ -52,10 +55,23 @@ class QecScheme {
 
   /// Customization from JSON: an optional "name" preset plus any of
   /// "errorCorrectionThreshold", "crossingPrefactor", "logicalCycleTime",
-  /// "physicalQubitsPerLogicalQubit", "maxCodeDistance" overrides.
-  static QecScheme from_json(const json::Value& v, InstructionSet set);
+  /// "physicalQubitsPerLogicalQubit", "maxCodeDistance" overrides. Unknown
+  /// keys warn on `diags` when a sink is given and are rejected otherwise.
+  static QecScheme from_json(const json::Value& v, InstructionSet set,
+                             Diagnostics* diags = nullptr);
+
+  /// Applies the JSON override keys (everything but "name") onto `base` and
+  /// range-checks the result. Used by from_json after preset resolution and
+  /// by the API registry after scheme lookup.
+  static QecScheme customize(QecScheme base, const json::Value& v);
+
+  /// A copy of this scheme under a different name (profile-pack loading).
+  QecScheme with_name(std::string name) const;
 
   json::Value to_json() const;
+
+  /// The keys from_json understands; shared with the schema validator.
+  static const std::vector<std::string_view>& json_keys();
 
   const std::string& name() const { return name_; }
   double threshold() const { return threshold_; }

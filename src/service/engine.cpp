@@ -22,8 +22,11 @@ json::Value BatchStats::to_json() const {
 namespace {
 
 json::Value error_value(const std::string& message) {
+  json::Object error;
+  error.emplace_back("code", "estimation-failed");
+  error.emplace_back("message", message);
   json::Object failure;
-  failure.emplace_back("error", message);
+  failure.emplace_back("error", json::Value(std::move(error)));
   return json::Value(std::move(failure));
 }
 

@@ -6,8 +6,9 @@
 //
 //  - deterministic output: results are reported in item order regardless of
 //    which worker finishes first;
-//  - per-item error isolation: a failing item becomes {"error": "..."}
-//    instead of aborting the batch (matching the serial run_job contract);
+//  - per-item error isolation: a failing item becomes a structured
+//    {"error": {"code", "message"}} document instead of aborting the batch
+//    (matching the serial run_job contract);
 //  - memoization: items are keyed by a canonical serialization of their
 //    resolved job document, so duplicated grid points across a batch are
 //    estimated once (see service/cache.hpp);
@@ -63,8 +64,9 @@ struct BatchStats {
 
 /// Runs `items` (complete job documents) through `runner` on the worker
 /// pool. The returned array preserves item order; item failures (qre::Error
-/// or any std::exception from the runner) are isolated as {"error": "..."}
-/// entries. `stats`, when non-null, receives the run's counters.
+/// or any std::exception from the runner) are isolated as structured
+/// {"error": {"code", "message"}} entries. `stats`, when non-null, receives
+/// the run's counters.
 json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& runner,
                       const EngineOptions& options = {}, BatchStats* stats = nullptr);
 

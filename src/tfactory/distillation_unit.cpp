@@ -38,7 +38,33 @@ std::vector<DistillationUnit> DistillationUnit::default_units() {
   return {rm_prep_15_to_1(), space_efficient_15_to_1()};
 }
 
-DistillationUnit DistillationUnit::from_json(const json::Value& v) {
+const std::vector<std::string_view>& DistillationUnit::json_keys() {
+  static const std::vector<std::string_view> kKeys = {
+      "name",
+      "numInputTs",
+      "numOutputTs",
+      "failureProbabilityFormula",
+      "outputErrorRateFormula",
+      "physicalQubitSpecification",
+      "logicalQubitSpecification",
+  };
+  return kKeys;
+}
+
+const std::vector<std::string_view>& DistillationUnit::physical_spec_keys() {
+  static const std::vector<std::string_view> kKeys = {"numUnitQubits", "durationFormula"};
+  return kKeys;
+}
+
+const std::vector<std::string_view>& DistillationUnit::logical_spec_keys() {
+  static const std::vector<std::string_view> kKeys = {"numUnitQubits",
+                                                      "durationInLogicalCycles"};
+  return kKeys;
+}
+
+DistillationUnit DistillationUnit::from_json(const json::Value& v, Diagnostics* diags,
+                                             std::string_view base_path) {
+  check_known_keys(v, json_keys(), base_path, diags);
   DistillationUnit u;
   u.name = v.at("name").as_string();
   u.num_input_ts = v.at("numInputTs").as_uint();
@@ -46,11 +72,15 @@ DistillationUnit DistillationUnit::from_json(const json::Value& v) {
   u.failure_probability = Formula::parse(v.at("failureProbabilityFormula").as_string());
   u.output_error_rate = Formula::parse(v.at("outputErrorRateFormula").as_string());
   if (const json::Value* phys = v.find("physicalQubitSpecification")) {
+    check_known_keys(*phys, physical_spec_keys(),
+                     pointer_join(base_path, "physicalQubitSpecification"), diags);
     u.allow_physical = true;
     u.physical_qubits_at_physical = phys->at("numUnitQubits").as_uint();
     u.duration_at_physical_ns = Formula::parse(phys->at("durationFormula").as_string());
   }
   if (const json::Value* log = v.find("logicalQubitSpecification")) {
+    check_known_keys(*log, logical_spec_keys(),
+                     pointer_join(base_path, "logicalQubitSpecification"), diags);
     u.allow_logical = true;
     u.logical_qubits_at_logical = log->at("numUnitQubits").as_uint();
     u.duration_in_logical_cycles = log->at("durationInLogicalCycles").as_uint();

@@ -25,8 +25,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/diagnostics.hpp"
 #include "formula/formula.hpp"
 #include "json/json.hpp"
 #include "profiles/qubit_params.hpp"
@@ -59,8 +61,19 @@ struct DistillationUnit {
   static std::vector<DistillationUnit> default_units();
 
   /// JSON customization; see tests/test_tfactory.cpp for the schema.
-  static DistillationUnit from_json(const json::Value& v);
+  /// Unknown keys warn on `diags` when a sink is given, reject otherwise;
+  /// `base_path` anchors those warnings (callers that know the unit's array
+  /// index pass e.g. "/distillationUnitSpecifications/2").
+  static DistillationUnit from_json(const json::Value& v, Diagnostics* diags = nullptr,
+                                    std::string_view base_path =
+                                        "/distillationUnitSpecifications");
   json::Value to_json() const;
+
+  /// The keys from_json understands (top level and the two nested level
+  /// specifications); shared with the schema validator.
+  static const std::vector<std::string_view>& json_keys();
+  static const std::vector<std::string_view>& physical_spec_keys();
+  static const std::vector<std::string_view>& logical_spec_keys();
 
   void validate() const;
 };

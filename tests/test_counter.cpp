@@ -186,6 +186,14 @@ TEST(Counter, CountsJsonValidation) {
   LogicalCounts minimal = LogicalCounts::from_json(json::parse(R"({"numQubits": 3})"));
   EXPECT_EQ(minimal.num_qubits, 3u);
   EXPECT_FALSE(minimal.has_non_clifford());
+  // Typos ("tCont") are rejected, or downgraded to warnings with a sink.
+  json::Value typo = json::parse(R"({"numQubits": 3, "tCont": 5})");
+  EXPECT_THROW(LogicalCounts::from_json(typo), Error);
+  Diagnostics diags;
+  LogicalCounts parsed = LogicalCounts::from_json(typo, &diags);
+  EXPECT_EQ(parsed.t_count, 0u);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.entries()[0].path, "/logicalCounts/tCont");
 }
 
 }  // namespace

@@ -321,6 +321,16 @@ TEST(Estimator, ConstraintsJsonRoundTrip) {
   Constraints back = Constraints::from_json(c.to_json());
   EXPECT_EQ(*back.max_t_factories, 7u);
   EXPECT_THROW(Constraints::from_json(json::parse(R"({"logicalDepthFactor": 0.5})")), Error);
+  // Typos ("maxTFactoris") are rejected, or warned about through a sink.
+  json::Value typo = json::parse(R"({"maxTFactoris": 4})");
+  EXPECT_THROW(Constraints::from_json(typo), Error);
+  Diagnostics diags;
+  Constraints lenient = Constraints::from_json(typo, &diags);
+  EXPECT_FALSE(lenient.max_t_factories.has_value());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.entries()[0].path, "/constraints/maxTFactoris");
+  // Same for the error budget object ("totl" vs "total").
+  EXPECT_THROW(ErrorBudget::from_json(json::parse(R"({"totl": 0.01})")), Error);
 }
 
 TEST(Estimator, InfeasibleTargetsExplain) {

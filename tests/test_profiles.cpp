@@ -109,6 +109,20 @@ TEST(Profiles, JsonCustomRequiresInstructionSet) {
   EXPECT_THROW(QubitParams::from_json(v), Error);
 }
 
+TEST(Profiles, JsonRejectsOrWarnsOnUnknownKeys) {
+  // "tGateTim" is a typo for "tGateTime"; v1 silently ignored it.
+  json::Value v = json::parse(R"({"name": "qubit_gate_ns_e3", "tGateTim": 25})");
+  EXPECT_THROW(QubitParams::from_json(v), Error);
+
+  Diagnostics diags;
+  QubitParams q = QubitParams::from_json(v, &diags);
+  EXPECT_DOUBLE_EQ(q.t_gate_time_ns, 50.0);  // typo did not override anything
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.entries()[0].code, "unknown-key");
+  EXPECT_EQ(diags.entries()[0].path, "/qubitParams/tGateTim");
+  EXPECT_FALSE(diags.has_errors());
+}
+
 TEST(Profiles, JsonRoundTrip) {
   for (const std::string& name : QubitParams::preset_names()) {
     QubitParams q = QubitParams::from_name(name);

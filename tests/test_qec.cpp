@@ -164,5 +164,18 @@ TEST_P(QecDistanceSweep, ErrorRateDecadeStepsDistance) {
 INSTANTIATE_TEST_SUITE_P(PhysicalRates, QecDistanceSweep,
                          ::testing::Values(1e-3, 5e-4, 1e-4, 1e-5));
 
+TEST(Qec, JsonRejectsOrWarnsOnUnknownKeys) {
+  // "crossingPrefator" is a typo for "crossingPrefactor".
+  json::Value v = json::parse(R"({"name": "surface_code", "crossingPrefator": 0.05})");
+  EXPECT_THROW(QecScheme::from_json(v, InstructionSet::kGateBased), Error);
+
+  Diagnostics diags;
+  QecScheme s = QecScheme::from_json(v, InstructionSet::kGateBased, &diags);
+  EXPECT_DOUBLE_EQ(s.crossing_prefactor(), 0.03);  // typo did not override
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.entries()[0].code, "unknown-key");
+  EXPECT_EQ(diags.entries()[0].path, "/qecScheme/crossingPrefator");
+}
+
 }  // namespace
 }  // namespace qre

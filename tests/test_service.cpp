@@ -235,7 +235,8 @@ TEST(Engine, IsolatesErrorsAndCountsThem) {
   ASSERT_EQ(results.size(), 6u);
   for (int i = 0; i < 6; ++i) {
     if (i % 2 == 1) {
-      EXPECT_EQ(results[i].at("error").as_string(), "odd items fail");
+      EXPECT_EQ(results[i].at("error").at("code").as_string(), "estimation-failed");
+      EXPECT_EQ(results[i].at("error").at("message").as_string(), "odd items fail");
     } else {
       EXPECT_EQ(results[i].find("error"), nullptr);
     }

@@ -47,6 +47,17 @@ TEST(DistillationUnit, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(a.output_error_rate, b.output_error_rate);
 }
 
+TEST(DistillationUnit, JsonRejectsOrWarnsOnUnknownKeys) {
+  json::Value v = DistillationUnit::rm_prep_15_to_1().to_json();
+  v.set("numInputT", 7);  // typo for "numInputTs"
+  EXPECT_THROW(DistillationUnit::from_json(v), Error);
+  Diagnostics diags;
+  DistillationUnit u = DistillationUnit::from_json(v, &diags);
+  EXPECT_EQ(u.num_input_ts, 15u);  // typo did not override
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.entries()[0].code, "unknown-key");
+}
+
 TEST(DistillationUnit, ValidationRejectsNonsense) {
   DistillationUnit u = DistillationUnit::rm_prep_15_to_1();
   u.num_output_ts = 20;  // outputs more than inputs

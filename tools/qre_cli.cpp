@@ -1,9 +1,14 @@
 // qre_cli — command-line front end of the estimator, consuming the same
-// JSON job documents the cloud service accepts (paper Section IV-A).
+// JSON job documents the cloud service accepts (paper Section IV-A), built
+// on the v2 API façade (src/api/).
 //
 // Usage:
 //   qre_cli <job.json>           run the job, print the JSON result
 //   qre_cli --text <job.json>    single estimates as a human-readable report
+//   qre_cli --response <job.json> print the full v2 response envelope
+//   qre_cli --validate <job.json> dry-run schema check (diagnostics to stderr)
+//   qre_cli --list-profiles      dump the profile registry as JSON
+//   qre_cli --profile-pack <p.json>  register a profile pack before running
 //   qre_cli --jobs N <job.json>  run batch/sweep items on N worker threads
 //   qre_cli --stream <job.json>  emit batch results as NDJSON, one item/line
 //   qre_cli --sweep <job.json>   expand the sweep grid without estimating
@@ -14,7 +19,9 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "api/api.hpp"
 #include "common/error.hpp"
 #include "core/job.hpp"
 #include "report/report.hpp"
@@ -24,6 +31,7 @@
 namespace {
 
 const char* kDemoJob = R"({
+  "schemaVersion": 2,
   "logicalCounts": {
     "numQubits": 100,
     "tCount": 1000000,
@@ -48,6 +56,14 @@ void print_usage(std::FILE* out) {
                "usage:\n"
                "  qre_cli <job.json>          run the job, print the JSON result\n"
                "  qre_cli --text <job.json>   print single estimates as a text report\n"
+               "  qre_cli --response <job.json>  print the full v2 response envelope\n"
+               "                              {schemaVersion, success, diagnostics, result}\n"
+               "  qre_cli --validate <job.json>  dry-run schema check: structured\n"
+               "                              diagnostics to stderr, exit 0 (valid) / 1\n"
+               "  qre_cli --list-profiles     dump the registry (qubit profiles, QEC\n"
+               "                              schemes, distillation units) as JSON\n"
+               "  qre_cli --profile-pack <pack.json>  register a JSON profile pack\n"
+               "                              before the job runs (repeatable)\n"
                "  qre_cli --jobs N <job.json> run batch/sweep items on N worker threads\n"
                "  qre_cli --stream <job.json> emit batch results as NDJSON, one item per line\n"
                "  qre_cli --sweep <job.json>  expand the sweep grid and print the items\n"
@@ -56,11 +72,13 @@ void print_usage(std::FILE* out) {
                "  qre_cli --demo              run a built-in demonstration job\n"
                "  qre_cli -                   read the job document from stdin\n"
                "\n"
-               "Job documents carry logicalCounts plus optional qubitParams, qecScheme,\n"
-               "errorBudget, constraints, distillationUnitSpecifications, estimateType\n"
-               "(singlePoint | frontier), and items[] for batched sweeps. A \"sweep\"\n"
-               "object maps field paths to value arrays or {start, stop, steps, scale}\n"
-               "ranges and expands to the cartesian grid of items.\n");
+               "Job documents follow schema v2 (docs/schema_v2.md): logicalCounts plus\n"
+               "optional schemaVersion, qubitParams, qecScheme, errorBudget, constraints,\n"
+               "distillationUnitSpecifications, estimateType (singlePoint | frontier),\n"
+               "and items[] or a \"sweep\" parameter grid for batches. Documents without\n"
+               "schemaVersion are treated as v1 and upgraded in place. Validation\n"
+               "problems are reported as {severity, code, path, message} diagnostics\n"
+               "with JSON-pointer paths.\n");
 }
 
 struct Options {
@@ -69,7 +87,11 @@ struct Options {
   bool stream = false;
   bool expand_only = false;
   bool use_cache = true;
+  bool validate_only = false;
+  bool list_profiles = false;
+  bool response_envelope = false;
   std::size_t num_workers = 0;
+  std::vector<std::string> profile_packs;
   std::string path;
 };
 
@@ -89,6 +111,18 @@ int parse_args(int argc, char** argv, Options& opts) {
       opts.expand_only = true;
     } else if (arg == "--no-cache") {
       opts.use_cache = false;
+    } else if (arg == "--validate") {
+      opts.validate_only = true;
+    } else if (arg == "--list-profiles") {
+      opts.list_profiles = true;
+    } else if (arg == "--response") {
+      opts.response_envelope = true;
+    } else if (arg == "--profile-pack") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --profile-pack requires a file path\n");
+        return 2;
+      }
+      opts.profile_packs.emplace_back(argv[++i]);
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --jobs requires a worker count\n");
@@ -121,7 +155,7 @@ int parse_args(int argc, char** argv, Options& opts) {
       have_path = true;
     }
   }
-  if (!opts.demo && !have_path) {
+  if (!opts.demo && !have_path && !opts.list_profiles) {
     print_usage(stderr);
     return 2;
   }
@@ -129,7 +163,27 @@ int parse_args(int argc, char** argv, Options& opts) {
     std::fprintf(stderr, "error: --demo does not take a job path\n");
     return 2;
   }
+  if (opts.validate_only && !opts.demo && !have_path) {
+    std::fprintf(stderr, "error: --validate requires a job path\n");
+    return 2;
+  }
+  if (opts.stream && opts.response_envelope) {
+    std::fprintf(stderr,
+                 "error: --stream and --response are mutually exclusive (both own stdout)\n");
+    return 2;
+  }
+  if (opts.list_profiles && (have_path || opts.demo || opts.validate_only)) {
+    std::fprintf(stderr, "error: --list-profiles does not take a job\n");
+    return 2;
+  }
   return 0;
+}
+
+/// Prints diagnostics (one JSON object per line) to stderr.
+void print_diagnostics(const qre::Diagnostics& diags) {
+  for (const qre::Diagnostic& d : diags.entries()) {
+    std::fprintf(stderr, "%s\n", d.to_json().dump().c_str());
+  }
 }
 
 }  // namespace
@@ -139,6 +193,23 @@ int main(int argc, char** argv) {
   if (int status = parse_args(argc, argv, opts); status != 0) return status;
 
   try {
+    qre::api::Registry& registry = qre::api::Registry::global();
+    for (const std::string& pack_path : opts.profile_packs) {
+      qre::Diagnostics pack_diags;
+      registry.load_profile_pack(qre::json::parse_file(pack_path), pack_diags);
+      print_diagnostics(pack_diags);
+      if (pack_diags.has_errors()) {
+        std::fprintf(stderr, "error: profile pack '%s' failed to load\n",
+                     pack_path.c_str());
+        return 1;
+      }
+    }
+
+    if (opts.list_profiles) {
+      std::printf("%s\n", registry.to_json().pretty().c_str());
+      return 0;
+    }
+
     qre::json::Value job;
     if (opts.demo) {
       job = qre::json::parse(kDemoJob);
@@ -150,6 +221,25 @@ int main(int argc, char** argv) {
       job = qre::json::parse_file(opts.path);
     }
 
+    if (opts.validate_only) {
+      qre::api::EstimateRequest request = qre::api::EstimateRequest::parse(job, registry);
+      if (request.ok()) {
+        // Dry runs want everything that will fail, including per-item
+        // problems the batch runner would otherwise isolate at run time.
+        qre::api::validate_batch_items(request.document, registry, request.diagnostics);
+      }
+      print_diagnostics(request.diagnostics);
+      if (request.ok()) {
+        std::printf("valid (schema v2, %zu warning(s))\n",
+                    request.diagnostics.size() - request.diagnostics.num_errors());
+        return 0;
+      }
+      std::fprintf(stderr, "invalid: %zu error(s), %zu warning(s)\n",
+                   request.diagnostics.num_errors(),
+                   request.diagnostics.size() - request.diagnostics.num_errors());
+      return 1;
+    }
+
     if (opts.expand_only) {
       for (const qre::json::Value& item : qre::service::expand_sweep(job)) {
         std::printf("%s\n", item.dump().c_str());
@@ -158,7 +248,18 @@ int main(int argc, char** argv) {
     }
 
     if (opts.text_mode && job.find("items") == nullptr && job.find("sweep") == nullptr) {
-      qre::EstimationInput input = qre::estimation_input_from_json(job);
+      // Same leniency as the JSON path: typos warn (on stderr), errors list
+      // everything wrong at once.
+      qre::api::EstimateRequest request = qre::api::EstimateRequest::parse(job, registry);
+      print_diagnostics(request.diagnostics);
+      if (!request.ok()) {
+        std::fprintf(stderr, "error: job document is invalid (%zu error(s))\n",
+                     request.diagnostics.num_errors());
+        return 1;
+      }
+      qre::Diagnostics sink;
+      qre::EstimationInput input =
+          qre::api::input_from_document(request.document, registry, &sink);
       qre::ResourceEstimate e = qre::estimate(input);
       std::printf("%s\n%s", qre::report_to_text(e).c_str(),
                   qre::space_diagram(e).c_str());
@@ -178,19 +279,35 @@ int main(int argc, char** argv) {
       };
     }
 
-    qre::json::Value result = qre::run_job(job, engine);
+    qre::api::EstimateRequest request = qre::api::EstimateRequest::parse(job, registry);
+    if (opts.response_envelope) {
+      qre::api::EstimateResponse response = qre::api::run(request, engine, registry);
+      std::printf("%s\n", response.to_json().pretty().c_str());
+      return response.success ? 0 : 1;
+    }
+    print_diagnostics(request.diagnostics);  // warnings (and errors, below)
+    if (!request.ok()) {
+      std::fprintf(stderr, "error: job document is invalid (%zu error(s))\n",
+                   request.diagnostics.num_errors());
+      return 1;
+    }
+    qre::api::EstimateResponse response = qre::api::run(request, engine, registry);
+    if (!response.success) {
+      std::fprintf(stderr, "error: %s\n", response.diagnostics.summary().c_str());
+      return 1;
+    }
     if (opts.stream) {
       // Items already went to stdout line by line; the batch summary goes
       // to stderr so piped NDJSON stays clean. Non-batch jobs have no item
       // lines, so their whole result still belongs on stdout.
-      if (const qre::json::Value* stats = result.find("batchStats")) {
+      if (const qre::json::Value* stats = response.result.find("batchStats")) {
         std::fprintf(stderr, "%s\n", stats->dump().c_str());
       } else {
-        std::printf("%s\n", result.dump().c_str());
+        std::printf("%s\n", response.result.dump().c_str());
       }
       return 0;
     }
-    std::printf("%s\n", result.pretty().c_str());
+    std::printf("%s\n", response.result.pretty().c_str());
     return 0;
   } catch (const qre::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
