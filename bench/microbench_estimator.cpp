@@ -1,9 +1,23 @@
 // Throughput of the estimation pipeline itself: code-distance solving,
 // T-factory search, and complete estimates from logical counts — the
 // operations a resource-estimation service performs per request.
+//
+// Runs in two parts: the google-benchmark microbenchmarks below, then a
+// self-timed section that measures the pruned search, the frontier, and a
+// sweep grid against their pre-optimization baselines (brute-force
+// enumeration, factory cache off) inside the same binary, and records the
+// numbers in BENCH_estimator.json (shared format, bench/bench_json.hpp).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_json.hpp"
 #include "core/estimator.hpp"
+#include "core/job.hpp"
+#include "service/engine.hpp"
+#include "tfactory/factory_cache.hpp"
 #include "tfactory/tfactory.hpp"
 
 namespace {
@@ -37,9 +51,22 @@ void BM_TFactorySearch(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(design_tfactory(1e-14, qubit, scheme, units));
   }
-  state.SetLabel("full unit/distance enumeration, 3 rounds");
+  state.SetLabel("pruned branch-and-bound, 3 rounds");
 }
 BENCHMARK(BM_TFactorySearch)->Unit(benchmark::kMillisecond);
+
+void BM_TFactorySearchExhaustive(benchmark::State& state) {
+  QubitParams qubit = QubitParams::maj_ns_e4();
+  QecScheme scheme = QecScheme::floquet_code();
+  std::vector<DistillationUnit> units = DistillationUnit::default_units();
+  TFactoryOptions options;
+  options.exhaustive = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design_tfactory(1e-14, qubit, scheme, units, options));
+  }
+  state.SetLabel("full unit/distance enumeration, 3 rounds");
+}
+BENCHMARK(BM_TFactorySearchExhaustive)->Unit(benchmark::kMillisecond);
 
 void BM_FullEstimate(benchmark::State& state) {
   EstimationInput input =
@@ -74,4 +101,130 @@ void BM_Frontier(benchmark::State& state) {
 }
 BENCHMARK(BM_Frontier)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------- self-timed baselines ---
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Mean milliseconds per call, repeating until ~0.3s of samples (>= 2 reps).
+template <typename Fn>
+double timed_ms(Fn&& fn) {
+  fn();  // warm-up (and cache priming, where enabled)
+  const auto start = std::chrono::steady_clock::now();
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (seconds_since(start) < 0.3 || reps < 2);
+  return seconds_since(start) * 1e3 / reps;
+}
+
+const char* kSweepJob = R"({
+  "logicalCounts": {
+    "numQubits": 10000,
+    "tCount": 1000000,
+    "rotationCount": 1000,
+    "rotationDepth": 400,
+    "cczCount": 500000,
+    "measurementCount": 1500000
+  },
+  "sweep": {
+    "qubitParams": [
+      {"name": "qubit_gate_ns_e3"}, {"name": "qubit_gate_ns_e4"},
+      {"name": "qubit_gate_us_e3"}, {"name": "qubit_gate_us_e4"},
+      {"name": "qubit_maj_ns_e4"}, {"name": "qubit_maj_ns_e6"}
+    ],
+    "errorBudget": {"start": 1e-4, "stop": 1e-2, "steps": 5, "scale": "log"}
+  }
+})";
+
+/// Switches the estimation core to the brute-force pipeline enumeration
+/// with factory-design memoization off. The per-scheme QEC formula memo
+/// stays on (and warm), so this baseline is *faster* than the true pre-PR
+/// core — the recorded speedups are conservative.
+struct BaselineMode {
+  BaselineMode() {
+    setenv("QRE_EXHAUSTIVE_SEARCH", "1", 1);
+    FactoryCache::global().set_enabled(false);
+  }
+  ~BaselineMode() {
+    unsetenv("QRE_EXHAUSTIVE_SEARCH");
+    FactoryCache::global().set_enabled(true);
+  }
+};
+
+void write_estimator_bench_json() {
+  QubitParams qubit = QubitParams::maj_ns_e4();
+  QecScheme scheme = QecScheme::floquet_code();
+  std::vector<DistillationUnit> units = DistillationUnit::default_units();
+  EstimationInput frontier_input =
+      EstimationInput::for_profile(workload(), "qubit_maj_ns_e4", 1e-3);
+  json::Value sweep_job = json::parse(kSweepJob);
+  service::EngineOptions serial;
+  serial.num_workers = 1;
+
+  const double search_ms = timed_ms([&] {
+    benchmark::DoNotOptimize(design_tfactory(1e-14, qubit, scheme, units));
+  });
+  const double frontier_ms = timed_ms([&] {
+    FactoryCache::global().clear();  // cold cache: the service's first request
+    benchmark::DoNotOptimize(estimate_frontier(frontier_input, 8).size());
+  });
+  const double sweep_ms = timed_ms([&] {
+    FactoryCache::global().clear();
+    benchmark::DoNotOptimize(run_job(sweep_job, serial));
+  });
+
+  double search_baseline_ms = 0.0;
+  double frontier_baseline_ms = 0.0;
+  double sweep_baseline_ms = 0.0;
+  {
+    BaselineMode baseline;
+    search_baseline_ms = timed_ms([&] {
+      benchmark::DoNotOptimize(design_tfactory(1e-14, qubit, scheme, units));
+    });
+    frontier_baseline_ms = timed_ms([&] {
+      benchmark::DoNotOptimize(estimate_frontier(frontier_input, 8).size());
+    });
+    sweep_baseline_ms = timed_ms([&] {
+      benchmark::DoNotOptimize(run_job(sweep_job, serial));
+    });
+  }
+
+  const double sweep_points = 30.0;  // 6 profiles x 5 budgets
+  std::printf("\nself-timed against the brute-force core "
+              "(exhaustive search, factory cache off; conservative baseline):\n");
+  std::printf("  tfactory search: %8.3f ms vs %8.2f ms  (%.1fx)\n", search_ms,
+              search_baseline_ms, search_baseline_ms / search_ms);
+  std::printf("  frontier (8pt):  %8.3f ms vs %8.2f ms  (%.1fx)\n", frontier_ms,
+              frontier_baseline_ms, frontier_baseline_ms / frontier_ms);
+  std::printf("  sweep (30pt):    %8.3f ms vs %8.2f ms  (%.1fx)\n\n", sweep_ms,
+              sweep_baseline_ms, sweep_baseline_ms / sweep_ms);
+
+  json::Object metrics;
+  metrics.emplace_back("tfactory_search_ms", json::Value(search_ms));
+  metrics.emplace_back("tfactory_search_baseline_ms", json::Value(search_baseline_ms));
+  metrics.emplace_back("tfactory_search_speedup",
+                       json::Value(search_baseline_ms / search_ms));
+  metrics.emplace_back("frontier_ms", json::Value(frontier_ms));
+  metrics.emplace_back("frontier_baseline_ms", json::Value(frontier_baseline_ms));
+  metrics.emplace_back("frontier_speedup", json::Value(frontier_baseline_ms / frontier_ms));
+  metrics.emplace_back("sweep_ms", json::Value(sweep_ms));
+  metrics.emplace_back("sweep_baseline_ms", json::Value(sweep_baseline_ms));
+  metrics.emplace_back("sweep_speedup", json::Value(sweep_baseline_ms / sweep_ms));
+  metrics.emplace_back("sweep_items_per_sec", json::Value(sweep_points / (sweep_ms * 1e-3)));
+  metrics.emplace_back("sweep_items_per_sec_baseline",
+                       json::Value(sweep_points / (sweep_baseline_ms * 1e-3)));
+  qre::bench::write_bench_json("BENCH_estimator", json::Value(std::move(metrics)));
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  write_estimator_bench_json();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// String-keyed LRU map: the one implementation of the list + index + evict
+// bookkeeping shared by the service's EstimateCache and the T-factory
+// design cache. Not thread-safe — callers hold their own lock, because
+// what happens around a miss (dedup futures, compute outside the lock)
+// differs per cache.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace qre {
+
+template <typename Value>
+class LruMap {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit LruMap(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the value for `key` (marking it most recently used), or
+  /// nullptr. The pointer is stable until the entry is evicted or cleared.
+  Value* find(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
+  }
+
+  bool contains(const std::string& key) const { return index_.count(key) != 0; }
+
+  /// Inserts `key` as most recently used (the key must not be present) and
+  /// returns how many least-recently-used entries were evicted to stay
+  /// within capacity (never the just-inserted one).
+  std::size_t insert(const std::string& key, Value value) {
+    lru_.emplace_front(key, std::move(value));
+    index_.emplace(key, lru_.begin());
+    std::size_t evicted = 0;
+    while (capacity_ != 0 && index_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
+ private:
+  using Entry = std::pair<std::string, Value>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace qre

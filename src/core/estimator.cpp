@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "layout/layout.hpp"
+#include "tfactory/factory_cache.hpp"
 
 namespace qre {
 
@@ -115,8 +116,9 @@ ResourceEstimate estimate(const EstimationInput& input) {
   if (out.num_tstates > 0) {
     out.required_tstate_error_rate =
         out.budget.tstates / static_cast<double>(out.num_tstates);
-    factory = design_tfactory(out.required_tstate_error_rate, input.qubit, input.qec,
-                              input.distillation_units, input.factory_options);
+    factory = FactoryCache::global().design(out.required_tstate_error_rate, input.qubit,
+                                            input.qec, input.distillation_units,
+                                            input.factory_options);
     if (!factory.has_value()) {
       std::ostringstream os;
       os << "no T factory configuration reaches the required T-state error rate "
@@ -221,21 +223,71 @@ ResourceEstimate estimate(const EstimationInput& input) {
 
   if (input.constraints.max_physical_qubits.has_value() &&
       out.total_physical_qubits > *input.constraints.max_physical_qubits) {
-    // Trade runtime for qubits by capping factory copies ever lower.
+    // Trade runtime for qubits by capping factory copies: lowering the cap
+    // sheds factory qubits linearly while the stretched schedule raises the
+    // algorithm's footprint only through quantized code-distance bumps, so
+    // the total is monotone in the cap for all practical inputs and the
+    // largest feasible cap is found by binary search — O(log copies)
+    // estimates instead of a linear scan. (A distance bump can in principle
+    // outweigh one cap step and dent the monotonicity; the search may then
+    // settle on a smaller — still limit-respecting — cap, trading a bit of
+    // runtime. Feasibility is never lost: when the binary search finds no
+    // fit at all, the exhaustive downward scan runs before giving up.)
     std::uint64_t limit = *input.constraints.max_physical_qubits;
-    for (std::uint64_t target = copies; target-- > 1;) {
+    // A probe that throws (a low cap's stretched schedule tripping
+    // maxDuration, before this block would see it) is reported as nullopt:
+    // it tells the search "this cap is too low", not "the job is invalid".
+    auto probe = [&input](std::uint64_t target) -> std::optional<ResourceEstimate> {
       EstimationInput relaxed = input;
       relaxed.constraints.max_physical_qubits.reset();
       relaxed.constraints.max_t_factories = target;
-      ResourceEstimate candidate = estimate(relaxed);
-      if (candidate.total_physical_qubits <= limit) {
-        if (input.constraints.max_duration_ns.has_value() &&
-            candidate.runtime_ns > *input.constraints.max_duration_ns) {
-          break;  // qubit bound only reachable beyond the duration bound
-        }
-        return candidate;
+      try {
+        return estimate(relaxed);
+      } catch (const Error&) {
+        return std::nullopt;
+      }
+    };
+    auto fits = [limit](const std::optional<ResourceEstimate>& candidate) {
+      return candidate.has_value() && candidate->total_physical_qubits <= limit;
+    };
+    auto within_duration = [&input](const ResourceEstimate& candidate) {
+      return !input.constraints.max_duration_ns.has_value() ||
+             candidate.runtime_ns <= *input.constraints.max_duration_ns;
+    };
+    std::optional<ResourceEstimate> best_fit;
+    std::uint64_t lo = 1;
+    std::uint64_t hi = copies >= 2 ? copies - 1 : 0;
+    while (lo <= hi) {
+      std::uint64_t mid = lo + (hi - lo) / 2;
+      std::optional<ResourceEstimate> candidate = probe(mid);
+      if (fits(candidate)) {
+        best_fit = std::move(candidate);
+        lo = mid + 1;  // a larger cap (faster schedule) may still fit
+      } else if (!candidate.has_value()) {
+        lo = mid + 1;  // cap too low to finish in time; only larger can work
+      } else {
+        hi = mid - 1;  // mid >= lo >= 1, so this cannot underflow
       }
     }
+    if (!best_fit.has_value() || !within_duration(*best_fit)) {
+      // Fall back to the exhaustive downward scan: if the feasible caps
+      // form a band rather than a prefix (non-monotone corner), the binary
+      // search can overlook them or land on a cap whose schedule is too
+      // slow, and a wrong "infeasible" here would reject a valid job.
+      // Factory designs are cached, so each probe is cheap.
+      for (std::uint64_t target = copies; target-- > 1;) {
+        std::optional<ResourceEstimate> candidate = probe(target);
+        if (fits(candidate)) {
+          best_fit = std::move(candidate);
+          break;
+        }
+      }
+    }
+    if (best_fit.has_value() && within_duration(*best_fit)) {
+      return *std::move(best_fit);
+    }
+    // Either no cap fits, or the qubit bound is only reachable beyond the
+    // duration bound.
     std::ostringstream os;
     os << "estimate needs " << out.total_physical_qubits
        << " physical qubits even after slowing the schedule; maxPhysicalQubits " << limit
@@ -255,17 +307,26 @@ std::vector<ResourceEstimate> estimate_frontier(const EstimationInput& input,
   if (base.num_t_factories <= 1) return points;
 
   // Geometric sweep of factory caps between 1 and the unconstrained count.
+  // Cap targets are deduplicated globally (the geometric values are
+  // monotone, so comparing against the last kept target suffices) and
+  // against the base point: a cap at or above the unconstrained factory
+  // count cannot bind, so estimating it would just re-derive `base`.
   std::vector<std::uint64_t> targets;
   double ratio = std::pow(static_cast<double>(base.num_t_factories),
                           1.0 / static_cast<double>(max_points - 1));
   double value = 1.0;
   for (std::size_t i = 0; i + 1 < max_points; ++i) {
     auto t = static_cast<std::uint64_t>(std::llround(value));
-    t = std::clamp<std::uint64_t>(t, 1, base.num_t_factories - 1);
-    if (targets.empty() || targets.back() != t) targets.push_back(t);
     value *= ratio;
+    if (t < 1) t = 1;
+    if (t >= base.num_t_factories) continue;
+    if (!targets.empty() && targets.back() == t) continue;
+    targets.push_back(t);
   }
 
+  // Every capped point shares the base point's factory design (the cap
+  // changes the schedule, not the required T-state quality), so the
+  // process-level FactoryCache serves all of them from the base design.
   for (std::uint64_t target : targets) {
     EstimationInput capped = input;
     capped.constraints.max_t_factories = target;

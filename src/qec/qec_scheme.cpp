@@ -1,12 +1,36 @@
 #include "qec/qec_scheme.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
 
 namespace qre {
+
+/// Small bounded memo for the two formula-driven overheads. Keys compare
+/// the exact inputs the formulas can observe, so a hit returns the exact
+/// double a fresh evaluation would produce.
+struct QecScheme::EvalCache {
+  static constexpr std::size_t kMaxEntries = 256;
+
+  struct CycleKey {
+    std::uint64_t distance;
+    int instruction_set;
+    double one_qubit_measurement_time_ns;
+    double one_qubit_gate_time_ns;
+    double two_qubit_gate_time_ns;
+    double two_qubit_joint_measurement_time_ns;
+    double t_gate_time_ns;
+    bool operator==(const CycleKey&) const = default;
+  };
+
+  std::mutex mutex;
+  std::vector<std::pair<CycleKey, double>> cycle_times;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> patch_qubits;
+};
 
 QecScheme::QecScheme(std::string name, double threshold, double prefactor, Formula cycle_time,
                      Formula physical_qubits)
@@ -14,7 +38,8 @@ QecScheme::QecScheme(std::string name, double threshold, double prefactor, Formu
       threshold_(threshold),
       crossing_prefactor_(prefactor),
       logical_cycle_time_(std::move(cycle_time)),
-      physical_qubits_per_logical_qubit_(std::move(physical_qubits)) {}
+      physical_qubits_per_logical_qubit_(std::move(physical_qubits)),
+      eval_cache_(std::make_shared<EvalCache>()) {}
 
 QecScheme QecScheme::surface_code_gate_based() {
   return QecScheme(
@@ -93,6 +118,9 @@ QecScheme QecScheme::customize(QecScheme base, const json::Value& v) {
   QRE_REQUIRE(base.threshold_ > 0.0 && base.threshold_ < 1.0,
               "QEC errorCorrectionThreshold must be in (0, 1)");
   QRE_REQUIRE(base.crossing_prefactor_ > 0.0, "QEC crossingPrefactor must be positive");
+  // The copy shares the source scheme's memo; the formulas may just have
+  // changed, so give the customized scheme a cache of its own.
+  base.eval_cache_ = std::make_shared<EvalCache>();
   return base;
 }
 
@@ -157,19 +185,47 @@ Environment qec_formula_environment(const QubitParams& qubit, std::uint64_t code
 
 double QecScheme::logical_cycle_time_ns(const QubitParams& qubit,
                                         std::uint64_t code_distance) const {
+  const EvalCache::CycleKey key{code_distance,
+                                static_cast<int>(qubit.instruction_set),
+                                qubit.one_qubit_measurement_time_ns,
+                                qubit.one_qubit_gate_time_ns,
+                                qubit.two_qubit_gate_time_ns,
+                                qubit.two_qubit_joint_measurement_time_ns,
+                                qubit.t_gate_time_ns};
+  {
+    std::lock_guard lock(eval_cache_->mutex);
+    for (const auto& [k, v] : eval_cache_->cycle_times) {
+      if (k == key) return v;
+    }
+  }
   Environment env = qec_formula_environment(qubit, code_distance);
   double t = logical_cycle_time_.evaluate(env);
   QRE_REQUIRE(t > 0.0, "QEC scheme '" + name_ + "': logical cycle time must be positive");
+  std::lock_guard lock(eval_cache_->mutex);
+  if (eval_cache_->cycle_times.size() < EvalCache::kMaxEntries) {
+    eval_cache_->cycle_times.emplace_back(key, t);
+  }
   return t;
 }
 
 std::uint64_t QecScheme::physical_qubits_per_logical_qubit(std::uint64_t code_distance) const {
+  {
+    std::lock_guard lock(eval_cache_->mutex);
+    for (const auto& [d, q] : eval_cache_->patch_qubits) {
+      if (d == code_distance) return q;
+    }
+  }
   Environment env;
   env.set("codeDistance", static_cast<double>(code_distance));
   double q = physical_qubits_per_logical_qubit_.evaluate(env);
   QRE_REQUIRE(q >= 1.0,
               "QEC scheme '" + name_ + "': physical qubits per logical qubit must be >= 1");
-  return ceil_to_u64(q);
+  std::uint64_t rounded = ceil_to_u64(q);
+  std::lock_guard lock(eval_cache_->mutex);
+  if (eval_cache_->patch_qubits.size() < EvalCache::kMaxEntries) {
+    eval_cache_->patch_qubits.emplace_back(code_distance, rounded);
+  }
+  return rounded;
 }
 
 LogicalQubit LogicalQubit::create(const QubitParams& qubit, const QecScheme& scheme,

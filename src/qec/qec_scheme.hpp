@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -77,6 +78,11 @@ class QecScheme {
   double threshold() const { return threshold_; }
   double crossing_prefactor() const { return crossing_prefactor_; }
   std::uint64_t max_code_distance() const { return max_code_distance_; }
+  /// Source texts of the two overhead formulas (cache fingerprinting).
+  const std::string& logical_cycle_time_text() const { return logical_cycle_time_.text(); }
+  const std::string& physical_qubits_text() const {
+    return physical_qubits_per_logical_qubit_.text();
+  }
 
   /// P(d) for the given physical error rate; requires p < p*.
   double logical_error_rate(double physical_error_rate, std::uint64_t code_distance) const;
@@ -88,9 +94,13 @@ class QecScheme {
                                   double required_logical_error_rate) const;
 
   /// Logical cycle duration in nanoseconds at the given distance.
+  /// Memoized per (qubit operation times, distance): the formulas are
+  /// invariant, and the estimator's search loops re-ask for the same few
+  /// distances thousands of times.
   double logical_cycle_time_ns(const QubitParams& qubit, std::uint64_t code_distance) const;
 
   /// Physical qubits making up one logical qubit at the given distance.
+  /// Memoized per distance (the formula sees only the code distance).
   std::uint64_t physical_qubits_per_logical_qubit(std::uint64_t code_distance) const;
 
  private:
@@ -103,6 +113,12 @@ class QecScheme {
   Formula logical_cycle_time_;
   Formula physical_qubits_per_logical_qubit_;
   std::uint64_t max_code_distance_ = 51;
+
+  /// Formula-evaluation memo, shared by copies of this scheme (copies keep
+  /// the same formulas; customize() re-seats it before changing any).
+  /// Concurrency-safe: results are plain doubles guarded by a mutex.
+  struct EvalCache;
+  std::shared_ptr<EvalCache> eval_cache_;
 };
 
 /// One logical qubit patch: the QEC parameters the estimator reports

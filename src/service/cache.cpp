@@ -38,14 +38,13 @@ json::Value EstimateCache::get_or_compute(const std::string& key, const Compute&
   bool owner = false;
   {
     std::lock_guard lock(mutex_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    if (const std::shared_future<json::Value>* found = entries_.find(key)) {
       hits_.fetch_add(1);
-      future = it->second;
+      future = *found;
     } else {
       misses_.fetch_add(1);
       future = promise.get_future().share();
-      entries_.emplace(key, future);
+      evictions_.fetch_add(entries_.insert(key, future));
       owner = true;
     }
   }
@@ -69,6 +68,7 @@ void EstimateCache::clear() {
   entries_.clear();
   hits_.store(0);
   misses_.store(0);
+  evictions_.store(0);
 }
 
 }  // namespace qre::service

@@ -11,6 +11,11 @@
 // waits on a shared future. Failed computations are cached as exceptions —
 // an infeasible input is deterministic, so its error is as memoizable as a
 // successful estimate.
+//
+// Capacity is bounded: entries beyond `capacity` are evicted least-recently
+// -used first, so a long-running sweep service cannot grow without limit.
+// Evicting an in-flight entry is safe — waiters hold their own copy of the
+// shared future — it merely allows the same key to be recomputed later.
 #pragma once
 
 #include <atomic>
@@ -19,8 +24,8 @@
 #include <future>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 
+#include "common/lru_map.hpp"
 #include "json/json.hpp"
 
 namespace qre::service {
@@ -30,11 +35,18 @@ namespace qre::service {
 /// affect identity.
 std::string canonical_key(const json::Value& job);
 
-/// Concurrency-safe memoization table from canonical job keys to result
-/// documents.
+/// Concurrency-safe, LRU-bounded memoization table from canonical job keys
+/// to result documents.
 class EstimateCache {
  public:
   using Compute = std::function<json::Value()>;
+
+  /// Default entry bound: generous for interactive sweeps (a Figure 4 grid
+  /// is 66 entries) while keeping a runaway service's footprint finite.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// `capacity` == 0 means unbounded.
+  explicit EstimateCache(std::size_t capacity = kDefaultCapacity) : entries_(capacity) {}
 
   /// Returns the result for `key`, invoking `compute` only if no other
   /// caller has. Concurrent callers with the same key block on the single
@@ -46,16 +58,21 @@ class EstimateCache {
   std::uint64_t hits() const { return hits_.load(); }
   /// Lookups that had to compute.
   std::uint64_t misses() const { return misses_.load(); }
+  /// Entries dropped to keep the cache within capacity.
+  std::uint64_t evictions() const { return evictions_.load(); }
   /// Number of distinct keys stored.
   std::size_t size() const;
+  /// Maximum number of entries retained (0 = unbounded).
+  std::size_t capacity() const { return entries_.capacity(); }
 
   void clear();
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_future<json::Value>> entries_;
+  LruMap<std::shared_future<json::Value>> entries_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace qre::service

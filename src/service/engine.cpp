@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "tfactory/factory_cache.hpp"
 
 namespace qre::service {
 
@@ -16,6 +17,10 @@ json::Value BatchStats::to_json() const {
   o.emplace_back("numErrors", json::Value(static_cast<std::uint64_t>(num_errors)));
   o.emplace_back("cacheHits", json::Value(cache_hits));
   o.emplace_back("cacheMisses", json::Value(cache_misses));
+  o.emplace_back("cacheEvictions", json::Value(cache_evictions));
+  // The factory-cache deltas stay out of the document on purpose: the
+  // process-level cache makes them depend on what ran before this batch,
+  // and result documents for identical jobs must stay byte-identical.
   return json::Value(std::move(o));
 }
 
@@ -51,11 +56,15 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
   QRE_REQUIRE(runner != nullptr, "run_batch requires a job runner");
   const std::size_t n = items.size();
 
-  EstimateCache local_cache;
+  EstimateCache local_cache(options.cache_capacity);
   EstimateCache* cache = nullptr;
   if (options.use_cache) cache = options.cache != nullptr ? options.cache : &local_cache;
   const std::uint64_t hits_before = cache != nullptr ? cache->hits() : 0;
   const std::uint64_t misses_before = cache != nullptr ? cache->misses() : 0;
+  const std::uint64_t evictions_before = cache != nullptr ? cache->evictions() : 0;
+  FactoryCache& factory_cache = FactoryCache::global();
+  const std::uint64_t factory_hits_before = factory_cache.hits();
+  const std::uint64_t factory_misses_before = factory_cache.misses();
 
   std::size_t num_workers = options.num_workers;
   if (num_workers == 0) {
@@ -108,6 +117,9 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
     stats->num_errors = num_errors.load();
     stats->cache_hits = cache != nullptr ? cache->hits() - hits_before : 0;
     stats->cache_misses = cache != nullptr ? cache->misses() - misses_before : 0;
+    stats->cache_evictions = cache != nullptr ? cache->evictions() - evictions_before : 0;
+    stats->factory_cache_hits = factory_cache.hits() - factory_hits_before;
+    stats->factory_cache_misses = factory_cache.misses() - factory_misses_before;
   }
 
   json::Array out;

@@ -44,6 +44,9 @@ struct EngineOptions {
   /// Memoize results by canonical item key (duplicated grid points are
   /// computed once).
   bool use_cache = true;
+  /// Entry bound for the batch-private cache (LRU evicted beyond it;
+  /// 0 = unbounded). Ignored when an external `cache` is supplied.
+  std::size_t cache_capacity = EstimateCache::kDefaultCapacity;
   /// Optional external cache shared across batches; nullptr with use_cache
   /// gives the batch a private cache.
   EstimateCache* cache = nullptr;
@@ -52,12 +55,20 @@ struct EngineOptions {
 };
 
 /// Aggregate counters for one batch run, echoed as "batchStats" by run_job.
+/// The estimate-cache counters are deltas for this batch. The factory-cache
+/// counters are deltas of the process-level FactoryCache; they are exposed
+/// to programmatic consumers (benches, the CLI's --cache-stats) but kept
+/// out of to_json(), because prior runs change them and result documents
+/// for identical jobs must stay byte-identical.
 struct BatchStats {
   std::size_t num_items = 0;
   std::size_t num_workers = 1;
   std::size_t num_errors = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t factory_cache_hits = 0;
+  std::uint64_t factory_cache_misses = 0;
 
   json::Value to_json() const;
 };

@@ -1,0 +1,137 @@
+#include "tfactory/factory_cache.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace qre {
+
+namespace {
+
+/// Appends a double's exact bit pattern (hex), so fingerprints distinguish
+/// values that would collide after decimal formatting.
+void append_bits(std::ostringstream& os, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(v));
+  os << std::hex << bits << std::dec << ';';
+}
+
+/// Appends a user-controlled string (unit name, formula text)
+/// length-prefixed, so embedded delimiter characters cannot make two
+/// distinct problems fingerprint identically.
+void append_string(std::ostringstream& os, const std::string& s) {
+  os << s.size() << ':' << s << ';';
+}
+
+/// Canonical fingerprint of one design problem: the required error and
+/// options, then every field of the qubit model, QEC scheme, and units
+/// that design_tfactory() can observe (numerics bit-exactly, formulas by
+/// source text). Computed on every lookup, so it deliberately avoids JSON
+/// serialization — the shortest-round-trip double formatting would cost
+/// more than the cache hit it keys. Keep the field lists in sync with the
+/// structs.
+std::string fingerprint(double required_output_error, const QubitParams& qubit,
+                        const QecScheme& scheme, const std::vector<DistillationUnit>& units,
+                        const TFactoryOptions& options) {
+  std::ostringstream os;
+  append_bits(os, required_output_error);
+  os << options.max_rounds << ';' << options.min_code_distance << ';'
+     << options.max_code_distance << ';' << static_cast<int>(options.objective) << ';'
+     << (options.exhaustive ? 1 : 0) << ';';
+  append_bits(os, options.max_round_failure_probability);
+
+  os << static_cast<int>(qubit.instruction_set) << ';';
+  append_bits(os, qubit.one_qubit_measurement_time_ns);
+  append_bits(os, qubit.one_qubit_gate_time_ns);
+  append_bits(os, qubit.two_qubit_gate_time_ns);
+  append_bits(os, qubit.two_qubit_joint_measurement_time_ns);
+  append_bits(os, qubit.t_gate_time_ns);
+  append_bits(os, qubit.one_qubit_measurement_error_rate);
+  append_bits(os, qubit.one_qubit_gate_error_rate);
+  append_bits(os, qubit.two_qubit_gate_error_rate);
+  append_bits(os, qubit.two_qubit_joint_measurement_error_rate);
+  append_bits(os, qubit.t_gate_error_rate);
+  append_bits(os, qubit.idle_error_rate);
+
+  append_bits(os, scheme.threshold());
+  append_bits(os, scheme.crossing_prefactor());
+  append_string(os, scheme.logical_cycle_time_text());
+  append_string(os, scheme.physical_qubits_text());
+
+  for (const DistillationUnit& unit : units) {
+    append_string(os, unit.name);
+    os << unit.num_input_ts << ';' << unit.num_output_ts << ';'
+       << (unit.allow_physical ? 1 : 0) << (unit.allow_logical ? 1 : 0) << ';';
+    append_string(os, unit.failure_probability.text());
+    append_string(os, unit.output_error_rate.text());
+    os << unit.physical_qubits_at_physical << ';';
+    append_string(os, unit.duration_at_physical_ns.text());
+    os << unit.logical_qubits_at_logical << ';' << unit.duration_in_logical_cycles << ';';
+  }
+  return std::move(os).str();
+}
+
+}  // namespace
+
+// A process-level cache is never unbounded (unlike EstimateCache, where
+// capacity 0 opts a batch out of eviction), so 0 clamps to the minimum.
+FactoryCache::FactoryCache(std::size_t capacity)
+    : entries_(capacity == 0 ? 1 : capacity) {}
+
+FactoryCache& FactoryCache::global() {
+  static FactoryCache cache;
+  static const bool configured = [] {
+    const char* env = std::getenv("QRE_NO_FACTORY_CACHE");
+    if (env != nullptr && std::strcmp(env, "0") != 0) cache.set_enabled(false);
+    return true;
+  }();
+  (void)configured;
+  return cache;
+}
+
+std::optional<TFactory> FactoryCache::design(double required_output_error,
+                                             const QubitParams& qubit, const QecScheme& scheme,
+                                             const std::vector<DistillationUnit>& units,
+                                             const TFactoryOptions& options) {
+  if (!enabled_.load()) {
+    return design_tfactory(required_output_error, qubit, scheme, units, options);
+  }
+  // The QRE_EXHAUSTIVE_SEARCH override changes which search runs without
+  // changing the options fingerprint; both searches return bit-identical
+  // factories, so cached entries stay valid across the toggle.
+  const std::string key = fingerprint(required_output_error, qubit, scheme, units, options);
+  {
+    std::lock_guard lock(mutex_);
+    if (const std::optional<TFactory>* found = entries_.find(key)) {
+      hits_.fetch_add(1);
+      return *found;
+    }
+  }
+  misses_.fetch_add(1);
+  // Design outside the lock: searches take orders of magnitude longer than
+  // a map probe, and concurrent misses on the same key just compute the
+  // same (deterministic) design twice.
+  std::optional<TFactory> designed =
+      design_tfactory(required_output_error, qubit, scheme, units, options);
+  std::lock_guard lock(mutex_);
+  if (!entries_.contains(key)) {
+    evictions_.fetch_add(entries_.insert(key, designed));
+  }
+  return designed;
+}
+
+std::size_t FactoryCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void FactoryCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  hits_.store(0);
+  misses_.store(0);
+  evictions_.store(0);
+}
+
+}  // namespace qre

@@ -1,0 +1,78 @@
+// Process-level memoization of T-factory designs.
+//
+// A factory design depends only on the required output error rate, the
+// qubit model, the QEC scheme, the distillation unit set, and the search
+// options — and the estimator re-derives identical designs constantly:
+// every point of a qubit/runtime frontier shares the base point's factory,
+// the maxPhysicalQubits fallback probes re-design it once per probe, and
+// sweep grids repeat (qubit, budget) combinations across items. The cache
+// keys designs on a fingerprint of all five inputs so each distinct design
+// problem is solved once per process.
+//
+// The cache is bounded (LRU, kDefaultCapacity entries), concurrency-safe,
+// and transparent: a hit returns the exact factory a fresh search would
+// produce, so estimation results are bit-identical with the cache on or
+// off. QRE_NO_FACTORY_CACHE (any value other than "0") disables the global
+// instance, as does set_enabled(false) — both exist for benchmarking the
+// uncached path and for debugging.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/lru_map.hpp"
+#include "profiles/qubit_params.hpp"
+#include "qec/qec_scheme.hpp"
+#include "tfactory/distillation_unit.hpp"
+#include "tfactory/tfactory.hpp"
+
+namespace qre {
+
+class FactoryCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit FactoryCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The shared process-wide instance the estimator uses. Honors
+  /// QRE_NO_FACTORY_CACHE (checked once, at first use).
+  static FactoryCache& global();
+
+  /// design_tfactory() with memoization: returns the cached design when the
+  /// same problem fingerprint was solved before, and solves + stores it
+  /// otherwise. Infeasible designs (nullopt) are cached too — infeasibility
+  /// is as deterministic as success.
+  std::optional<TFactory> design(double required_output_error, const QubitParams& qubit,
+                                 const QecScheme& scheme,
+                                 const std::vector<DistillationUnit>& units,
+                                 const TFactoryOptions& options);
+
+  /// Lookups answered from the cache.
+  std::uint64_t hits() const { return hits_.load(); }
+  /// Lookups that had to run the search.
+  std::uint64_t misses() const { return misses_.load(); }
+  /// Entries dropped to keep the cache within capacity.
+  std::uint64_t evictions() const { return evictions_.load(); }
+  std::size_t size() const;
+  std::size_t capacity() const { return entries_.capacity(); }
+
+  /// Disabling makes design() always run the search (no stats recorded).
+  void set_enabled(bool enabled) { enabled_.store(enabled); }
+  bool enabled() const { return enabled_.load(); }
+
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  LruMap<std::optional<TFactory>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace qre

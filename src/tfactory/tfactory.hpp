@@ -71,6 +71,14 @@ struct TFactoryOptions {
 
   enum class Objective { kMinVolume, kMinQubits, kMinDuration };
   Objective objective = Objective::kMinVolume;
+
+  /// Force the brute-force pipeline enumeration instead of the pruned
+  /// branch-and-bound search. Both return bit-identical factories (the
+  /// pruned search only skips subtrees that cannot beat the incumbent);
+  /// the exhaustive mode exists so tests can prove that equivalence and
+  /// as an escape hatch. The QRE_EXHAUSTIVE_SEARCH environment variable
+  /// (any value other than "0") forces it globally.
+  bool exhaustive = false;
 };
 
 /// Finds the best factory producing T states with error <= required, or

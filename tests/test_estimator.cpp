@@ -13,6 +13,7 @@
 #include "core/estimator.hpp"
 #include "counter/logical_counter.hpp"
 #include "layout/layout.hpp"
+#include "tfactory/factory_cache.hpp"
 
 namespace qre {
 namespace {
@@ -262,6 +263,25 @@ TEST(Estimator, MaxPhysicalQubitsTradesRuntime) {
   EXPECT_THROW(estimate(input), Error);
 }
 
+TEST(Estimator, MaxPhysicalQubitsWithMaxDurationStaysFeasible) {
+  // Both bounds at once: the cap search probes low factory caps whose
+  // stretched schedules violate maxDuration; those probes must steer the
+  // search upward, not reject the job.
+  EstimationInput input = EstimationInput::for_profile(t_workload(), "qubit_gate_ns_e3", 1e-3);
+  ResourceEstimate base = estimate(input);
+  ASSERT_GT(base.num_t_factories, 2u);
+  std::uint64_t limit = base.physical_qubits_for_algorithm +
+                        base.physical_qubits_for_tfactories / 2;
+  input.constraints.max_physical_qubits = limit;
+  ResourceEstimate squeezed = estimate(input);
+  // A duration bound just above the squeezed schedule: satisfiable, but
+  // violated by every slower (lower-cap) schedule.
+  input.constraints.max_duration_ns = squeezed.runtime_ns * 1.01;
+  ResourceEstimate both = estimate(input);
+  EXPECT_LE(both.total_physical_qubits, limit);
+  EXPECT_LE(both.runtime_ns, *input.constraints.max_duration_ns);
+}
+
 TEST(Estimator, FrontierIsPareto) {
   EstimationInput input = EstimationInput::for_profile(t_workload(), "qubit_gate_ns_e3", 1e-3);
   std::vector<ResourceEstimate> frontier = estimate_frontier(input, 8);
@@ -273,6 +293,24 @@ TEST(Estimator, FrontierIsPareto) {
   // The fastest point is the unconstrained estimate.
   ResourceEstimate base = estimate(input);
   EXPECT_DOUBLE_EQ(frontier.front().runtime_ns, base.runtime_ns);
+}
+
+TEST(Estimator, FrontierReusesTheBaseFactoryDesign) {
+  // Every capped frontier point shares the base point's factory (the cap
+  // changes the schedule, not the required T-state quality), so the
+  // process-level FactoryCache must serve all of them from one design.
+  EstimationInput input = EstimationInput::for_profile(t_workload(), "qubit_gate_ns_e3", 1e-3);
+  FactoryCache& cache = FactoryCache::global();
+  cache.clear();
+  std::vector<ResourceEstimate> frontier = estimate_frontier(input, 8);
+  ASSERT_GE(frontier.size(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);  // one design problem across the whole frontier
+  EXPECT_GE(cache.hits(), frontier.size() - 1);
+  // And the hit rate only improves when the same input is estimated again.
+  std::uint64_t hits_before = cache.hits();
+  estimate(input);
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  EXPECT_EQ(cache.misses(), 1u);
 }
 
 TEST(Estimator, QftRotationWorkload) {

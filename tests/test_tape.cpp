@@ -67,8 +67,9 @@ TEST(Tape, SurvivingWorkspaceReleasedByAdjoint) {
   tape.replay(*real);
   EXPECT_NEAR(sim.probability_one(workspace[1]), 1.0, 1e-12);
   tape.replay_adjoint(*real);  // rewinds and releases the workspace
-  ASSERT_EQ(tape.live_at_end().size(), 2u);
-  for (auto it = tape.live_at_end().rbegin(); it != tape.live_at_end().rend(); ++it) {
+  const std::vector<QubitId> live = tape.live_at_end();  // returns by value
+  ASSERT_EQ(live.size(), 2u);
+  for (auto it = live.rbegin(); it != live.rend(); ++it) {
     bld.reclaim(*it);
   }
   EXPECT_EQ(bld.live_qubits(), 2u);  // only `data` remains

@@ -27,6 +27,7 @@
 #include "report/report.hpp"
 #include "service/engine.hpp"
 #include "service/sweep.hpp"
+#include "tfactory/factory_cache.hpp"
 
 namespace {
 
@@ -69,6 +70,10 @@ void print_usage(std::FILE* out) {
                "  qre_cli --sweep <job.json>  expand the sweep grid and print the items\n"
                "                              without estimating (dry run)\n"
                "  qre_cli --no-cache <job.json>  disable result memoization\n"
+               "  qre_cli --cache-capacity N  bound the result cache to N entries\n"
+               "                              (LRU eviction; 0 = unbounded)\n"
+               "  qre_cli --cache-stats <job.json>  print cache hit/miss/eviction\n"
+               "                              counters to stderr after the run\n"
                "  qre_cli --demo              run a built-in demonstration job\n"
                "  qre_cli -                   read the job document from stdin\n"
                "\n"
@@ -90,7 +95,9 @@ struct Options {
   bool validate_only = false;
   bool list_profiles = false;
   bool response_envelope = false;
+  bool cache_stats = false;
   std::size_t num_workers = 0;
+  std::size_t cache_capacity = qre::service::EstimateCache::kDefaultCapacity;
   std::vector<std::string> profile_packs;
   std::string path;
 };
@@ -111,6 +118,22 @@ int parse_args(int argc, char** argv, Options& opts) {
       opts.expand_only = true;
     } else if (arg == "--no-cache") {
       opts.use_cache = false;
+    } else if (arg == "--cache-stats") {
+      opts.cache_stats = true;
+    } else if (arg == "--cache-capacity") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --cache-capacity requires an entry count\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) {
+        std::fprintf(stderr,
+                     "error: --cache-capacity expects a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      opts.cache_capacity = static_cast<std::size_t>(n);
     } else if (arg == "--validate") {
       opts.validate_only = true;
     } else if (arg == "--list-profiles") {
@@ -184,6 +207,28 @@ void print_diagnostics(const qre::Diagnostics& diags) {
   for (const qre::Diagnostic& d : diags.entries()) {
     std::fprintf(stderr, "%s\n", d.to_json().dump().c_str());
   }
+}
+
+/// Prints the run's cache counters to stderr: the batch's estimate-cache
+/// deltas (when the result carries batchStats) and the process-level
+/// T-factory design cache.
+void print_cache_stats(const qre::json::Value* result) {
+  if (result != nullptr && result->is_object()) {
+    if (const qre::json::Value* stats = result->find("batchStats")) {
+      std::fprintf(stderr,
+                   "estimate cache: %llu hits, %llu misses, %llu evictions\n",
+                   static_cast<unsigned long long>(stats->at("cacheHits").as_uint()),
+                   static_cast<unsigned long long>(stats->at("cacheMisses").as_uint()),
+                   static_cast<unsigned long long>(stats->at("cacheEvictions").as_uint()));
+    }
+  }
+  const qre::FactoryCache& factories = qre::FactoryCache::global();
+  std::fprintf(stderr,
+               "factory cache: %llu hits, %llu misses, %llu evictions, %zu/%zu entries%s\n",
+               static_cast<unsigned long long>(factories.hits()),
+               static_cast<unsigned long long>(factories.misses()),
+               static_cast<unsigned long long>(factories.evictions()), factories.size(),
+               factories.capacity(), factories.enabled() ? "" : " (disabled)");
 }
 
 }  // namespace
@@ -263,12 +308,14 @@ int main(int argc, char** argv) {
       qre::ResourceEstimate e = qre::estimate(input);
       std::printf("%s\n%s", qre::report_to_text(e).c_str(),
                   qre::space_diagram(e).c_str());
+      if (opts.cache_stats) print_cache_stats(nullptr);
       return 0;
     }
 
     qre::service::EngineOptions engine;
     engine.num_workers = opts.num_workers;
     engine.use_cache = opts.use_cache;
+    engine.cache_capacity = opts.cache_capacity;
     if (opts.stream) {
       engine.on_result = [](std::size_t index, const qre::json::Value& result) {
         qre::json::Object line;
@@ -283,6 +330,7 @@ int main(int argc, char** argv) {
     if (opts.response_envelope) {
       qre::api::EstimateResponse response = qre::api::run(request, engine, registry);
       std::printf("%s\n", response.to_json().pretty().c_str());
+      if (opts.cache_stats) print_cache_stats(&response.result);
       return response.success ? 0 : 1;
     }
     print_diagnostics(request.diagnostics);  // warnings (and errors, below)
@@ -292,6 +340,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     qre::api::EstimateResponse response = qre::api::run(request, engine, registry);
+    if (opts.cache_stats) print_cache_stats(&response.result);
     if (!response.success) {
       std::fprintf(stderr, "error: %s\n", response.diagnostics.summary().c_str());
       return 1;
