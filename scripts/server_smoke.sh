@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the qre_serve daemon, used by CI and runnable
+# locally: starts the server on an ephemeral port, exercises the endpoint
+# surface with curl (health, version, profiles, validate, sync estimate of
+# the checked-in Figure 4 sweep, async job lifecycle, NDJSON streaming,
+# metrics), then checks that SIGTERM drains gracefully with exit code 0.
+#
+# usage: scripts/server_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
+SERVE="$REPO_DIR/$BUILD_DIR/qre_serve"
+JOB="$REPO_DIR/examples/fig4_sweep_job.json"
+WORK_DIR=$(mktemp -d)
+PORT_FILE="$WORK_DIR/port"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+[[ -x "$SERVE" ]] || fail "$SERVE not built"
+
+"$SERVE" --port 0 --port-file "$PORT_FILE" --job-workers 1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "qre_serve died during startup"
+  sleep 0.1
+done
+[[ -s "$PORT_FILE" ]] || fail "port file never appeared"
+BASE="http://127.0.0.1:$(cat "$PORT_FILE")"
+echo "smoke: serving at $BASE"
+
+# --- probes ---------------------------------------------------------------
+curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' > /dev/null || fail "healthz"
+curl -fsS "$BASE/version" | jq -e '.schemaVersion == 2 and (.version | length > 0)' \
+  > /dev/null || fail "version"
+curl -fsS "$BASE/v2/profiles" | jq -e '.qubitParams | length >= 6' > /dev/null \
+  || fail "profiles"
+
+# --- validate + sync estimate (the ISSUE's acceptance POST) ---------------
+curl -fsS -X POST --data-binary "@$JOB" "$BASE/v2/validate" \
+  | jq -e '.valid == true' > /dev/null || fail "validate"
+STATUS=$(curl -sS -o "$WORK_DIR/estimate.json" -w '%{http_code}' \
+              -X POST --data-binary "@$JOB" "$BASE/v2/estimate")
+[[ "$STATUS" == "200" ]] || fail "estimate returned HTTP $STATUS"
+jq -e '.success == true and (.result.results | length == 18)' \
+  "$WORK_DIR/estimate.json" > /dev/null || fail "estimate payload"
+
+# --- async job lifecycle --------------------------------------------------
+JOB_ID=$(curl -fsS -X POST --data-binary "@$JOB" "$BASE/v2/jobs" | jq -er '.id') \
+  || fail "submit"
+for _ in $(seq 1 300); do
+  STATE=$(curl -fsS "$BASE/v2/jobs/$JOB_ID" | jq -er '.status')
+  [[ "$STATE" != "queued" && "$STATE" != "running" ]] && break
+  sleep 0.1
+done
+[[ "$STATE" == "succeeded" ]] || fail "async job ended as '$STATE'"
+curl -fsS "$BASE/v2/jobs/$JOB_ID" | jq -e '.response.success == true' > /dev/null \
+  || fail "async job payload"
+
+# --- NDJSON streaming -----------------------------------------------------
+curl -fsS -X POST -H 'Accept: application/x-ndjson' --data-binary "@$JOB" \
+     "$BASE/v2/estimate" > "$WORK_DIR/stream.ndjson" || fail "ndjson request"
+LINES=$(wc -l < "$WORK_DIR/stream.ndjson")
+[[ "$LINES" == "19" ]] || fail "expected 19 NDJSON lines (18 items + stats), got $LINES"
+head -n 1 "$WORK_DIR/stream.ndjson" | jq -e '.item == 0' > /dev/null || fail "ndjson order"
+tail -n 1 "$WORK_DIR/stream.ndjson" | jq -e '.batchStats.numItems == 18' > /dev/null \
+  || fail "ndjson stats line"
+
+# --- metrics reflect the traffic ------------------------------------------
+curl -fsS "$BASE/metrics" | jq -e '
+  .server.requestsTotal >= 8 and
+  .estimateCache.misses > 0 and
+  .jobs.succeeded >= 1' > /dev/null || fail "metrics"
+
+# --- graceful shutdown ----------------------------------------------------
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if wait "$SERVER_PID"; then
+  SERVER_PID=""
+else
+  fail "qre_serve exited non-zero after SIGTERM"
+fi
+
+echo "smoke: OK"

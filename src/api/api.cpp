@@ -202,8 +202,18 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
       response.result = json::Value(std::move(out));
       response.success = true;
     } else {
+      // Single estimates are memoized only through an EXTERNAL cache (a
+      // serving engine's): a batch-private cache would die with this call
+      // anyway, and run_job's contract stays byte-identical either way —
+      // the cache replays the exact result document.
       Diagnostics sink;
-      response.result = run_single_document(doc, registry, &sink);
+      auto compute = [&] { return run_single_document(doc, registry, &sink); };
+      if (options.use_cache && options.cache != nullptr) {
+        response.result =
+            options.cache->get_or_compute(service::canonical_key(doc), compute);
+      } else {
+        response.result = compute();
+      }
       response.success = true;
     }
   } catch (const ValidationError& e) {

@@ -68,7 +68,13 @@ json::Value run_single_document(const json::Value& doc, const Registry& registry
 /// validation diagnostics; runtime failures of single estimates become
 /// "estimation-failed" diagnostics; batch/sweep items are isolated as
 /// structured {"error": {"code", "message"}, "diagnostics": [...]} entries
-/// in "results". Never throws.
+/// in "results". Never throws. When `options.cache` points at an external
+/// (engine-owned) cache, single estimates are memoized through it as well
+/// as batch items, so a serving process reuses results across requests.
+/// Cache keys cover the job document only, NOT registry contents: mutating
+/// `registry` (re-registering a profile a cached result resolved) makes
+/// replayed entries stale — clear the external cache on registry mutation,
+/// or follow the serving layer's registration-before-serve discipline.
 EstimateResponse run(const EstimateRequest& request,
                      const service::EngineOptions& options = {},
                      const Registry& registry = Registry::global());

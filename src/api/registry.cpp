@@ -1,6 +1,7 @@
 #include "api/registry.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/error.hpp"
 
@@ -35,12 +36,19 @@ Registry Registry::with_builtins() {
   return r;
 }
 
+Registry::Registry(Registry&& other) noexcept {
+  std::unique_lock lock(other.mutex_);
+  qubits_ = std::move(other.qubits_);
+  qec_ = std::move(other.qec_);
+  distillation_ = std::move(other.distillation_);
+}
+
 Registry& Registry::global() {
   static Registry instance = with_builtins();
   return instance;
 }
 
-void Registry::register_qubit(QubitParams profile) {
+void Registry::register_qubit_locked(QubitParams profile) {
   QRE_REQUIRE(!profile.name.empty(), "a registered qubit profile needs a name");
   profile.validate();
   for (QubitParams& q : qubits_) {
@@ -52,21 +60,32 @@ void Registry::register_qubit(QubitParams profile) {
   qubits_.push_back(std::move(profile));
 }
 
-const QubitParams* Registry::find_qubit(std::string_view name) const {
+void Registry::register_qubit(QubitParams profile) {
+  std::unique_lock lock(mutex_);
+  register_qubit_locked(std::move(profile));
+}
+
+const QubitParams* Registry::find_qubit_locked(std::string_view name) const {
   for (const QubitParams& q : qubits_) {
     if (q.name == name) return &q;
   }
   return nullptr;
 }
 
+const QubitParams* Registry::find_qubit(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  return find_qubit_locked(name);
+}
+
 std::vector<std::string> Registry::qubit_names() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(qubits_.size());
   for (const QubitParams& q : qubits_) names.push_back(q.name);
   return names;
 }
 
-void Registry::register_qec(InstructionSet set, QecScheme scheme) {
+void Registry::register_qec_locked(InstructionSet set, QecScheme scheme) {
   QRE_REQUIRE(!scheme.name().empty(), "a registered QEC scheme needs a name");
   for (QecEntry& e : qec_) {
     if (e.set == set && e.scheme.name() == scheme.name()) {
@@ -77,14 +96,25 @@ void Registry::register_qec(InstructionSet set, QecScheme scheme) {
   qec_.push_back({set, std::move(scheme)});
 }
 
-const QecScheme* Registry::find_qec(std::string_view name, InstructionSet set) const {
+void Registry::register_qec(InstructionSet set, QecScheme scheme) {
+  std::unique_lock lock(mutex_);
+  register_qec_locked(set, std::move(scheme));
+}
+
+const QecScheme* Registry::find_qec_locked(std::string_view name, InstructionSet set) const {
   for (const QecEntry& e : qec_) {
     if (e.set == set && e.scheme.name() == name) return &e.scheme;
   }
   return nullptr;
 }
 
+const QecScheme* Registry::find_qec(std::string_view name, InstructionSet set) const {
+  std::shared_lock lock(mutex_);
+  return find_qec_locked(name, set);
+}
+
 std::vector<std::string> Registry::qec_names() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   for (const QecEntry& e : qec_) {
     if (std::find(names.begin(), names.end(), e.scheme.name()) == names.end()) {
@@ -94,7 +124,7 @@ std::vector<std::string> Registry::qec_names() const {
   return names;
 }
 
-void Registry::register_distillation(DistillationUnit unit) {
+void Registry::register_distillation_locked(DistillationUnit unit) {
   QRE_REQUIRE(!unit.name.empty(), "a registered distillation unit needs a name");
   unit.validate();
   for (DistillationUnit& u : distillation_) {
@@ -106,7 +136,13 @@ void Registry::register_distillation(DistillationUnit unit) {
   distillation_.push_back(std::move(unit));
 }
 
+void Registry::register_distillation(DistillationUnit unit) {
+  std::unique_lock lock(mutex_);
+  register_distillation_locked(std::move(unit));
+}
+
 const DistillationUnit* Registry::find_distillation(std::string_view name) const {
+  std::shared_lock lock(mutex_);
   for (const DistillationUnit& u : distillation_) {
     if (u.name == name) return &u;
   }
@@ -114,6 +150,7 @@ const DistillationUnit* Registry::find_distillation(std::string_view name) const
 }
 
 std::vector<std::string> Registry::distillation_names() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(distillation_.size());
   for (const DistillationUnit& u : distillation_) names.push_back(u.name);
@@ -125,6 +162,10 @@ void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
     diags.error("type-mismatch", "", "profile pack must be a JSON object");
     return;
   }
+  // One exclusive lock across the whole pack: concurrent readers never
+  // observe a half-loaded pack, and the in-pack base/override lookups below
+  // must use the _locked variants.
+  std::unique_lock lock(mutex_);
   check_known_keys(pack, {"schemaVersion", "qubitParams", "qecSchemes", "distillationUnits"},
                    "", &diags);
   if (const json::Value* version = pack.find("schemaVersion")) {
@@ -158,14 +199,14 @@ void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
         try {
           QubitParams q;
           if (const json::Value* base = entry.find("base")) {
-            const QubitParams* found = find_qubit(base->as_string());
+            const QubitParams* found = find_qubit_locked(base->as_string());
             if (found == nullptr) {
               diags.error("unknown-name", pointer_join(path, "base"),
                           "unknown base qubit profile '" + base->as_string() + "'");
               continue;
             }
             q = *found;
-          } else if (const QubitParams* existing = find_qubit(name->as_string())) {
+          } else if (const QubitParams* existing = find_qubit_locked(name->as_string())) {
             q = *existing;  // re-tuning an already-registered profile
           } else if (entry.find("instructionSet") == nullptr) {
             diags.error("required-missing", pointer_join(path, "instructionSet"),
@@ -174,7 +215,7 @@ void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
           }
           q.name = name->as_string();
           q.apply_json_overrides(entry);
-          register_qubit(std::move(q));
+          register_qubit_locked(std::move(q));
         } catch (const Error& e) {
           diags.error("value-range", path, e.what());
         }
@@ -213,17 +254,17 @@ void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
         try {
           QecScheme base = QecScheme::default_for(set);
           if (const json::Value* base_field = entry.find("base")) {
-            const QecScheme* found = find_qec(base_field->as_string(), set);
+            const QecScheme* found = find_qec_locked(base_field->as_string(), set);
             if (found == nullptr) {
               diags.error("unknown-name", pointer_join(path, "base"),
                           "unknown base QEC scheme '" + base_field->as_string() + "'");
               continue;
             }
             base = *found;
-          } else if (const QecScheme* existing = find_qec(name->as_string(), set)) {
+          } else if (const QecScheme* existing = find_qec_locked(name->as_string(), set)) {
             base = *existing;
           }
-          register_qec(set, QecScheme::customize(std::move(base), entry)
+          register_qec_locked(set, QecScheme::customize(std::move(base), entry)
                                 .with_name(name->as_string()));
         } catch (const Error& e) {
           diags.error("value-range", path, e.what());
@@ -239,7 +280,7 @@ void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
       for (std::size_t i = 0; i < units->as_array().size(); ++i) {
         const std::string path = pointer_join("/distillationUnits", i);
         try {
-          register_distillation(
+          register_distillation_locked(
               DistillationUnit::from_json(units->as_array()[i], &diags, path));
         } catch (const Error& e) {
           diags.error("value-range", path, e.what());
@@ -250,6 +291,7 @@ void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
 }
 
 json::Value Registry::to_json() const {
+  std::shared_lock lock(mutex_);
   json::Object out;
   out.emplace_back("schemaVersion", 2);
 

@@ -28,8 +28,30 @@
 // (api::input_from_document and the schema validator) resolve against a
 // registry rather than against hard-coded preset tables, which is what makes
 // the service extensible without recompiling.
+//
+// Thread safety (audited for the estimation server, which hits one shared
+// registry from concurrent request threads):
+//
+//  * All operations are internally synchronized by a shared mutex: lookups
+//    (find_*, *_names, to_json) take a shared lock and run concurrently
+//    with each other; mutation (register_*, load_profile_pack) takes an
+//    exclusive lock and is serialized. No registry operation is lock-free —
+//    the lock-free read paths of the serving stack live elsewhere (the
+//    EstimateCache / FactoryCache hit/miss/eviction counters are plain
+//    atomics; see service/cache.hpp).
+//  * Profiles are stored in deques, so registering a NEW name never moves
+//    existing entries: pointers returned by find_* stay valid for the
+//    registry's lifetime. Re-registering an EXISTING name overwrites that
+//    entry in place, which would race with a reader still dereferencing a
+//    previously returned pointer. Callers that mutate concurrently with
+//    lookups must therefore copy out under their own discipline — the
+//    serving layer sidesteps this entirely by loading all profile packs
+//    before it starts accepting connections, making the serving phase
+//    read-only.
 #pragma once
 
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,6 +68,14 @@ class Registry {
  public:
   /// An empty registry (rarely wanted; see with_builtins / global).
   Registry() = default;
+
+  /// Movable (with_builtins returns by value) but not copyable. Moving a
+  /// registry other threads are still using is a caller bug; the move only
+  /// locks `other` against concurrent registration.
+  Registry(Registry&& other) noexcept;
+  Registry& operator=(Registry&&) = delete;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
 
   /// A registry seeded with the built-in presets: the six paper qubit
   /// models, surface_code (both instruction sets) + floquet_code, and the
@@ -91,9 +121,21 @@ class Registry {
     QecScheme scheme;
   };
 
-  std::vector<QubitParams> qubits_;
-  std::vector<QecEntry> qec_;
-  std::vector<DistillationUnit> distillation_;
+  // Unlocked bodies, shared by the public entry points and by
+  // load_profile_pack (which holds the exclusive lock across the whole pack
+  // so a half-loaded pack is never observable).
+  void register_qubit_locked(QubitParams profile);
+  void register_qec_locked(InstructionSet set, QecScheme scheme);
+  void register_distillation_locked(DistillationUnit unit);
+  const QubitParams* find_qubit_locked(std::string_view name) const;
+  const QecScheme* find_qec_locked(std::string_view name, InstructionSet set) const;
+
+  mutable std::shared_mutex mutex_;
+  // Deques: registering a new profile never relocates existing entries, so
+  // pointers handed out by find_* survive later (new-name) registrations.
+  std::deque<QubitParams> qubits_;
+  std::deque<QecEntry> qec_;
+  std::deque<DistillationUnit> distillation_;
 };
 
 }  // namespace qre::api

@@ -1,0 +1,9 @@
+#include "common/version.hpp"
+
+#include "common/version_info.hpp"
+
+namespace qre {
+
+const char* version_string() { return QRE_VERSION_STRING; }
+
+}  // namespace qre

@@ -1,0 +1,17 @@
+// Build identification.
+//
+// The version string is captured once, at CMake configure time, from
+// `git describe --always --dirty --tags` and baked into a single generated
+// header (common/version_info.hpp under the build tree). Every surface that
+// reports a version — `qre_cli --version`, `qre_serve --version`, and the
+// server's GET /version endpoint — reads it from here, so the binaries can
+// never disagree about what build they are. Builds from a tarball (no git)
+// report "unknown".
+#pragma once
+
+namespace qre {
+
+/// `git describe --always --dirty --tags` at configure time, or "unknown".
+const char* version_string();
+
+}  // namespace qre

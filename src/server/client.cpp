@@ -1,0 +1,137 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qre::server {
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool Client::connect_if_needed(std::string& error) {
+  if (fd_ >= 0) {
+    // Reused keep-alive connection: a non-blocking peek detects a FIN the
+    // server already sent (idle timeout, graceful stop), so the request is
+    // written to a live socket instead of discovering the close afterwards
+    // — which matters for POSTs, where a blind resend could double-submit.
+    char probe;
+    const ssize_t n = ::recv(fd_, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      disconnect();
+    } else {
+      return true;
+    }
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    error = "invalid host address '" + host_ + "' (IPv4 only)";
+    disconnect();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    error = std::string("connect: ") + std::strerror(errno);
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+Client::Result Client::request(const std::string& method, const std::string& target,
+                               const std::string& body,
+                               const std::vector<Header>& headers) {
+  Result result;
+
+  std::string message = method + " " + target + " HTTP/1.1\r\n";
+  message += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  for (const Header& h : headers) message += h.name + ": " + h.value + "\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    message += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  message += "\r\n";
+  message += body;
+
+  // One transparent retry for the keep-alive race the pre-send peek cannot
+  // fully close (the server finishes our connection between peek and send).
+  // Non-idempotent methods only retry when NO request byte reached the
+  // wire — a consumed-but-unanswered POST must not be blindly resent (it
+  // could, e.g., double-submit an async job).
+  const bool idempotent = method == "GET" || method == "HEAD";
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!connect_if_needed(result.error)) return result;
+
+    bool write_ok = true;
+    std::string_view remaining = message;
+    while (!remaining.empty()) {
+      const ssize_t n = ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        write_ok = false;
+        break;
+      }
+      remaining.remove_prefix(static_cast<std::size_t>(n));
+    }
+    if (!write_ok) {
+      const bool untouched = remaining.size() == message.size();
+      disconnect();
+      result.error = "send failed";
+      if (idempotent || untouched) continue;  // retry on a fresh connection
+      return result;
+    }
+
+    const int fd = fd_;
+    const ByteSource source = [fd](char* buf, std::size_t len) -> long {
+      for (;;) {
+        const ssize_t n = ::recv(fd, buf, len, 0);
+        if (n >= 0) return static_cast<long>(n);
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return -2;
+        return -1;
+      }
+    };
+
+    ParsedResponse response;
+    const ReadStatus status = read_response(source, buffer_, response, {});
+    if (status == ReadStatus::kClosed && attempt == 0 && idempotent) {
+      disconnect();
+      result.error = "connection closed before response";
+      continue;
+    }
+    if (status != ReadStatus::kOk) {
+      disconnect();
+      if (result.error.empty()) result.error = "failed to read response";
+      return result;
+    }
+
+    result.ok = true;
+    result.error.clear();
+    result.status = response.status;
+    result.headers = std::move(response.headers);
+    result.body = std::move(response.body);
+
+    const std::string* connection = find_header(result.headers, "Connection");
+    if (connection != nullptr && *connection == "close") disconnect();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace qre::server

@@ -1,0 +1,67 @@
+// Minimal blocking HTTP client (loopback test helper).
+//
+// tests/test_server.cpp exercises the full serving stack — sockets, the
+// HTTP parser, the router, the job queue — without curl or any external
+// tooling: the client connects over loopback TCP, speaks the same http.hpp
+// message layer the server does, and hands back status/headers/body with
+// chunked responses already reassembled. qre_serve's smoke mode could use
+// it too; it is a real client, just a deliberately small one.
+//
+// Connections are reused across request() calls (keep-alive) and
+// transparently re-opened when the server closed in between. Not
+// concurrency-safe; give each test thread its own Client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/http.hpp"
+
+namespace qre::server {
+
+class Client {
+ public:
+  Client(std::string host, std::uint16_t port) : host_(std::move(host)), port_(port) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  struct Result {
+    bool ok = false;        // transport-level success (response fully parsed)
+    std::string error;      // transport failure description when !ok
+    int status = 0;
+    std::vector<Header> headers;
+    std::string body;       // de-chunked
+
+    const std::string* header(std::string_view name) const {
+      return find_header(headers, name);
+    }
+  };
+
+  /// Sends one request and reads the response. `headers` are appended after
+  /// the generated Host/Content-Length ones.
+  Result request(const std::string& method, const std::string& target,
+                 const std::string& body = "", const std::vector<Header>& headers = {});
+
+  Result get(const std::string& target, const std::vector<Header>& headers = {}) {
+    return request("GET", target, "", headers);
+  }
+  Result post(const std::string& target, const std::string& body,
+              const std::vector<Header>& headers = {}) {
+    return request("POST", target, body, headers);
+  }
+  Result del(const std::string& target) { return request("DELETE", target); }
+
+ private:
+  bool connect_if_needed(std::string& error);
+  void disconnect();
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+  std::string buffer_;  // leftover bytes between keep-alive responses
+};
+
+}  // namespace qre::server

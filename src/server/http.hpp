@@ -1,0 +1,132 @@
+// Dependency-free HTTP/1.1 message layer (estimation server).
+//
+// The paper frames the estimator as a cloud service consuming JSON job
+// documents over HTTP; this module is the wire format for our serving layer.
+// It is deliberately transport-agnostic: messages are read from a ByteSource
+// and written to a ByteSink (plain callables), so the same parser serves the
+// socket server, the in-process test client, and unit tests that replay
+// captured byte streams — no mocking of file descriptors anywhere.
+//
+// Supported framing, both directions:
+//   * request line / status line + headers (case-insensitive names),
+//   * Content-Length bodies,
+//   * Transfer-Encoding: chunked bodies (sizes in hex, trailers skipped),
+//   * keep-alive semantics (HTTP/1.1 default, "Connection: close" honored).
+//
+// Limits are explicit (ReadLimits): oversized headers or bodies abort the
+// read with kTooLarge so a misbehaving client cannot balloon the process.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qre::server {
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive lookup; returns nullptr when absent.
+const std::string* find_header(const std::vector<Header>& headers, std::string_view name);
+
+/// Pulls at most `len` bytes into `buf`. Returns the byte count, 0 on EOF,
+/// -1 on a hard error, and -2 on a timeout (the socket source maps
+/// EAGAIN/EWOULDBLOCK from SO_RCVTIMEO to -2).
+using ByteSource = std::function<long(char* buf, std::size_t len)>;
+
+/// Pushes bytes to the peer; false means the connection is gone.
+using ByteSink = std::function<bool(std::string_view data)>;
+
+struct ReadLimits {
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 64 * 1024 * 1024;
+};
+
+enum class ReadStatus {
+  kOk,          // a complete message was parsed
+  kClosed,      // peer closed cleanly before the first byte of a message
+  kTimeout,     // the source timed out (idle keep-alive connection)
+  kBadRequest,  // malformed framing; respond 400 and close
+  kTooLarge,    // a ReadLimits bound was exceeded; respond 431/413 and close
+};
+
+struct Request {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // origin-form, query string included
+  std::string version;  // "HTTP/1.1"
+  std::vector<Header> headers;
+  std::string body;
+
+  /// Target with any "?query" suffix removed.
+  std::string path() const;
+  const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close".
+  bool keep_alive() const;
+  /// True when the Accept header lists `mime` (substring match is enough
+  /// for our two media types).
+  bool accepts(std::string_view mime) const;
+};
+
+struct ParsedResponse {
+  int status = 0;
+  std::string reason;
+  std::vector<Header> headers;
+  std::string body;  // de-chunked
+
+  const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+};
+
+/// Reads one request from `src`. `buffer` carries bytes left over from the
+/// previous message on the same connection (keep-alive) and must persist
+/// across calls.
+ReadStatus read_request(const ByteSource& src, std::string& buffer, Request& out,
+                        const ReadLimits& limits = {});
+
+/// Reads one response (client side). A body with neither Content-Length nor
+/// chunked framing is read until EOF, per HTTP/1.1 close-delimited framing.
+ReadStatus read_response(const ByteSource& src, std::string& buffer, ParsedResponse& out,
+                         const ReadLimits& limits = {});
+
+/// The canonical reason phrase for `status` ("OK", "Not Found", ...).
+std::string_view status_text(int status);
+
+struct Response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<Header> extra_headers;
+  bool close = false;  // force "Connection: close" regardless of the request
+};
+
+/// Serializes `r` with Content-Length framing. `keep_alive` is the
+/// request's wish; the connection closes when either side says so.
+/// Returns false when the sink reports a dead connection.
+bool write_response(const ByteSink& sink, const Response& r, bool keep_alive);
+
+/// Streaming response writer (Transfer-Encoding: chunked) for NDJSON
+/// bodies whose length is unknown up front. begin() is idempotent-free:
+/// call once, then write() per chunk, then end().
+class ChunkedWriter {
+ public:
+  explicit ChunkedWriter(ByteSink sink) : sink_(std::move(sink)) {}
+
+  bool begin(int status, const std::string& content_type, bool keep_alive);
+  bool write(std::string_view data);
+  bool end();
+  /// Whether begin() ran (i.e. headers are already on the wire).
+  bool begun() const { return begun_; }
+
+ private:
+  ByteSink sink_;
+  bool begun_ = false;
+};
+
+}  // namespace qre::server

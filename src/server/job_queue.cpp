@@ -1,0 +1,176 @@
+#include "server/job_queue.hpp"
+
+namespace qre::server {
+
+std::string_view to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobQueue::JobQueue(Runner runner, JobQueueOptions options)
+    : runner_(std::move(runner)), options_(options) {
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobQueue::~JobQueue() { drain(); }
+
+std::optional<std::uint64_t> JobQueue::submit(json::Value document) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (draining_ || pending_.size() >= options_.max_backlog) return std::nullopt;
+    id = next_id_++;
+    Job job;
+    job.id = id;
+    job.document = std::move(document);
+    jobs_.emplace(id, std::move(job));
+    pending_.push_back(id);
+  }
+  work_available_.notify_one();
+  return id;
+}
+
+std::optional<json::Value> JobQueue::status(std::uint64_t id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Job& job = it->second;
+  json::Object out;
+  out.emplace_back("id", json::Value(job.id));
+  out.emplace_back("status", std::string(to_string(job.state)));
+  if (job.state == JobState::kSucceeded || job.state == JobState::kFailed) {
+    if (!job.error.empty()) {
+      out.emplace_back("error", job.error);
+    } else {
+      out.emplace_back("response", job.response);
+    }
+  }
+  return json::Value(std::move(out));
+}
+
+JobQueue::CancelResult JobQueue::cancel(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return CancelResult::kNotFound;
+  Job& job = it->second;
+  if (job.state != JobState::kQueued) return CancelResult::kNotCancellable;
+  for (auto pending_it = pending_.begin(); pending_it != pending_.end(); ++pending_it) {
+    if (*pending_it == id) {
+      pending_.erase(pending_it);
+      break;
+    }
+  }
+  job.state = JobState::kCancelled;
+  job.document = json::Value();  // the document is dead weight from here on
+  ++num_cancelled_;
+  retire_locked(id);
+  return CancelResult::kCancelled;
+}
+
+json::Value JobQueue::stats_to_json() const {
+  std::lock_guard lock(mutex_);
+  json::Object out;
+  out.emplace_back("queued", json::Value(static_cast<std::uint64_t>(pending_.size())));
+  out.emplace_back("running", json::Value(static_cast<std::uint64_t>(num_running_)));
+  out.emplace_back("succeeded", json::Value(num_succeeded_));
+  out.emplace_back("failed", json::Value(num_failed_));
+  out.emplace_back("cancelled", json::Value(num_cancelled_));
+  out.emplace_back("backlogLimit", json::Value(static_cast<std::uint64_t>(options_.max_backlog)));
+  out.emplace_back("workers", json::Value(static_cast<std::uint64_t>(workers_.size())));
+  return json::Value(std::move(out));
+}
+
+void JobQueue::drain() {
+  {
+    std::lock_guard lock(mutex_);
+    if (draining_ && workers_.empty()) return;
+    draining_ = true;
+    // Everything still queued will never run: flip it to cancelled so
+    // pollers see a terminal state instead of an eternal "queued".
+    for (std::uint64_t id : pending_) {
+      const auto it = jobs_.find(id);
+      if (it != jobs_.end() && it->second.state == JobState::kQueued) {
+        it->second.state = JobState::kCancelled;
+        ++num_cancelled_;
+        retire_locked(id);
+      }
+    }
+    pending_.clear();
+  }
+  work_available_.notify_all();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+void JobQueue::worker_loop() {
+  for (;;) {
+    std::uint64_t id = 0;
+    json::Value document;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return draining_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // draining and nothing left
+      id = pending_.front();
+      pending_.pop_front();
+      Job& job = jobs_.at(id);
+      job.state = JobState::kRunning;
+      document = std::move(job.document);
+      job.document = json::Value();
+      ++num_running_;
+    }
+
+    json::Value response;
+    std::string error;
+    try {
+      response = runner_(document);
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown error";
+    }
+
+    {
+      std::lock_guard lock(mutex_);
+      Job& job = jobs_.at(id);
+      --num_running_;
+      if (!error.empty()) {
+        job.state = JobState::kFailed;
+        job.error = std::move(error);
+        ++num_failed_;
+      } else {
+        // The runner returns the v2 envelope; "success": false (an invalid
+        // or infeasible document) is a failed job with a full diagnostic
+        // payload, not a transport error.
+        const json::Value* success = response.find("success");
+        const bool ok = success != nullptr && success->is_bool() && success->as_bool();
+        job.state = ok ? JobState::kSucceeded : JobState::kFailed;
+        job.response = std::move(response);
+        ok ? ++num_succeeded_ : ++num_failed_;
+      }
+      retire_locked(id);
+    }
+  }
+}
+
+void JobQueue::retire_locked(std::uint64_t id) {
+  finished_.push_back(id);
+  while (finished_.size() > options_.max_retained) {
+    jobs_.erase(finished_.front());
+    finished_.pop_front();
+  }
+}
+
+}  // namespace qre::server

@@ -1,0 +1,119 @@
+// Asynchronous estimation job queue (estimation server).
+//
+// POST /v2/jobs mirrors the cloud workflow of the paper: a job document is
+// accepted immediately with a monotonically increasing id, executed on a
+// dedicated worker pool, and polled via GET /v2/jobs/{id} until it reaches
+// a terminal state. The lifecycle is
+//
+//     queued -> running -> succeeded | failed
+//     queued -> cancelled                     (DELETE while still queued)
+//
+// The backlog is bounded: submit() refuses new work once `max_backlog` jobs
+// are queued (the HTTP layer turns that into 429 Too Many Requests), which
+// is the server's load-shedding mechanism — memory stays bounded no matter
+// how fast clients submit. Finished jobs are retained for polling, also up
+// to a bound (`max_retained`, oldest evicted first), so a poll after
+// eviction is indistinguishable from an unknown id (404).
+//
+// All public methods are concurrency-safe. drain() stops the workers
+// gracefully: running jobs finish, still-queued jobs flip to cancelled.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace qre::server {
+
+enum class JobState { kQueued, kRunning, kSucceeded, kFailed, kCancelled };
+
+std::string_view to_string(JobState state);
+
+struct JobQueueOptions {
+  /// Worker threads executing queued jobs. 0 is allowed and means "never
+  /// run anything" — jobs stay queued forever, which the tests use to
+  /// exercise cancel and backlog behavior deterministically.
+  std::size_t num_workers = 1;
+  /// Queued-job bound; submit() refuses beyond it (HTTP 429).
+  std::size_t max_backlog = 64;
+  /// Finished (succeeded/failed/cancelled) jobs retained for polling.
+  std::size_t max_retained = 1024;
+};
+
+class JobQueue {
+ public:
+  /// Runs one job document and returns the full v2 response envelope.
+  /// Invoked on queue workers; exceptions become state kFailed.
+  using Runner = std::function<json::Value(const json::Value& document)>;
+
+  JobQueue(Runner runner, JobQueueOptions options = {});
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues `document`; returns the job id, or nullopt when the backlog
+  /// is full (or the queue is draining).
+  std::optional<std::uint64_t> submit(json::Value document);
+
+  /// The job's status document:
+  ///   {"id": ..., "status": "queued|running|succeeded|failed|cancelled",
+  ///    "response": {...}}            // terminal runs only
+  ///   {"id": ..., "status": "failed", "error": "..."}  // runner threw
+  /// nullopt = unknown (or evicted) id -> 404.
+  std::optional<json::Value> status(std::uint64_t id) const;
+
+  enum class CancelResult { kCancelled, kNotFound, kNotCancellable };
+
+  /// Cancels a still-queued job. Running and finished jobs are not
+  /// cancellable (estimation is not interruptible mid-item).
+  CancelResult cancel(std::uint64_t id);
+
+  /// {"queued": ..., "running": ..., "succeeded": ..., "failed": ...,
+  ///  "cancelled": ..., "backlogLimit": ...} — lifetime counters for
+  /// terminal states, instantaneous gauges for queued/running.
+  json::Value stats_to_json() const;
+
+  /// Graceful shutdown: stop accepting, let running jobs finish, mark the
+  /// remaining queue cancelled, join the workers. Idempotent.
+  void drain();
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobState state = JobState::kQueued;
+    json::Value document;
+    json::Value response;  // set in kSucceeded / kFailed (when the runner returned)
+    std::string error;     // set when the runner threw
+  };
+
+  void worker_loop();
+  void retire_locked(std::uint64_t id);
+
+  Runner runner_;
+  JobQueueOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool draining_ = false;
+  std::uint64_t next_id_ = 1;
+  std::deque<std::uint64_t> pending_;
+  std::map<std::uint64_t, Job> jobs_;     // id -> record (ordered: eviction scans old ids first)
+  std::deque<std::uint64_t> finished_;    // retention order
+  std::uint64_t num_succeeded_ = 0;
+  std::uint64_t num_failed_ = 0;
+  std::uint64_t num_cancelled_ = 0;
+  std::size_t num_running_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qre::server

@@ -1,0 +1,53 @@
+// Live serving metrics (estimation server).
+//
+// One Metrics instance aggregates everything GET /metrics reports about the
+// HTTP layer: total and per-route request counts, response counts by status
+// class, and a fixed-bucket latency histogram. The route label is the
+// normalized pattern ("POST /v2/jobs", "GET /v2/jobs/{id}"), not the raw
+// target, so the cardinality is bounded by the route table.
+//
+// Cache counters (estimate cache, T-factory cache) and job-queue state are
+// deliberately NOT stored here — they live with their owners and are merged
+// into the /metrics document by the router, so this module stays a plain
+// request-accounting sink with no dependency on the estimation stack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace qre::server {
+
+class Metrics {
+ public:
+  /// Upper bucket bounds of the latency histogram, in milliseconds; the
+  /// implicit final bucket is +inf.
+  static const std::vector<double>& latency_buckets_ms();
+
+  /// Records one completed request.
+  void record(std::string_view route, int status, double latency_ms);
+
+  std::uint64_t requests_total() const;
+
+  /// {"requestsTotal": ..., "requestsByRoute": {...},
+  ///  "responsesByStatus": {"2xx": ..., ...},
+  ///  "latencyMs": {"bucketUpperBounds": [...], "counts": [...],
+  ///                "totalMs": ..., "count": ...}}
+  json::Value to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t total_ = 0;
+  double latency_total_ms_ = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> by_route_;  // insertion order
+  std::array<std::uint64_t, 5> by_status_class_{};               // 1xx..5xx
+  std::vector<std::uint64_t> bucket_counts_;                     // buckets + overflow
+};
+
+}  // namespace qre::server

@@ -1,0 +1,301 @@
+#include "server/router.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+#include "api/api.hpp"
+#include "api/schema.hpp"
+#include "common/error.hpp"
+#include "common/version.hpp"
+#include "tfactory/factory_cache.hpp"
+
+namespace qre::server {
+
+namespace {
+
+json::Value error_document(const char* code, const std::string& message) {
+  json::Object error;
+  error.emplace_back("code", std::string(code));
+  error.emplace_back("message", message);
+  json::Object out;
+  out.emplace_back("error", json::Value(std::move(error)));
+  return json::Value(std::move(out));
+}
+
+Response json_response(int status, const json::Value& body) {
+  Response r;
+  r.status = status;
+  r.body = body.dump() + "\n";
+  return r;
+}
+
+Response error_response(int status, const char* code, const std::string& message) {
+  return json_response(status, error_document(code, message));
+}
+
+/// Parses "/v2/jobs/{id}"; false when the suffix is not a plain integer.
+bool parse_job_id(const std::string& path, std::uint64_t& id) {
+  const std::string_view prefix = "/v2/jobs/";
+  std::string_view digits(path);
+  digits.remove_prefix(prefix.size());
+  if (digits.empty() || digits.size() > 19) return false;
+  id = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+json::Value factory_cache_stats() {
+  const FactoryCache& cache = FactoryCache::global();
+  json::Value stats = service::cache_counters_to_json(
+      cache.hits(), cache.misses(), cache.evictions(), cache.size(), cache.capacity());
+  stats.as_object().emplace_back("enabled", json::Value(cache.enabled()));
+  return stats;
+}
+
+/// Metrics route labels must have bounded cardinality: the method part is
+/// client-supplied, so anything outside the standard set collapses to one
+/// label instead of growing the per-route table per distinct string.
+std::string method_label(const std::string& method) {
+  static const char* kKnown[] = {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"};
+  for (const char* known : kKnown) {
+    if (method == known) return method;
+  }
+  return "OTHER";
+}
+
+}  // namespace
+
+Service::Service(api::Registry& registry, ServiceOptions options)
+    : registry_(registry),
+      engine_(options.engine),
+      jobs_([this](const json::Value& document) { return run_document(document); },
+            options.jobs) {}
+
+json::Value Service::run_document(const json::Value& document) {
+  api::EstimateRequest request = api::EstimateRequest::parse(document, registry_);
+  api::EstimateResponse response = api::run(request, engine_.options(), registry_);
+  return response.to_json();
+}
+
+bool Router::handle(const Request& request, const ByteSink& sink) {
+  const auto start = std::chrono::steady_clock::now();
+  std::string route_label = method_label(request.method) + " (error)";
+  int status = 500;
+  bool alive;
+  try {
+    alive = dispatch(request, sink, route_label, status);
+  } catch (const std::exception& e) {
+    // Handlers map expected failures themselves; anything arriving here is
+    // a server bug, reported as 500 without killing the worker.
+    status = 500;
+    alive = write_response(sink, error_response(500, "internal-error", e.what()),
+                           request.keep_alive()) &&
+            request.keep_alive();
+  }
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  service_.metrics().record(route_label, status, latency_ms);
+  return alive;
+}
+
+bool Router::dispatch(const Request& request, const ByteSink& sink, std::string& route_label,
+                      int& status) {
+  const std::string path = request.path();
+  const bool keep_alive = request.keep_alive();
+
+  auto send = [&](Response r) {
+    status = r.status;
+    return write_response(sink, r, keep_alive) && keep_alive;
+  };
+  auto method_not_allowed = [&](const char* allow) {
+    Response r = error_response(405, "method-not-allowed",
+                                "method " + request.method + " is not supported here");
+    r.extra_headers.push_back({"Allow", allow});
+    return send(std::move(r));
+  };
+
+  // ------------------------------------------------------------- probes --
+  if (path == "/healthz") {
+    route_label = method_label(request.method) + " /healthz";
+    if (request.method != "GET") return method_not_allowed("GET");
+    json::Object body;
+    body.emplace_back("status", "ok");
+    return send(json_response(200, json::Value(std::move(body))));
+  }
+  if (path == "/version") {
+    route_label = method_label(request.method) + " /version";
+    if (request.method != "GET") return method_not_allowed("GET");
+    json::Object body;
+    body.emplace_back("version", std::string(version_string()));
+    body.emplace_back("schemaVersion", api::kSchemaVersion);
+    return send(json_response(200, json::Value(std::move(body))));
+  }
+  if (path == "/metrics") {
+    route_label = method_label(request.method) + " /metrics";
+    if (request.method != "GET") return method_not_allowed("GET");
+    json::Object body;
+    body.emplace_back("server", service_.metrics().to_json());
+    // Engine stats arrive as {"estimateCache": {...}}; splice its entries
+    // so the document reads flat: estimateCache / factoryCache / jobs.
+    json::Value engine_stats = service_.engine().stats_to_json();
+    for (auto& [key, value] : engine_stats.as_object()) {
+      body.emplace_back(key, std::move(value));
+    }
+    body.emplace_back("factoryCache", factory_cache_stats());
+    body.emplace_back("jobs", service_.jobs().stats_to_json());
+    return send(json_response(200, json::Value(std::move(body))));
+  }
+
+  // ----------------------------------------------------------- registry --
+  if (path == "/v2/profiles") {
+    route_label = method_label(request.method) + " /v2/profiles";
+    if (request.method != "GET") return method_not_allowed("GET");
+    return send(json_response(200, service_.registry().to_json()));
+  }
+
+  // ----------------------------------------------------------- validate --
+  if (path == "/v2/validate") {
+    route_label = method_label(request.method) + " /v2/validate";
+    if (request.method != "POST") return method_not_allowed("POST");
+    json::Value document;
+    try {
+      document = json::parse(request.body);
+    } catch (const Error& e) {
+      return send(error_response(400, "invalid-json", e.what()));
+    }
+    api::EstimateRequest parsed = api::EstimateRequest::parse(document, service_.registry());
+    if (parsed.ok()) {
+      // Same deep pass as qre_cli --validate: surface per-item problems the
+      // batch runner would otherwise defer to run time.
+      api::validate_batch_items(parsed.document, service_.registry(), parsed.diagnostics);
+    }
+    json::Object body;
+    body.emplace_back("schemaVersion", api::kSchemaVersion);
+    body.emplace_back("valid", !parsed.diagnostics.has_errors());
+    body.emplace_back("errors",
+                      json::Value(static_cast<std::uint64_t>(parsed.diagnostics.num_errors())));
+    body.emplace_back("warnings",
+                      json::Value(static_cast<std::uint64_t>(parsed.diagnostics.size() -
+                                                             parsed.diagnostics.num_errors())));
+    body.emplace_back("diagnostics", parsed.diagnostics.to_json());
+    return send(json_response(parsed.diagnostics.has_errors() ? 422 : 200,
+                              json::Value(std::move(body))));
+  }
+
+  // ----------------------------------------------------------- estimate --
+  if (path == "/v2/estimate") {
+    route_label = method_label(request.method) + " /v2/estimate";
+    if (request.method != "POST") return method_not_allowed("POST");
+    json::Value document;
+    try {
+      document = json::parse(request.body);
+    } catch (const Error& e) {
+      return send(error_response(400, "invalid-json", e.what()));
+    }
+    api::EstimateRequest parsed = api::EstimateRequest::parse(document, service_.registry());
+    const bool is_batch = parsed.document.find("items") != nullptr ||
+                          parsed.document.find("sweep") != nullptr;
+
+    if (parsed.ok() && is_batch && request.accepts("application/x-ndjson")) {
+      // Streaming: one NDJSON line per item, strictly in item order, then a
+      // final batchStats line. Headers go out lazily with the first item so
+      // a pre-run failure still gets a proper JSON error response.
+      ChunkedWriter chunked(sink);
+      bool sink_ok = true;
+      service::EngineOptions options = service_.engine().options(
+          [&](std::size_t index, const json::Value& result) {
+            if (!chunked.begun()) {
+              sink_ok = chunked.begin(200, "application/x-ndjson", keep_alive) && sink_ok;
+            }
+            json::Object line;
+            line.emplace_back("item", json::Value(static_cast<std::uint64_t>(index)));
+            line.emplace_back("result", result);
+            sink_ok = chunked.write(json::Value(std::move(line)).dump() + "\n") && sink_ok;
+          });
+      api::EstimateResponse response = api::run(parsed, options, service_.registry());
+      if (!chunked.begun()) {
+        // Nothing streamed: empty expansion or a failure before the batch
+        // ran. Fall back to a plain envelope.
+        return send(json_response(response.success ? 200 : 422, response.to_json()));
+      }
+      if (const json::Value* stats = response.result.find("batchStats")) {
+        json::Object line;
+        line.emplace_back("batchStats", *stats);
+        sink_ok = chunked.write(json::Value(std::move(line)).dump() + "\n") && sink_ok;
+      }
+      sink_ok = chunked.end() && sink_ok;
+      status = 200;
+      return keep_alive && sink_ok;
+    }
+
+    api::EstimateResponse response =
+        api::run(parsed, service_.engine().options(), service_.registry());
+    const int http_status = parsed.ok() ? (response.success ? 200 : 422) : 400;
+    return send(json_response(http_status, response.to_json()));
+  }
+
+  // ---------------------------------------------------------- job queue --
+  if (path == "/v2/jobs") {
+    route_label = method_label(request.method) + " /v2/jobs";
+    if (request.method != "POST") return method_not_allowed("POST");
+    json::Value document;
+    try {
+      document = json::parse(request.body);
+    } catch (const Error& e) {
+      return send(error_response(400, "invalid-json", e.what()));
+    }
+    const std::optional<std::uint64_t> id = service_.jobs().submit(std::move(document));
+    if (!id.has_value()) {
+      return send(error_response(429, "backlog-full",
+                                 "job backlog is full; retry after queued jobs finish"));
+    }
+    json::Object body;
+    body.emplace_back("id", json::Value(*id));
+    body.emplace_back("status", std::string(to_string(JobState::kQueued)));
+    return send(json_response(202, json::Value(std::move(body))));
+  }
+  if (path.rfind("/v2/jobs/", 0) == 0) {
+    route_label = method_label(request.method) + " /v2/jobs/{id}";
+    if (request.method != "GET" && request.method != "DELETE") {
+      return method_not_allowed("GET, DELETE");
+    }
+    std::uint64_t id = 0;
+    if (!parse_job_id(path, id)) {
+      return send(error_response(400, "invalid-job-id",
+                                 "job ids are the decimal integers POST /v2/jobs returned"));
+    }
+    if (request.method == "GET") {
+      const std::optional<json::Value> job = service_.jobs().status(id);
+      if (!job.has_value()) {
+        return send(error_response(404, "unknown-job",
+                                   "no job " + std::to_string(id) + " (unknown or evicted)"));
+      }
+      return send(json_response(200, *job));
+    }
+    switch (service_.jobs().cancel(id)) {
+      case JobQueue::CancelResult::kNotFound:
+        return send(error_response(404, "unknown-job",
+                                   "no job " + std::to_string(id) + " (unknown or evicted)"));
+      case JobQueue::CancelResult::kNotCancellable:
+        return send(error_response(409, "not-cancellable",
+                                   "job " + std::to_string(id) +
+                                       " is running or finished; only queued jobs cancel"));
+      case JobQueue::CancelResult::kCancelled:
+        break;
+    }
+    json::Object body;
+    body.emplace_back("id", json::Value(id));
+    body.emplace_back("status", std::string(to_string(JobState::kCancelled)));
+    return send(json_response(200, json::Value(std::move(body))));
+  }
+
+  route_label = method_label(request.method) + " (unmatched)";
+  return send(error_response(404, "unknown-endpoint",
+                             "no endpoint " + path + "; see docs/server.md"));
+}
+
+}  // namespace qre::server

@@ -1,0 +1,86 @@
+// Endpoint routing for the estimation server.
+//
+// Service bundles everything that lives for the whole serving process and
+// is shared by every request thread: the profile registry, ONE
+// service::Engine (so the estimate cache — and, transitively, the
+// process-level T-factory cache — stay warm across requests), the async
+// JobQueue, and the Metrics sink. Router maps parsed HTTP requests onto it:
+//
+//   POST   /v2/estimate   synchronous estimate; full v2 envelope.
+//                         "Accept: application/x-ndjson" streams batch and
+//                         sweep results one item per line (chunked).
+//   POST   /v2/jobs       async submit -> 202 {"id", "status"}; 429 when
+//                         the backlog is full
+//   GET    /v2/jobs/{id}  job status (+ response envelope when finished)
+//   DELETE /v2/jobs/{id}  cancel a still-queued job
+//   POST   /v2/validate   schema dry-run; never estimates
+//   GET    /v2/profiles   registry dump (qubits, QEC schemes, units)
+//   GET    /healthz       liveness probe
+//   GET    /version       build + schema version
+//   GET    /metrics       request counts, latency histogram, cache and
+//                         job-queue counters
+//
+// The router is transport-free (it writes through a ByteSink), so the full
+// endpoint surface is exercised in-process by tests/test_server.cpp.
+#pragma once
+
+#include <string>
+
+#include "api/registry.hpp"
+#include "server/http.hpp"
+#include "server/job_queue.hpp"
+#include "server/metrics.hpp"
+#include "service/engine.hpp"
+
+namespace qre::server {
+
+struct ServiceOptions {
+  /// Engine defaults for every request: worker width for batch items,
+  /// shared-cache capacity, etc. (EngineOptions::cache is ignored — the
+  /// Service's engine always owns the shared cache.)
+  service::EngineOptions engine;
+  JobQueueOptions jobs;
+};
+
+/// The process-wide serving state. `registry` must outlive the Service and
+/// must not be mutated once requests are in flight (see the thread-safety
+/// contract in api/registry.hpp): load profile packs first, then serve.
+class Service {
+ public:
+  explicit Service(api::Registry& registry, ServiceOptions options = {});
+
+  api::Registry& registry() { return registry_; }
+  service::Engine& engine() { return engine_; }
+  JobQueue& jobs() { return jobs_; }
+  Metrics& metrics() { return metrics_; }
+
+  /// Parses + runs one job document on the shared engine; returns the full
+  /// v2 response envelope. This is the job-queue runner and the body of
+  /// POST /v2/estimate.
+  json::Value run_document(const json::Value& document);
+
+ private:
+  api::Registry& registry_;
+  service::Engine engine_;
+  Metrics metrics_;
+  JobQueue jobs_;  // declared last: workers use engine_/registry_ via run_document
+};
+
+class Router {
+ public:
+  explicit Router(Service& service) : service_(service) {}
+
+  /// Handles one request: writes exactly one response through `sink`
+  /// (Content-Length or chunked) and records metrics. Returns whether the
+  /// connection may be kept alive (request wished it and all writes
+  /// succeeded).
+  bool handle(const Request& request, const ByteSink& sink);
+
+ private:
+  bool dispatch(const Request& request, const ByteSink& sink, std::string& route_label,
+                int& status);
+
+  Service& service_;
+};
+
+}  // namespace qre::server

@@ -35,6 +35,12 @@ namespace qre::service {
 /// affect identity.
 std::string canonical_key(const json::Value& job);
 
+/// The common counter document every cache exports (GET /metrics):
+/// {"hits": ..., "misses": ..., "evictions": ..., "size": ..., "capacity": ...}.
+json::Value cache_counters_to_json(std::uint64_t hits, std::uint64_t misses,
+                                   std::uint64_t evictions, std::size_t size,
+                                   std::size_t capacity);
+
 /// Concurrency-safe, LRU-bounded memoization table from canonical job keys
 /// to result documents.
 class EstimateCache {

@@ -81,4 +81,50 @@ struct BatchStats {
 json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& runner,
                       const EngineOptions& options = {}, BatchStats* stats = nullptr);
 
+/// A long-lived estimation engine: the default EngineOptions plus an owned
+/// EstimateCache that persists across runs, so a serving process keeps warm
+/// results between requests instead of giving every batch a private cache
+/// that dies with it. The Engine itself is concurrency-safe — options()
+/// returns a copy and EstimateCache is internally synchronized — so any
+/// number of request threads may run through one shared Engine; results are
+/// bit-identical to serial execution (the cache replays exact documents).
+/// Cached entries are keyed on job documents only: if the profile registry
+/// the runs resolve against mutates, call cache().clear() — the serving
+/// layer avoids this by completing all registration before serving.
+class Engine {
+ public:
+  /// `defaults.cache`, when set, is ignored: the engine always wires its own
+  /// shared cache (that is its purpose).
+  explicit Engine(EngineOptions defaults = {})
+      : defaults_(defaults), cache_(defaults.cache_capacity) {
+    defaults_.cache = nullptr;
+  }
+
+  /// The engine's defaults with the shared cache wired in (when caching is
+  /// enabled). Callers may further adjust the copy, e.g. attach a sink.
+  EngineOptions options() const {
+    EngineOptions o = defaults_;
+    if (o.use_cache) o.cache = &cache_;
+    return o;
+  }
+
+  /// options() with a streaming sink attached.
+  EngineOptions options(ResultSink sink) const {
+    EngineOptions o = options();
+    o.on_result = std::move(sink);
+    return o;
+  }
+
+  EstimateCache& cache() { return cache_; }
+  const EstimateCache& cache() const { return cache_; }
+
+  /// Cumulative (process-lifetime) cache counters, the shape GET /metrics
+  /// embeds: {"estimateCache": {hits, misses, evictions, size, capacity}}.
+  json::Value stats_to_json() const;
+
+ private:
+  EngineOptions defaults_;
+  mutable EstimateCache cache_;
+};
+
 }  // namespace qre::service

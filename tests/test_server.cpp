@@ -1,0 +1,411 @@
+// Tests of the estimation server: the HTTP/1.1 message layer (in-memory
+// byte streams, no sockets) and the full serving stack — router, shared
+// engine, async job queue, metrics — exercised over real loopback TCP
+// through the in-process server::Client.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "core/job.hpp"
+#include "json/json.hpp"
+#include "server/client.hpp"
+#include "server/http.hpp"
+#include "server/job_queue.hpp"
+#include "server/router.hpp"
+#include "server/server.hpp"
+
+namespace qre {
+namespace {
+
+using server::Client;
+using server::ReadStatus;
+
+// A small, fast job document (counts kept low so a test run stays quick).
+const char* kSingleJob = R"({
+  "schemaVersion": 2,
+  "logicalCounts": {"numQubits": 10, "tCount": 1000},
+  "qubitParams": {"name": "qubit_gate_ns_e3"},
+  "errorBudget": 0.01
+})";
+
+const char* kBatchJob = R"({
+  "schemaVersion": 2,
+  "logicalCounts": {"numQubits": 10, "tCount": 1000},
+  "qubitParams": {"name": "qubit_gate_ns_e3"},
+  "items": [
+    {"errorBudget": 0.01},
+    {"errorBudget": 0.001},
+    {"qubitParams": {"name": "qubit_maj_ns_e4"}},
+    {"errorBudget": 0.01}
+  ]
+})";
+
+// ------------------------------------------------------- message layer ---
+
+/// A ByteSource replaying a fixed byte string (EOF afterwards).
+server::ByteSource memory_source(std::string data) {
+  auto stream = std::make_shared<std::pair<std::string, std::size_t>>(std::move(data), 0);
+  return [stream](char* out, std::size_t len) -> long {
+    const std::string& bytes = stream->first;
+    std::size_t& pos = stream->second;
+    if (pos >= bytes.size()) return 0;
+    const std::size_t n = std::min(len, bytes.size() - pos);
+    std::memcpy(out, bytes.data() + pos, n);
+    pos += n;
+    return static_cast<long>(n);
+  };
+}
+
+TEST(Http, ParsesContentLengthRequest) {
+  server::ByteSource src = memory_source(
+      "POST /v2/estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{...}");
+  std::string buffer;
+  server::Request request;
+  ASSERT_EQ(read_request(src, buffer, request), ReadStatus::kOk);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.path(), "/v2/estimate");
+  EXPECT_EQ(request.body, "{...");  // exactly Content-Length bytes
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(Http, ParsesChunkedRequestBody) {
+  server::ByteSource src = memory_source(
+      "POST /v2/jobs HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "5\r\n{\"a\":\r\n"
+      "2;ext=1\r\n1}\r\n"
+      "0\r\n"
+      "Trailer: ignored\r\n"
+      "\r\n");
+  std::string buffer;
+  server::Request request;
+  ASSERT_EQ(read_request(src, buffer, request), ReadStatus::kOk);
+  EXPECT_EQ(request.body, "{\"a\":1}");
+  EXPECT_TRUE(buffer.empty());  // trailers fully consumed
+}
+
+TEST(Http, KeepAliveLeavesPipelinedBytesInBuffer) {
+  server::ByteSource src = memory_source(
+      "GET /healthz HTTP/1.1\r\n\r\nGET /version HTTP/1.1\r\nConnection: close\r\n\r\n");
+  std::string buffer;
+  server::Request first;
+  ASSERT_EQ(read_request(src, buffer, first), ReadStatus::kOk);
+  EXPECT_EQ(first.target, "/healthz");
+  server::Request second;
+  ASSERT_EQ(read_request(src, buffer, second), ReadStatus::kOk);
+  EXPECT_EQ(second.target, "/version");
+  EXPECT_FALSE(second.keep_alive());
+}
+
+TEST(Http, OversizedBodyIsRejected) {
+  server::ReadLimits limits;
+  limits.max_body_bytes = 8;
+  server::ByteSource src = memory_source(
+      "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789");
+  std::string buffer;
+  server::Request request;
+  EXPECT_EQ(read_request(src, buffer, request, limits), ReadStatus::kTooLarge);
+}
+
+TEST(Http, MalformedStartLineIsBadRequest) {
+  std::string buffer;
+  server::Request request;
+  server::ByteSource src = memory_source("NONSENSE\r\n\r\n");
+  EXPECT_EQ(read_request(src, buffer, request), ReadStatus::kBadRequest);
+}
+
+// ----------------------------------------------------------- full stack ---
+
+/// One live loopback server per fixture instance: its own registry, shared
+/// engine, job queue, and metrics, so tests cannot interfere.
+class ServerFixture {
+ public:
+  explicit ServerFixture(server::ServiceOptions service_options = {})
+      : registry_(api::Registry::with_builtins()),
+        service_(registry_, service_options),
+        router_(service_),
+        server_(router_, make_server_options()) {
+    server_.start();
+    client_ = std::make_unique<Client>("127.0.0.1", server_.port());
+  }
+
+  static server::ServerOptions make_server_options() {
+    server::ServerOptions o;
+    o.port = 0;  // ephemeral
+    o.num_workers = 2;
+    o.receive_timeout_seconds = 5;
+    return o;
+  }
+
+  server::Service& service() { return service_; }
+  server::Server& http_server() { return server_; }
+  Client& client() { return *client_; }
+  api::Registry& registry() { return registry_; }
+
+  /// Polls GET /v2/jobs/{id} until the job reaches a terminal state.
+  json::Value await_job(std::uint64_t id) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      Client::Result r = client_->get("/v2/jobs/" + std::to_string(id));
+      EXPECT_TRUE(r.ok) << r.error;
+      json::Value doc = json::parse(r.body);
+      const std::string& state = doc.at("status").as_string();
+      if (state != "queued" && state != "running") return doc;
+      if (std::chrono::steady_clock::now() > deadline) {
+        ADD_FAILURE() << "job " << id << " stuck in state " << state;
+        return doc;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+ private:
+  api::Registry registry_;
+  server::Service service_;
+  server::Router router_;
+  server::Server server_;
+  std::unique_ptr<Client> client_;
+};
+
+server::ServiceOptions frozen_queue_options(std::size_t backlog) {
+  // num_workers == 0: submitted jobs never start, making cancel/backlog
+  // behavior deterministic.
+  server::ServiceOptions o;
+  o.jobs.num_workers = 0;
+  o.jobs.max_backlog = backlog;
+  return o;
+}
+
+TEST(Server, SyncEstimateMatchesRunJobByteForByte) {
+  ServerFixture fx;
+  const json::Value job = json::parse(kSingleJob);
+  Client::Result r = fx.client().post("/v2/estimate", kSingleJob);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  json::Value envelope = json::parse(r.body);
+  EXPECT_TRUE(envelope.at("success").as_bool());
+  EXPECT_EQ(envelope.at("result").dump(), run_job(job).dump());
+}
+
+TEST(Server, SyncBatchEstimateMatchesRunJobByteForByte) {
+  // A fresh fixture's shared cache is cold, so even batchStats must agree
+  // with a private-cache serial run.
+  ServerFixture fx;
+  const json::Value job = json::parse(kBatchJob);
+  Client::Result r = fx.client().post("/v2/estimate", kBatchJob);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  json::Value envelope = json::parse(r.body);
+  ASSERT_TRUE(envelope.at("success").as_bool());
+  EXPECT_EQ(envelope.at("result").dump(), run_job(job).dump());
+}
+
+TEST(Server, RepeatedRequestsHitTheSharedCacheAndStayIdentical) {
+  ServerFixture fx;
+  Client::Result first = fx.client().post("/v2/estimate", kSingleJob);
+  ASSERT_TRUE(first.ok) << first.error;
+  const std::uint64_t misses_after_first = fx.service().engine().cache().misses();
+  Client::Result second = fx.client().post("/v2/estimate", kSingleJob);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_EQ(fx.service().engine().cache().misses(), misses_after_first);
+  EXPECT_GE(fx.service().engine().cache().hits(), 1u);
+}
+
+TEST(Server, AsyncJobLifecycle) {
+  ServerFixture fx;
+  Client::Result submit = fx.client().post("/v2/jobs", kSingleJob);
+  ASSERT_TRUE(submit.ok) << submit.error;
+  EXPECT_EQ(submit.status, 202);
+  json::Value ticket = json::parse(submit.body);
+  const std::uint64_t id = ticket.at("id").as_uint();
+  EXPECT_EQ(ticket.at("status").as_string(), "queued");
+
+  json::Value done = fx.await_job(id);
+  EXPECT_EQ(done.at("status").as_string(), "succeeded");
+  const json::Value& response = done.at("response");
+  EXPECT_TRUE(response.at("success").as_bool());
+  // The async result is the same envelope the sync endpoint produces.
+  Client::Result sync = fx.client().post("/v2/estimate", kSingleJob);
+  ASSERT_TRUE(sync.ok) << sync.error;
+  EXPECT_EQ(response.dump() + "\n", sync.body);
+
+  // Finished jobs are not cancellable, unknown ids are 404.
+  Client::Result cancel = fx.client().del("/v2/jobs/" + std::to_string(id));
+  ASSERT_TRUE(cancel.ok) << cancel.error;
+  EXPECT_EQ(cancel.status, 409);
+  Client::Result unknown = fx.client().get("/v2/jobs/999999");
+  ASSERT_TRUE(unknown.ok) << unknown.error;
+  EXPECT_EQ(unknown.status, 404);
+}
+
+TEST(Server, QueuedJobsCancelDeterministically) {
+  ServerFixture fx(frozen_queue_options(8));
+  Client::Result submit = fx.client().post("/v2/jobs", kSingleJob);
+  ASSERT_TRUE(submit.ok) << submit.error;
+  const std::uint64_t id = json::parse(submit.body).at("id").as_uint();
+
+  Client::Result before = fx.client().get("/v2/jobs/" + std::to_string(id));
+  ASSERT_TRUE(before.ok) << before.error;
+  EXPECT_EQ(json::parse(before.body).at("status").as_string(), "queued");
+
+  Client::Result cancel = fx.client().del("/v2/jobs/" + std::to_string(id));
+  ASSERT_TRUE(cancel.ok) << cancel.error;
+  EXPECT_EQ(cancel.status, 200);
+  EXPECT_EQ(json::parse(cancel.body).at("status").as_string(), "cancelled");
+
+  Client::Result after = fx.client().get("/v2/jobs/" + std::to_string(id));
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(json::parse(after.body).at("status").as_string(), "cancelled");
+
+  // Cancelling twice is a conflict, not a second cancellation.
+  Client::Result again = fx.client().del("/v2/jobs/" + std::to_string(id));
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.status, 409);
+}
+
+TEST(Server, FullBacklogReturns429) {
+  ServerFixture fx(frozen_queue_options(2));
+  EXPECT_EQ(fx.client().post("/v2/jobs", kSingleJob).status, 202);
+  EXPECT_EQ(fx.client().post("/v2/jobs", kSingleJob).status, 202);
+  Client::Result overflow = fx.client().post("/v2/jobs", kSingleJob);
+  ASSERT_TRUE(overflow.ok) << overflow.error;
+  EXPECT_EQ(overflow.status, 429);
+  EXPECT_EQ(json::parse(overflow.body).at("error").at("code").as_string(), "backlog-full");
+}
+
+TEST(Server, NdjsonStreamsBatchItemsInOrder) {
+  ServerFixture fx;
+  Client::Result r = fx.client().post("/v2/estimate", kBatchJob,
+                                      {{"Accept", "application/x-ndjson"}});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  const std::string* content_type = r.header("Content-Type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_EQ(*content_type, "application/x-ndjson");
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < r.body.size()) {
+    const std::size_t eol = r.body.find('\n', start);
+    if (eol == std::string::npos) break;
+    lines.push_back(r.body.substr(start, eol - start));
+    start = eol + 1;
+  }
+  ASSERT_EQ(lines.size(), 5u);  // 4 items + batchStats
+  for (std::size_t i = 0; i < 4; ++i) {
+    json::Value line = json::parse(lines[i]);
+    EXPECT_EQ(line.at("item").as_uint(), i);
+    EXPECT_TRUE(line.at("result").is_object());
+  }
+  json::Value last = json::parse(lines.back());
+  EXPECT_NE(last.find("batchStats"), nullptr);
+  EXPECT_EQ(last.at("batchStats").at("numItems").as_uint(), 4u);
+
+  // The streamed items equal the non-streamed results, in the same order.
+  json::Value plain = json::parse(fx.client().post("/v2/estimate", kBatchJob).body);
+  const json::Array& results = plain.at("result").at("results").as_array();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(json::parse(lines[i]).at("result").dump(), results[i].dump());
+  }
+}
+
+TEST(Server, MetricsCountersMoveWithTraffic) {
+  ServerFixture fx;
+  json::Value before = json::parse(fx.client().get("/metrics").body);
+  ASSERT_TRUE(fx.client().post("/v2/estimate", kSingleJob).ok);
+  ASSERT_EQ(fx.client().post("/v2/jobs", kSingleJob).status, 202);
+  json::Value after = json::parse(fx.client().get("/metrics").body);
+
+  EXPECT_GT(after.at("server").at("requestsTotal").as_uint(),
+            before.at("server").at("requestsTotal").as_uint());
+  EXPECT_GT(after.at("estimateCache").at("misses").as_uint(),
+            before.at("estimateCache").at("misses").as_uint());
+  EXPECT_GT(after.at("server").at("responsesByStatus").at("2xx").as_uint(),
+            before.at("server").at("responsesByStatus").at("2xx").as_uint());
+
+  // The histogram counted every request.
+  std::uint64_t histogram_total = 0;
+  for (const json::Value& count :
+       after.at("server").at("latencyMs").at("counts").as_array()) {
+    histogram_total += count.as_uint();
+  }
+  EXPECT_EQ(histogram_total, after.at("server").at("requestsTotal").as_uint());
+
+  // Route labels are normalized patterns.
+  EXPECT_NE(after.at("server").at("requestsByRoute").find("POST /v2/estimate"), nullptr);
+  EXPECT_NE(after.at("jobs"), json::Value());
+}
+
+TEST(Server, ValidateEndpointDryRuns) {
+  ServerFixture fx;
+  Client::Result good = fx.client().post("/v2/validate", kSingleJob);
+  ASSERT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(good.status, 200);
+  EXPECT_TRUE(json::parse(good.body).at("valid").as_bool());
+
+  Client::Result bad = fx.client().post("/v2/validate", R"({"schemaVersion": 2})");
+  ASSERT_TRUE(bad.ok) << bad.error;
+  EXPECT_EQ(bad.status, 422);
+  json::Value verdict = json::parse(bad.body);
+  EXPECT_FALSE(verdict.at("valid").as_bool());
+  EXPECT_GE(verdict.at("diagnostics").as_array().size(), 1u);
+  // Validation never runs the estimator.
+  EXPECT_EQ(fx.service().engine().cache().misses(), 0u);
+}
+
+TEST(Server, ProfilesEndpointDumpsTheRegistry) {
+  ServerFixture fx;
+  Client::Result r = fx.client().get("/v2/profiles");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, fx.registry().to_json().dump() + "\n");
+}
+
+TEST(Server, HealthVersionAndErrorRoutes) {
+  ServerFixture fx;
+  EXPECT_EQ(json::parse(fx.client().get("/healthz").body).at("status").as_string(), "ok");
+
+  json::Value version = json::parse(fx.client().get("/version").body);
+  EXPECT_FALSE(version.at("version").as_string().empty());
+  EXPECT_EQ(version.at("schemaVersion").as_int(), 2);
+
+  EXPECT_EQ(fx.client().get("/no/such/endpoint").status, 404);
+
+  Client::Result wrong_method = fx.client().get("/v2/estimate");
+  EXPECT_EQ(wrong_method.status, 405);
+  const std::string* allow = wrong_method.header("Allow");
+  ASSERT_NE(allow, nullptr);
+  EXPECT_EQ(*allow, "POST");
+
+  EXPECT_EQ(fx.client().post("/v2/estimate", "this is not json").status, 400);
+  EXPECT_EQ(fx.client().get("/v2/jobs/not-a-number").status, 400);
+
+  // Invalid documents get the full diagnostic envelope with a 400.
+  Client::Result invalid = fx.client().post("/v2/estimate", R"({"schemaVersion": 2})");
+  EXPECT_EQ(invalid.status, 400);
+  json::Value envelope = json::parse(invalid.body);
+  EXPECT_FALSE(envelope.at("success").as_bool());
+  EXPECT_GE(envelope.at("diagnostics").as_array().size(), 1u);
+}
+
+TEST(Server, GracefulStopRefusesNewConnections) {
+  auto fx = std::make_unique<ServerFixture>();
+  ASSERT_TRUE(fx->client().get("/healthz").ok);
+  const std::uint16_t port = fx->http_server().port();
+  fx->http_server().stop();
+  fx->http_server().stop();  // idempotent
+
+  Client fresh("127.0.0.1", port);
+  EXPECT_FALSE(fresh.get("/healthz").ok);
+}
+
+}  // namespace
+}  // namespace qre

@@ -7,8 +7,10 @@
 #include <atomic>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "api/api.hpp"
 #include "common/error.hpp"
 #include "core/job.hpp"
 #include "service/cache.hpp"
@@ -383,6 +385,92 @@ TEST(Service, RunSingleJobRejectsBatchKeys) {
     "items": [{}]
   })");
   EXPECT_THROW(run_single_job(job), Error);
+}
+
+// ------------------------------------------------- shared-engine Engine ---
+
+// N threads pushing the SAME batch job through ONE shared Engine (the
+// estimation server's configuration) must each produce results that are
+// bit-identical to the serial run_job output, and the shared cache's
+// counters must be exactly accounted for: the in-flight deduplication in
+// EstimateCache guarantees one miss per distinct item no matter how the
+// threads interleave.
+TEST(Service, ConcurrentRequestsOnOneEngineAreBitIdenticalToSerial) {
+  json::Value job = json::parse(R"({
+    "schemaVersion": 2,
+    "logicalCounts": {"numQubits": 10, "tCount": 1000},
+    "qubitParams": {"name": "qubit_gate_ns_e3"},
+    "items": [
+      {"errorBudget": 0.01},
+      {"errorBudget": 0.001},
+      {"errorBudget": 0.01}
+    ]
+  })");
+  // 3 items, 2 distinct (items 0 and 2 merge to the same document).
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kItems = 3;
+  constexpr std::size_t kDistinct = 2;
+
+  const std::string serial = run_job(job).at("results").dump();
+
+  api::Registry registry = api::Registry::with_builtins();
+  service::Engine engine;
+  std::vector<std::string> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      api::EstimateRequest request = api::EstimateRequest::parse(job, registry);
+      api::EstimateResponse response = api::run(request, engine.options(), registry);
+      results[t] = response.success ? response.result.at("results").dump() : "FAILED";
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], serial) << "thread " << t << " diverged from the serial run";
+  }
+
+  // Consistent stats: every lookup either hit or missed, and only the first
+  // computation of each distinct item missed.
+  const EstimateCache& cache = engine.cache();
+  EXPECT_EQ(cache.misses(), kDistinct);
+  EXPECT_EQ(cache.hits(), kThreads * kItems - kDistinct);
+  EXPECT_EQ(cache.size(), kDistinct);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+// Same-document single estimates through one Engine: the serving layer's
+// most common request. All responses must be byte-identical and computed
+// exactly once.
+TEST(Service, ConcurrentSingleEstimatesShareOneComputation) {
+  json::Value job = json::parse(R"({
+    "schemaVersion": 2,
+    "logicalCounts": {"numQubits": 10, "tCount": 1000},
+    "errorBudget": 0.01
+  })");
+  const std::string serial = run_job(job).dump();
+
+  api::Registry registry = api::Registry::with_builtins();
+  service::Engine engine;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::string> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      api::EstimateRequest request = api::EstimateRequest::parse(job, registry);
+      api::EstimateResponse response = api::run(request, engine.options(), registry);
+      results[t] = response.success ? response.result.dump() : "FAILED";
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], serial);
+  }
+  EXPECT_EQ(engine.cache().misses(), 1u);
+  EXPECT_EQ(engine.cache().hits(), kThreads - 1);
 }
 
 }  // namespace

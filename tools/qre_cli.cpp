@@ -23,6 +23,7 @@
 
 #include "api/api.hpp"
 #include "common/error.hpp"
+#include "common/version.hpp"
 #include "core/job.hpp"
 #include "report/report.hpp"
 #include "service/engine.hpp"
@@ -75,6 +76,7 @@ void print_usage(std::FILE* out) {
                "  qre_cli --cache-stats <job.json>  print cache hit/miss/eviction\n"
                "                              counters to stderr after the run\n"
                "  qre_cli --demo              run a built-in demonstration job\n"
+               "  qre_cli --version           print the build and schema version\n"
                "  qre_cli -                   read the job document from stdin\n"
                "\n"
                "Job documents follow schema v2 (docs/schema_v2.md): logicalCounts plus\n"
@@ -159,6 +161,10 @@ int parse_args(int argc, char** argv, Options& opts) {
         return 2;
       }
       opts.num_workers = static_cast<std::size_t>(n);
+    } else if (arg == "--version") {
+      std::printf("qre_cli %s (schema v%d)\n", qre::version_string(),
+                  qre::api::kSchemaVersion);
+      std::exit(0);
     } else if (arg == "--help" || arg == "-h") {
       print_usage(stdout);
       std::exit(0);
