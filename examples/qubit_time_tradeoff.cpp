@@ -1,0 +1,61 @@
+// The paper's qubit-time trade-off, reproduced as a frontier job: capping
+// the number of parallel T factories sheds factory qubits at the price of a
+// stretched schedule, and the achievable (physical qubits, runtime) pairs
+// form a Pareto frontier. This example runs the 2048-bit windowed
+// multiplier (the paper's flagship workload) through the adaptive explorer
+// — the schema-v2 "frontier" job kind — instead of a fixed cap grid, and
+// prints the non-dominated set plus the probe statistics.
+//
+// The same job as a JSON document lives in examples/frontier_job.json:
+//   qre_cli examples/frontier_job.json
+#include <cstdio>
+
+#include "api/api.hpp"
+#include "arith/multipliers.hpp"
+#include "json/json.hpp"
+
+int main() {
+  using namespace qre;
+
+  LogicalCounts counts = multiplier_counts(MultiplierKind::kWindowed, 2048);
+
+  // The factory footprint is a few percent of the total for this workload,
+  // so the qubit tolerance is set well below the default: the explorer
+  // should resolve the factory trade-off, not dismiss it as flat.
+  json::Object frontier;
+  frontier.emplace_back("maxProbes", 32);
+  frontier.emplace_back("qubitTolerance", 0.002);
+  frontier.emplace_back("runtimeTolerance", 0.05);
+
+  json::Object job;
+  job.emplace_back("schemaVersion", 2);
+  job.emplace_back("logicalCounts", counts.to_json());
+  json::Object qubit;
+  qubit.emplace_back("name", "qubit_gate_ns_e3");
+  job.emplace_back("qubitParams", json::Value(std::move(qubit)));
+  job.emplace_back("errorBudget", 1e-4);
+  job.emplace_back("frontier", json::Value(std::move(frontier)));
+
+  api::EstimateRequest request = api::EstimateRequest::parse(json::Value(std::move(job)));
+  api::EstimateResponse response = api::run(request);
+  if (!response.success) {
+    std::fprintf(stderr, "frontier job failed: %s\n", response.diagnostics.summary().c_str());
+    return 1;
+  }
+
+  std::printf("Qubit-time trade-off: 2048-bit windowed multiplication on qubit_gate_ns_e3\n\n");
+  std::printf("%-14s %-16s %-12s\n", "maxTFactories", "physicalQubits", "runtime(s)");
+  for (const json::Value& point : response.result.at("frontier").as_array()) {
+    const json::Value* cap = point.find("maxTFactories");
+    std::printf("%-14s %-16llu %-12.3g\n",
+                cap != nullptr ? std::to_string(cap->as_uint()).c_str() : "(uncapped)",
+                static_cast<unsigned long long>(point.at("physicalQubits").as_uint()),
+                point.at("runtime").as_double() * 1e-9);
+  }
+  const json::Value& stats = response.result.at("frontierStats");
+  std::printf("\n%zu probes in %zu waves kept %zu non-dominated points\n",
+              static_cast<std::size_t>(stats.at("numProbes").as_uint()),
+              static_cast<std::size_t>(stats.at("numWaves").as_uint()),
+              static_cast<std::size_t>(stats.at("numPoints").as_uint()));
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Asserts qre_cli --help documents every flag the argument parser accepts.
+#
+# Usage: check_cli_help.sh <path-to-qre_cli> <path-to-tools/qre_cli.cpp>
+#
+# The accepted-flag list is extracted from the parser source (the
+# `arg == "--..."` comparisons in parse_args), so adding a flag without
+# help text fails the cli_help_documents_flags ctest instead of silently
+# shipping an undocumented option.
+set -euo pipefail
+
+cli=$1
+src=$2
+
+help_text=$("$cli" --help)
+
+flags=$(grep -oE 'arg == "--?[A-Za-z][A-Za-z-]*"' "$src" \
+          | grep -oE -- '--?[A-Za-z][A-Za-z-]*' | sort -u)
+if [ -z "$flags" ]; then
+  echo "error: extracted no flags from $src; did parse_args change shape?" >&2
+  exit 1
+fi
+
+status=0
+for flag in $flags; do
+  if ! grep -qF -- "$flag" <<<"$help_text"; then
+    echo "FAIL: accepted flag '$flag' is missing from --help" >&2
+    status=1
+  fi
+done
+
+count=$(wc -w <<<"$flags")
+if [ "$status" -eq 0 ]; then
+  echo "ok: all $count accepted flags are documented in --help"
+fi
+exit $status

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Renders a per-test timing table from a ctest JUnit report and enforces the
+# per-test time budget.
+#
+# Usage: ctest_timing_summary.sh <ctest-junit.xml> [budget-seconds]
+#
+# CI runs ctest with --output-junit and publishes this table as an
+# artifact; any single test exceeding the budget (default 120 s) fails the
+# build, so slow tests are caught as regressions instead of silently
+# stretching the suite. (ctest's own --timeout kills runaway tests; this
+# check also catches tests that finish just past the budget.)
+set -euo pipefail
+
+junit=$1
+budget=${2:-120}
+
+python3 - "$junit" "$budget" <<'EOF'
+import sys
+import xml.etree.ElementTree as ET
+
+junit_path, budget = sys.argv[1], float(sys.argv[2])
+root = ET.parse(junit_path).getroot()
+cases = []
+for case in root.iter("testcase"):
+    cases.append((float(case.get("time", "0")), case.get("name", "?"),
+                  case.get("status", "run")))
+cases.sort(reverse=True)
+
+print(f"{'seconds':>10}  {'status':<8}  test")
+over_budget = []
+for seconds, name, status in cases:
+    marker = "  <-- OVER BUDGET" if seconds > budget else ""
+    print(f"{seconds:10.2f}  {status:<8}  {name}{marker}")
+    if seconds > budget:
+        over_budget.append(name)
+total = sum(seconds for seconds, _, _ in cases)
+print(f"\n{len(cases)} tests, {total:.1f} s total, budget {budget:.0f} s/test")
+
+if over_budget:
+    print(f"ERROR: {len(over_budget)} test(s) exceeded the {budget:.0f} s budget: "
+          + ", ".join(over_budget), file=sys.stderr)
+    sys.exit(1)
+EOF

@@ -12,6 +12,7 @@ BUILD_DIR=${1:-build}
 REPO_DIR=$(cd "$(dirname "$0")/.." && pwd)
 SERVE="$REPO_DIR/$BUILD_DIR/qre_serve"
 JOB="$REPO_DIR/examples/fig4_sweep_job.json"
+FRONTIER_JOB="$REPO_DIR/examples/frontier_job.json"
 WORK_DIR=$(mktemp -d)
 PORT_FILE="$WORK_DIR/port"
 SERVER_PID=""
@@ -58,6 +59,20 @@ STATUS=$(curl -sS -o "$WORK_DIR/estimate.json" -w '%{http_code}' \
 [[ "$STATUS" == "200" ]] || fail "estimate returned HTTP $STATUS"
 jq -e '.success == true and (.result.results | length == 18)' \
   "$WORK_DIR/estimate.json" > /dev/null || fail "estimate payload"
+
+# --- frontier job kind (sync + NDJSON probe stream) -----------------------
+STATUS=$(curl -sS -o "$WORK_DIR/frontier.json" -w '%{http_code}' \
+              -X POST --data-binary "@$FRONTIER_JOB" "$BASE/v2/estimate")
+[[ "$STATUS" == "200" ]] || fail "frontier estimate returned HTTP $STATUS"
+jq -e '.success == true and (.result.frontier | length >= 3)
+       and (.result.frontierStats.numProbes >= 3)' \
+  "$WORK_DIR/frontier.json" > /dev/null || fail "frontier payload"
+curl -fsS -X POST -H 'Accept: application/x-ndjson' --data-binary "@$FRONTIER_JOB" \
+     "$BASE/v2/estimate" > "$WORK_DIR/frontier.ndjson" || fail "frontier ndjson"
+head -n 1 "$WORK_DIR/frontier.ndjson" | jq -e '.item == 0 and (.result.result != null)' \
+  > /dev/null || fail "frontier probe stream"
+tail -n 1 "$WORK_DIR/frontier.ndjson" | jq -e '.frontierStats.numPoints >= 3' \
+  > /dev/null || fail "frontier stats line"
 
 # --- async job lifecycle --------------------------------------------------
 JOB_ID=$(curl -fsS -X POST --data-binary "@$JOB" "$BASE/v2/jobs" | jq -er '.id') \

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the golden-file regression corpus under tests/data/golden/.
+#
+# Usage: scripts/update_golden.sh [build-dir]   (default: build)
+#
+# Run this ONLY after a deliberate modeling or serialization change, and
+# review the resulting diff like any other code change: the goldens are the
+# contract that the Figure 3/4 reproductions and the frontier explorer keep
+# producing exactly the numbers they produce today.
+set -euo pipefail
+
+build_dir=${1:-build}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+cmake --build "$build_dir" --target test_golden -j
+mkdir -p "$repo_root/tests/data/golden"
+QRE_UPDATE_GOLDEN=1 "$build_dir/test_golden"
+echo
+echo "Golden files refreshed; review with: git diff tests/data/golden/"

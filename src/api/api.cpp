@@ -1,5 +1,6 @@
 #include "api/api.hpp"
 
+#include "api/frontier.hpp"
 #include "common/error.hpp"
 #include "report/report.hpp"
 #include "service/sweep.hpp"
@@ -170,7 +171,14 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
   const json::Value* sweep = doc.find("sweep");
 
   try {
-    if (items != nullptr || sweep != nullptr) {
+    if (doc.find("frontier") != nullptr) {
+      // The adaptive Pareto explorer (see api/frontier.hpp). Probes are
+      // memoized individually through `options`' cache, never the frontier
+      // document as a whole, so streaming sinks observe every probe even on
+      // a warm engine.
+      response.result = run_frontier_document(doc, registry, options);
+      response.success = true;
+    } else if (items != nullptr || sweep != nullptr) {
       std::vector<json::Value> expanded;
       if (sweep != nullptr) {
         expanded = service::expand_sweep(doc);

@@ -8,6 +8,7 @@
 #include "core/estimator.hpp"
 #include "counter/logical_counts.hpp"
 #include "formula/formula.hpp"
+#include "frontier/explorer.hpp"
 #include "service/sweep.hpp"
 
 namespace qre::api {
@@ -380,6 +381,54 @@ void validate_estimate_type(const json::Value& v, const std::string& base, Diagn
   }
 }
 
+void validate_frontier(const json::Value& v, const std::string& base, Diagnostics& diags) {
+  if (!v.is_object()) {
+    diags.error("type-mismatch", base, "frontier must be an object");
+    return;
+  }
+  check_known_keys(v, frontier::ExploreOptions::json_keys(), base, &diags);
+  if (const json::Value* p = expect(v, "maxProbes", Kind::kUint, base, diags)) {
+    if (p->as_double() < 2.0) {
+      diags.error("value-range", pointer_join(base, "maxProbes"),
+                  "'maxProbes' must be >= 2 (the frontier needs both bracket probes)");
+    }
+  }
+  for (std::string_view key : {"qubitTolerance", "runtimeTolerance"}) {
+    if (const json::Value* t = expect(v, key, Kind::kNumber, base, diags)) {
+      if (t->as_double() < 0.0) {
+        diags.error("value-range", pointer_join(base, key),
+                    "'" + std::string(key) + "' must be >= 0");
+      }
+    }
+  }
+  if (const json::Value* budgets = expect(v, "errorBudgets", Kind::kArray, base, diags)) {
+    if (budgets->as_array().empty()) {
+      diags.error("value-range", pointer_join(base, "errorBudgets"),
+                  "'errorBudgets' must not be empty");
+    }
+    for (std::size_t i = 0; i < budgets->as_array().size(); ++i) {
+      const json::Value& budget = budgets->as_array()[i];
+      const std::string path = pointer_join(pointer_join(base, "errorBudgets"), i);
+      if (!budget.is_number()) {
+        diags.error("type-mismatch", path, "error budget must be a number");
+      } else if (!(budget.as_double() > 0.0 && budget.as_double() < 1.0)) {
+        diags.error("value-range", path, "error budget must be in (0, 1)");
+      }
+    }
+    // The probe budget must cover at least the bracketing probe of every
+    // requested level, or whole objective levels would be dropped.
+    const json::Value* probes = v.find("maxProbes");
+    const double effective_probes =
+        probes != nullptr && matches_kind(*probes, Kind::kUint)
+            ? probes->as_double()
+            : static_cast<double>(frontier::ExploreOptions{}.max_probes);
+    if (static_cast<double>(budgets->as_array().size()) > effective_probes) {
+      diags.error("value-range", pointer_join(base, "errorBudgets"),
+                  "'errorBudgets' has more levels than 'maxProbes' allows probes");
+    }
+  }
+}
+
 /// Validates the estimation sections `doc` carries (paths are anchored at
 /// the document root; batch items are validated as documents of their own).
 void validate_sections(const json::Value& doc, const Registry& registry,
@@ -417,6 +466,7 @@ const std::vector<std::string_view>& job_keys() {
       "errorBudget",   "constraints",
       "distillationUnitSpecifications", "estimateType",
       "items",         "sweep",
+      "frontier",
   };
   return kKeys;
 }
@@ -478,7 +528,7 @@ void validate_batch_items(const json::Value& job, const Registry& registry,
 json::Value merge_job_item(const json::Value& base, const json::Value& overlay) {
   json::Object pruned;
   for (const auto& [k, v] : base.as_object()) {
-    if (k != "items" && k != "sweep") pruned.emplace_back(k, v);
+    if (k != "items" && k != "sweep" && k != "frontier") pruned.emplace_back(k, v);
   }
   json::Value merged{std::move(pruned)};
   for (const auto& [k, v] : overlay.as_object()) merged.set(k, v);
@@ -502,6 +552,20 @@ void validate_job(const json::Value& job, const Registry& registry, Diagnostics&
   const json::Value* sweep = job.find("sweep");
   if (items != nullptr && sweep != nullptr) {
     diags.error("mutually-exclusive", "/items", "a job cannot carry both items and sweep");
+  }
+  if (const json::Value* frontier_section = job.find("frontier")) {
+    if (items != nullptr || sweep != nullptr) {
+      diags.error("mutually-exclusive", "/frontier",
+                  "a frontier job cannot carry items or sweep");
+    }
+    if (const json::Value* type = job.find("estimateType")) {
+      if (type->is_string() && type->as_string() == "frontier") {
+        diags.error("mutually-exclusive", "/frontier",
+                    "the adaptive 'frontier' section replaces the fixed-grid "
+                    "estimateType \"frontier\"; use one or the other");
+      }
+    }
+    validate_frontier(*frontier_section, "/frontier", diags);
   }
 
   validate_sections(job, registry, diags);
@@ -538,9 +602,10 @@ void validate_job(const json::Value& job, const Registry& registry, Diagnostics&
           continue;
         }
         check_known_keys(item, job_keys(), path, &diags);
-        if (item.find("items") != nullptr || item.find("sweep") != nullptr) {
+        if (item.find("items") != nullptr || item.find("sweep") != nullptr ||
+            item.find("frontier") != nullptr) {
           diags.error("mutually-exclusive", path,
-                      "a batch item must not itself carry items or sweep");
+                      "a batch item must not itself carry items, sweep, or frontier");
         }
       }
     }

@@ -11,7 +11,8 @@
 //     "constraints": { ... },
 //     "distillationUnitSpecifications": [ ... ],
 //     "estimateType": "singlePoint" | "frontier",
-//     "items": [ ... ] | "sweep": { ... }  // mutually exclusive
+//     "items": [ ... ] | "sweep": { ... } | "frontier": { ... }
+//                                          // mutually exclusive job kinds
 //   }
 //
 // Two things change relative to v1:

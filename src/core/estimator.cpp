@@ -234,18 +234,13 @@ ResourceEstimate estimate(const EstimationInput& input) {
     // runtime. Feasibility is never lost: when the binary search finds no
     // fit at all, the exhaustive downward scan runs before giving up.)
     std::uint64_t limit = *input.constraints.max_physical_qubits;
-    // A probe that throws (a low cap's stretched schedule tripping
-    // maxDuration, before this block would see it) is reported as nullopt:
-    // it tells the search "this cap is too low", not "the job is invalid".
-    auto probe = [&input](std::uint64_t target) -> std::optional<ResourceEstimate> {
-      EstimationInput relaxed = input;
-      relaxed.constraints.max_physical_qubits.reset();
-      relaxed.constraints.max_t_factories = target;
-      try {
-        return estimate(relaxed);
-      } catch (const Error&) {
-        return std::nullopt;
-      }
+    // Probes drop the qubit bound (it is what the search enforces) and run
+    // through the shared cap-probe entry point; infeasible caps come back
+    // as nullopt ("this cap is too low", not "the job is invalid").
+    EstimationInput relaxed = input;
+    relaxed.constraints.max_physical_qubits.reset();
+    auto probe = [&relaxed](std::uint64_t target) {
+      return try_estimate_with_cap(relaxed, target);
     };
     auto fits = [limit](const std::optional<ResourceEstimate>& candidate) {
       return candidate.has_value() && candidate->total_physical_qubits <= limit;
@@ -298,6 +293,23 @@ ResourceEstimate estimate(const EstimationInput& input) {
   return out;
 }
 
+ResourceEstimate estimate_with_cap(const EstimationInput& input,
+                                   std::uint64_t max_t_factories) {
+  QRE_REQUIRE(max_t_factories >= 1, "a T-factory cap probe requires a cap >= 1");
+  EstimationInput capped = input;
+  capped.constraints.max_t_factories = max_t_factories;
+  return estimate(capped);
+}
+
+std::optional<ResourceEstimate> try_estimate_with_cap(const EstimationInput& input,
+                                                      std::uint64_t max_t_factories) {
+  try {
+    return estimate_with_cap(input, max_t_factories);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
 std::vector<ResourceEstimate> estimate_frontier(const EstimationInput& input,
                                                 std::size_t max_points) {
   QRE_REQUIRE(max_points >= 1, "estimate_frontier requires max_points >= 1");
@@ -328,9 +340,7 @@ std::vector<ResourceEstimate> estimate_frontier(const EstimationInput& input,
   // changes the schedule, not the required T-state quality), so the
   // process-level FactoryCache serves all of them from the base design.
   for (std::uint64_t target : targets) {
-    EstimationInput capped = input;
-    capped.constraints.max_t_factories = target;
-    points.push_back(estimate(capped));
+    points.push_back(estimate_with_cap(input, target));
   }
 
   // Pareto filter on (total qubits, runtime), fastest first.

@@ -121,6 +121,21 @@ struct ResourceEstimate {
 /// violated max_duration/max_physical_qubits, ...).
 ResourceEstimate estimate(const EstimationInput& input);
 
+/// The cap-probe entry point: estimate() with the T-factory copy cap
+/// overridden to `max_t_factories` (every other constraint preserved).
+/// This is the primitive under the maxPhysicalQubits search, the
+/// estimate_frontier cap scan, and the adaptive frontier explorer
+/// (src/frontier/) — capped probes all funnel through here.
+ResourceEstimate estimate_with_cap(const EstimationInput& input,
+                                   std::uint64_t max_t_factories);
+
+/// estimate_with_cap with infeasibility mapped to nullopt: a probe that
+/// trips a constraint (a low cap's stretched schedule exceeding
+/// maxDuration, say) tells a search "this cap does not work", not "the job
+/// is invalid".
+std::optional<ResourceEstimate> try_estimate_with_cap(const EstimationInput& input,
+                                                      std::uint64_t max_t_factories);
+
 /// Qubit/runtime Pareto frontier obtained by capping the number of T-factory
 /// copies (at most `max_points` points, fastest first). Programs without
 /// T states yield the single base estimate.

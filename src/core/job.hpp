@@ -33,6 +33,12 @@
 // The grid expands to the cartesian product of its axes and runs like a
 // batch. "sweep" and "items" are mutually exclusive.
 //
+// A third job kind, { "frontier": { maxProbes, qubitTolerance,
+// runtimeTolerance, errorBudgets } }, runs the adaptive Pareto explorer
+// (src/frontier/, api/frontier.hpp) and yields {"frontier": [...],
+// "frontierStats": {...}}. It is mutually exclusive with "items"/"sweep"
+// and with the legacy fixed-grid estimateType "frontier".
+//
 // Batches and sweeps execute on the concurrent engine (service/engine.hpp):
 // a worker pool of configurable width with per-item memoization, so
 // duplicated grid points are estimated once. Output order always matches

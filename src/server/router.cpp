@@ -197,13 +197,15 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
       return send(error_response(400, "invalid-json", e.what()));
     }
     api::EstimateRequest parsed = api::EstimateRequest::parse(document, service_.registry());
-    const bool is_batch = parsed.document.find("items") != nullptr ||
-                          parsed.document.find("sweep") != nullptr;
+    const bool is_streamable = parsed.document.find("items") != nullptr ||
+                               parsed.document.find("sweep") != nullptr ||
+                               parsed.document.find("frontier") != nullptr;
 
-    if (parsed.ok() && is_batch && request.accepts("application/x-ndjson")) {
-      // Streaming: one NDJSON line per item, strictly in item order, then a
-      // final batchStats line. Headers go out lazily with the first item so
-      // a pre-run failure still gets a proper JSON error response.
+    if (parsed.ok() && is_streamable && request.accepts("application/x-ndjson")) {
+      // Streaming: one NDJSON line per item (or frontier probe), strictly
+      // in item order, then a final batchStats/frontierStats line. Headers
+      // go out lazily with the first item so a pre-run failure still gets a
+      // proper JSON error response.
       ChunkedWriter chunked(sink);
       bool sink_ok = true;
       service::EngineOptions options = service_.engine().options(
@@ -222,10 +224,26 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
         // ran. Fall back to a plain envelope.
         return send(json_response(response.success ? 200 : 422, response.to_json()));
       }
-      if (const json::Value* stats = response.result.find("batchStats")) {
-        json::Object line;
-        line.emplace_back("batchStats", *stats);
-        sink_ok = chunked.write(json::Value(std::move(line)).dump() + "\n") && sink_ok;
+      if (!response.success) {
+        // The run failed after lines went out (e.g. a frontier whose every
+        // probe was infeasible). Headers are committed, so the failure is
+        // reported in-stream as a final error line instead of a summary —
+        // the client must never mistake a truncated stream for success.
+        json::Value error_line = error_document(
+            "estimation-failed", response.diagnostics.summary());
+        sink_ok = chunked.write(error_line.dump() + "\n") && sink_ok;
+      } else {
+        const char* stats_key = "batchStats";
+        const json::Value* stats = response.result.find(stats_key);
+        if (stats == nullptr) {
+          stats_key = "frontierStats";
+          stats = response.result.find(stats_key);
+        }
+        if (stats != nullptr) {
+          json::Object line;
+          line.emplace_back(stats_key, *stats);
+          sink_ok = chunked.write(json::Value(std::move(line)).dump() + "\n") && sink_ok;
+        }
       }
       sink_ok = chunked.end() && sink_ok;
       status = 200;

@@ -1,0 +1,154 @@
+// Golden-file regression suite: the paper's Figure 3 multiplication sweep,
+// the Figure 4 hardware-profile comparison, and the frontier example job
+// are re-run end to end (workload tracing -> job document -> api::run) and
+// their normalized result documents diffed against canonical JSONs under
+// tests/data/golden/. Any drift in the counter, the estimator pipeline, or
+// the report serialization shows up as a diff here.
+//
+// To regenerate intentionally (after a deliberate modeling change):
+//   scripts/update_golden.sh [build-dir]
+// which re-runs this binary with QRE_UPDATE_GOLDEN=1 so it rewrites the
+// golden files instead of comparing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/api.hpp"
+#include "bench/bench_util.hpp"
+#include "json/json.hpp"
+
+#ifndef QRE_SOURCE_DIR
+#define QRE_SOURCE_DIR "."
+#endif
+
+namespace qre {
+namespace {
+
+const char* kGoldenDir = QRE_SOURCE_DIR "/tests/data/golden/";
+
+bool update_mode() { return std::getenv("QRE_UPDATE_GOLDEN") != nullptr; }
+
+/// Strips the run-shape-dependent sections (batchStats carries the worker
+/// count) so the golden text depends only on estimation results.
+json::Value normalize(const json::Value& result) {
+  if (!result.is_object()) return result;
+  json::Object pruned;
+  for (const auto& [key, value] : result.as_object()) {
+    if (key != "batchStats") pruned.emplace_back(key, value);
+  }
+  return json::Value(std::move(pruned));
+}
+
+void check_against_golden(const std::string& name, const json::Value& result) {
+  const std::string path = std::string(kGoldenDir) + name;
+  const std::string rendered = normalize(result).pretty() + "\n";
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    std::printf("updated %s (%zu bytes)\n", path.c_str(), rendered.size());
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << "; run scripts/update_golden.sh to create it";
+  std::ostringstream stored;
+  stored << in.rdbuf();
+  if (stored.str() != rendered) {
+    // Locate the first differing line so the failure is actionable without
+    // dumping two multi-kilobyte documents.
+    std::istringstream a(stored.str());
+    std::istringstream b(rendered);
+    std::string line_a;
+    std::string line_b;
+    std::size_t line_number = 0;
+    while (true) {
+      ++line_number;
+      const bool more_a = static_cast<bool>(std::getline(a, line_a));
+      const bool more_b = static_cast<bool>(std::getline(b, line_b));
+      if (!more_a && !more_b) break;
+      if (line_a != line_b || more_a != more_b) {
+        FAIL() << name << " drifted from its golden at line " << line_number
+               << "\n  golden: " << (more_a ? line_a : "<eof>")
+               << "\n  actual: " << (more_b ? line_b : "<eof>")
+               << "\nIf the change is intentional, refresh with scripts/update_golden.sh";
+      }
+      line_a.clear();
+      line_b.clear();
+    }
+  }
+  SUCCEED();
+}
+
+json::Value run_or_die(const json::Value& job) {
+  api::Registry registry = api::Registry::with_builtins();
+  api::EstimateRequest request = api::EstimateRequest::parse(job, registry);
+  EXPECT_TRUE(request.ok()) << request.diagnostics.summary();
+  api::EstimateResponse response = api::run(request, {}, registry);
+  EXPECT_TRUE(response.success) << response.diagnostics.summary();
+  return response.result;
+}
+
+json::Value counts_item(MultiplierKind kind, std::uint64_t bits) {
+  json::Object item;
+  item.emplace_back("logicalCounts", bench::workload_cache().get(kind, bits).to_json());
+  return json::Value(std::move(item));
+}
+
+TEST(Golden, Fig3MultiplicationSweep) {
+  // The Figure 3 configuration (qubit_maj_ns_e4, default floquet code,
+  // total budget 1e-4) over the three algorithms at 32..2048 bits.
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t n = 32; n <= 2048; n *= 2) sizes.push_back(n);
+  bench::workload_cache().prefetch(bench::figure_algorithms(), sizes);
+
+  json::Array items;
+  for (MultiplierKind kind : bench::figure_algorithms()) {
+    for (std::uint64_t bits : sizes) items.push_back(counts_item(kind, bits));
+  }
+  json::Object job;
+  job.emplace_back("schemaVersion", 2);
+  json::Object qubit;
+  qubit.emplace_back("name", "qubit_maj_ns_e4");
+  job.emplace_back("qubitParams", json::Value(std::move(qubit)));
+  job.emplace_back("errorBudget", 1e-4);
+  job.emplace_back("items", json::Value(std::move(items)));
+
+  check_against_golden("fig3_multiplication_sweep.json", run_or_die(json::Value(std::move(job))));
+}
+
+TEST(Golden, Fig4HardwareProfiles) {
+  // The Figure 4 configuration: 2048-bit multiplication across the six
+  // default hardware profiles (each picking its default QEC scheme).
+  bench::workload_cache().prefetch(bench::figure_algorithms(), {2048});
+
+  json::Array items;
+  for (MultiplierKind kind : bench::figure_algorithms()) {
+    for (const std::string& profile : QubitParams::preset_names()) {
+      json::Value item = counts_item(kind, 2048);
+      json::Object qubit;
+      qubit.emplace_back("name", profile);
+      item.set("qubitParams", json::Value(std::move(qubit)));
+      items.push_back(std::move(item));
+    }
+  }
+  json::Object job;
+  job.emplace_back("schemaVersion", 2);
+  job.emplace_back("errorBudget", 1e-4);
+  job.emplace_back("items", json::Value(std::move(items)));
+
+  check_against_golden("fig4_hardware_profiles.json", run_or_die(json::Value(std::move(job))));
+}
+
+TEST(Golden, FrontierExampleJob) {
+  // The checked-in frontier example: locks the adaptive explorer's probe
+  // schedule, Pareto filter, and result shape.
+  json::Value job = json::parse_file(QRE_SOURCE_DIR "/examples/frontier_job.json");
+  check_against_golden("frontier_example.json", run_or_die(job));
+}
+
+}  // namespace
+}  // namespace qre

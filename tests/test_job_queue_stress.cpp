@@ -1,0 +1,188 @@
+// Concurrency stress test for server::JobQueue: many client threads racing
+// submit/status/cancel against a small worker pool, checking the lifecycle
+// invariants hold under contention and that a drain always terminates.
+// This file is the primary target of the ThreadSanitizer CI job — data
+// races in the queue surface here even when the assertions still pass.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json/json.hpp"
+#include "server/job_queue.hpp"
+
+namespace qre {
+namespace {
+
+using server::JobQueue;
+using server::JobQueueOptions;
+
+json::Value tiny_document(std::uint64_t payload) {
+  json::Object o;
+  o.emplace_back("payload", payload);
+  return json::Value(std::move(o));
+}
+
+TEST(JobQueueStress, RacingSubmitPollCancelKeepsInvariants) {
+  JobQueueOptions options;
+  options.num_workers = 2;  // deliberately starved relative to the clients
+  options.max_backlog = 32;
+  options.max_retained = 4096;  // retain everything this test submits
+
+  std::atomic<std::uint64_t> executed{0};
+  JobQueue queue(
+      [&executed](const json::Value& document) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        // Occasionally fail so the failed path races too.
+        if (document.at("payload").as_uint() % 7 == 0) {
+          throw Error("synthetic failure");
+        }
+        json::Object o;
+        o.emplace_back("echo", document.at("payload").as_uint());
+        return json::Value(std::move(o));
+      },
+      options);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 200;
+  std::vector<std::vector<std::uint64_t>> submitted_per_thread(kThreads);
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> cancelled{0};
+
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      std::vector<std::uint64_t>& mine = submitted_per_thread[t];
+      for (std::size_t op = 0; op < kOpsPerThread; ++op) {
+        switch (rng() % 4) {
+          case 0:
+          case 1: {  // submit (half the traffic)
+            const std::optional<std::uint64_t> id =
+                queue.submit(tiny_document(rng() % 1000));
+            if (id.has_value()) {
+              mine.push_back(*id);
+            } else {
+              rejected.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case 2: {  // poll someone's job (or a bogus id)
+            const std::uint64_t id = mine.empty() ? rng() % 2048 : mine[rng() % mine.size()];
+            const std::optional<json::Value> status = queue.status(id);
+            if (status.has_value()) {
+              const std::string& state = status->at("status").as_string();
+              EXPECT_TRUE(state == "queued" || state == "running" ||
+                          state == "succeeded" || state == "failed" ||
+                          state == "cancelled")
+                  << state;
+            }
+            break;
+          }
+          default: {  // cancel one of ours
+            if (!mine.empty()) {
+              const JobQueue::CancelResult result = queue.cancel(mine[rng() % mine.size()]);
+              if (result == JobQueue::CancelResult::kCancelled) {
+                cancelled.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Ids are unique across all threads (monotonic allocation never reuses).
+  std::set<std::uint64_t> all_ids;
+  std::size_t total_submitted = 0;
+  for (const auto& ids : submitted_per_thread) {
+    total_submitted += ids.size();
+    all_ids.insert(ids.begin(), ids.end());
+  }
+  EXPECT_EQ(all_ids.size(), total_submitted);
+
+  queue.drain();  // must terminate: running jobs finish, queued jobs cancel
+
+  // After the drain every submitted job is terminal, and the terminal
+  // counters account for exactly the accepted submissions.
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled_terminal = 0;
+  for (std::uint64_t id : all_ids) {
+    const std::optional<json::Value> status = queue.status(id);
+    ASSERT_TRUE(status.has_value()) << "job " << id << " evicted despite retention";
+    const std::string& state = status->at("status").as_string();
+    if (state == "succeeded") {
+      ++succeeded;
+      EXPECT_NE(status->find("response"), nullptr);
+    } else if (state == "failed") {
+      ++failed;
+    } else if (state == "cancelled") {
+      ++cancelled_terminal;
+    } else {
+      ADD_FAILURE() << "job " << id << " not terminal after drain: " << state;
+    }
+  }
+  EXPECT_EQ(succeeded + failed + cancelled_terminal, total_submitted);
+  EXPECT_GE(cancelled_terminal, cancelled.load());  // drain cancels the rest
+  EXPECT_EQ(executed.load(), succeeded + failed);
+
+  const json::Value stats = queue.stats_to_json();
+  EXPECT_EQ(stats.at("succeeded").as_uint(), succeeded);
+  EXPECT_EQ(stats.at("failed").as_uint(), failed);
+  EXPECT_EQ(stats.at("cancelled").as_uint(), cancelled_terminal);
+  EXPECT_EQ(stats.at("queued").as_uint(), 0u);
+  EXPECT_EQ(stats.at("running").as_uint(), 0u);
+}
+
+TEST(JobQueueStress, BoundedBacklogShedsLoadUnderBurst) {
+  JobQueueOptions options;
+  options.num_workers = 0;  // frozen: nothing ever starts
+  options.max_backlog = 8;
+  JobQueue queue([](const json::Value&) { return json::Value(json::Object{}); }, options);
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < 8; ++t) {
+    clients.emplace_back([&] {
+      for (std::size_t i = 0; i < 64; ++i) {
+        if (queue.submit(tiny_document(i)).has_value()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  // The backlog bound held no matter the interleaving...
+  EXPECT_EQ(accepted.load(), 8u);
+  // ...and every refusal was load shedding, not loss.
+  EXPECT_EQ(accepted.load() + rejected.load(), 8u * 64u);
+  queue.drain();
+  EXPECT_EQ(queue.stats_to_json().at("cancelled").as_uint(), 8u);
+}
+
+TEST(JobQueueStress, ConcurrentDrainsAreIdempotent) {
+  JobQueueOptions options;
+  options.num_workers = 2;
+  JobQueue queue([](const json::Value&) { return json::Value(json::Object{}); }, options);
+  for (std::size_t i = 0; i < 16; ++i) (void)queue.submit(tiny_document(i));
+  std::vector<std::thread> drains;
+  for (std::size_t t = 0; t < 4; ++t) drains.emplace_back([&] { queue.drain(); });
+  for (std::thread& t : drains) t.join();
+  EXPECT_EQ(queue.stats_to_json().at("queued").as_uint(), 0u);
+  EXPECT_FALSE(queue.submit(tiny_document(0)).has_value());  // drained = closed
+}
+
+}  // namespace
+}  // namespace qre

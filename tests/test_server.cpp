@@ -317,6 +317,69 @@ TEST(Server, NdjsonStreamsBatchItemsInOrder) {
   }
 }
 
+TEST(Server, NdjsonStreamsFrontierProbesAndStats) {
+  const char* kFrontierJob = R"({
+    "schemaVersion": 2,
+    "logicalCounts": {"numQubits": 10, "tCount": 100000},
+    "qubitParams": {"name": "qubit_gate_ns_e3"},
+    "errorBudget": 0.001,
+    "frontier": {"maxProbes": 8, "qubitTolerance": 0.05, "runtimeTolerance": 0.05}
+  })";
+  ServerFixture fx;
+  Client::Result r = fx.client().post("/v2/estimate", kFrontierJob,
+                                      {{"Accept", "application/x-ndjson"}});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < r.body.size()) {
+    const std::size_t eol = r.body.find('\n', start);
+    if (eol == std::string::npos) break;
+    lines.push_back(r.body.substr(start, eol - start));
+    start = eol + 1;
+  }
+  ASSERT_GE(lines.size(), 3u);  // >= 2 probes + frontierStats
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    json::Value line = json::parse(lines[i]);
+    EXPECT_EQ(line.at("item").as_uint(), i);  // deterministic probe order
+    EXPECT_TRUE(line.at("result").at("result").is_object());
+  }
+  json::Value last = json::parse(lines.back());
+  ASSERT_NE(last.find("frontierStats"), nullptr);
+  EXPECT_EQ(last.at("frontierStats").at("numProbes").as_uint(), lines.size() - 1);
+
+  // The plain (non-streamed) response is the same exploration: same stats,
+  // and the shared engine answered the repeat entirely from cache.
+  json::Value plain = json::parse(fx.client().post("/v2/estimate", kFrontierJob).body);
+  ASSERT_TRUE(plain.at("success").as_bool());
+  EXPECT_EQ(plain.at("result").at("frontierStats").dump(),
+            last.at("frontierStats").dump());
+}
+
+TEST(Server, NdjsonFrontierFailureEndsStreamWithErrorLine) {
+  // maxDuration 1 ns: every probe is infeasible, so the exploration itself
+  // fails after probe-error lines have gone out. The committed 200 stream
+  // must end with an explicit error line, never a clean-looking EOF.
+  const char* kDoomedJob = R"({
+    "schemaVersion": 2,
+    "logicalCounts": {"numQubits": 10, "tCount": 100000},
+    "qubitParams": {"name": "qubit_gate_ns_e3"},
+    "constraints": {"maxDuration": 1},
+    "frontier": {"maxProbes": 8}
+  })";
+  ServerFixture fx;
+  Client::Result r = fx.client().post("/v2/estimate", kDoomedJob,
+                                      {{"Accept", "application/x-ndjson"}});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);  // headers were committed before the failure
+  const std::size_t last_start = r.body.rfind('\n', r.body.size() - 2);
+  json::Value last = json::parse(
+      r.body.substr(last_start == std::string::npos ? 0 : last_start + 1));
+  ASSERT_NE(last.find("error"), nullptr);
+  EXPECT_EQ(last.at("error").at("code").as_string(), "estimation-failed");
+}
+
 TEST(Server, MetricsCountersMoveWithTraffic) {
   ServerFixture fx;
   json::Value before = json::parse(fx.client().get("/metrics").body);

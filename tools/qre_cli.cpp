@@ -12,7 +12,10 @@
 //   qre_cli --jobs N <job.json>  run batch/sweep items on N worker threads
 //   qre_cli --stream <job.json>  emit batch results as NDJSON, one item/line
 //   qre_cli --sweep <job.json>   expand the sweep grid without estimating
+//   qre_cli --frontier <job.json> explore the adaptive Pareto frontier
+//   qre_cli --no-cache / --cache-capacity N / --cache-stats   cache control
 //   qre_cli --demo               run a built-in demonstration job
+//   qre_cli --version            print the build and schema version
 //   qre_cli -                    read the job document from stdin
 #include <cstdio>
 #include <cstdlib>
@@ -70,6 +73,10 @@ void print_usage(std::FILE* out) {
                "  qre_cli --stream <job.json> emit batch results as NDJSON, one item per line\n"
                "  qre_cli --sweep <job.json>  expand the sweep grid and print the items\n"
                "                              without estimating (dry run)\n"
+               "  qre_cli --frontier <job.json>  run the job as an adaptive Pareto\n"
+               "                              frontier exploration (adds a default\n"
+               "                              \"frontier\" section when absent); combine\n"
+               "                              with --stream for one NDJSON line per probe\n"
                "  qre_cli --no-cache <job.json>  disable result memoization\n"
                "  qre_cli --cache-capacity N  bound the result cache to N entries\n"
                "                              (LRU eviction; 0 = unbounded)\n"
@@ -77,13 +84,15 @@ void print_usage(std::FILE* out) {
                "                              counters to stderr after the run\n"
                "  qre_cli --demo              run a built-in demonstration job\n"
                "  qre_cli --version           print the build and schema version\n"
+               "  qre_cli --help, -h          print this help\n"
                "  qre_cli -                   read the job document from stdin\n"
                "\n"
                "Job documents follow schema v2 (docs/schema_v2.md): logicalCounts plus\n"
                "optional schemaVersion, qubitParams, qecScheme, errorBudget, constraints,\n"
                "distillationUnitSpecifications, estimateType (singlePoint | frontier),\n"
-               "and items[] or a \"sweep\" parameter grid for batches. Documents without\n"
-               "schemaVersion are treated as v1 and upgraded in place. Validation\n"
+               "and items[] or a \"sweep\" parameter grid for batches, or a \"frontier\"\n"
+               "section for adaptive Pareto exploration (docs/frontier.md). Documents\n"
+               "without schemaVersion are treated as v1 and upgraded in place. Validation\n"
                "problems are reported as {severity, code, path, message} diagnostics\n"
                "with JSON-pointer paths.\n");
 }
@@ -92,6 +101,7 @@ struct Options {
   bool text_mode = false;
   bool demo = false;
   bool stream = false;
+  bool frontier = false;
   bool expand_only = false;
   bool use_cache = true;
   bool validate_only = false;
@@ -118,6 +128,8 @@ int parse_args(int argc, char** argv, Options& opts) {
       opts.stream = true;
     } else if (arg == "--sweep") {
       opts.expand_only = true;
+    } else if (arg == "--frontier") {
+      opts.frontier = true;
     } else if (arg == "--no-cache") {
       opts.use_cache = false;
     } else if (arg == "--cache-stats") {
@@ -201,6 +213,11 @@ int parse_args(int argc, char** argv, Options& opts) {
                  "error: --stream and --response are mutually exclusive (both own stdout)\n");
     return 2;
   }
+  if (opts.frontier && (opts.expand_only || opts.text_mode)) {
+    std::fprintf(stderr,
+                 "error: --frontier cannot be combined with --sweep or --text\n");
+    return 2;
+  }
   if (opts.list_profiles && (have_path || opts.demo || opts.validate_only)) {
     std::fprintf(stderr, "error: --list-profiles does not take a job\n");
     return 2;
@@ -272,6 +289,13 @@ int main(int argc, char** argv) {
       job = qre::json::parse_file(opts.path);
     }
 
+    // --frontier turns a plain single-estimate document into a frontier job
+    // with default exploration options; documents already carrying a
+    // "frontier" section keep theirs.
+    if (opts.frontier && job.is_object() && job.find("frontier") == nullptr) {
+      job.set("frontier", qre::json::Value(qre::json::Object{}));
+    }
+
     if (opts.validate_only) {
       qre::api::EstimateRequest request = qre::api::EstimateRequest::parse(job, registry);
       if (request.ok()) {
@@ -298,7 +322,8 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    if (opts.text_mode && job.find("items") == nullptr && job.find("sweep") == nullptr) {
+    if (opts.text_mode && job.find("items") == nullptr && job.find("sweep") == nullptr &&
+        job.find("frontier") == nullptr) {
       // Same leniency as the JSON path: typos warn (on stderr), errors list
       // everything wrong at once.
       qre::api::EstimateRequest request = qre::api::EstimateRequest::parse(job, registry);
@@ -352,10 +377,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (opts.stream) {
-      // Items already went to stdout line by line; the batch summary goes
-      // to stderr so piped NDJSON stays clean. Non-batch jobs have no item
-      // lines, so their whole result still belongs on stdout.
-      if (const qre::json::Value* stats = response.result.find("batchStats")) {
+      // Items (or frontier probes) already went to stdout line by line; the
+      // run summary goes to stderr so piped NDJSON stays clean. Non-batch
+      // jobs have no item lines, so their whole result still belongs on
+      // stdout.
+      const qre::json::Value* stats = response.result.find("batchStats");
+      if (stats == nullptr) stats = response.result.find("frontierStats");
+      if (stats != nullptr) {
         std::fprintf(stderr, "%s\n", stats->dump().c_str());
       } else {
         std::printf("%s\n", response.result.dump().c_str());
