@@ -1,0 +1,140 @@
+// Persistent estimate store lifecycle: how expensive is durability?
+//
+// Over a synthetic store shaped like a real serving session (4096 records,
+// ~1.5 KB compact result documents) this times the three phases that
+// bracket a qre_serve restart — persist (atomic snapshot write), cold open
+// (header validation + mmap), and prewarm (full scan into the in-memory
+// map) — plus the steady-state question: a StoreReader::lookup against the
+// mmap'd file vs a hit in the in-memory LRU EstimateCache. Records the
+// numbers in the shared bench JSON format (bench/bench_json.hpp) as
+// BENCH_store.json.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "json/json.hpp"
+#include "service/cache.hpp"
+#include "store/estimate_store.hpp"
+#include "store/store.hpp"
+
+namespace {
+
+using namespace qre;
+
+constexpr std::size_t kRecords = 4096;
+constexpr std::size_t kLookups = 200000;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Records shaped like real cache entries: a canonical job-document key and
+/// a compact result dump padded to a realistic size.
+std::vector<store::Record> synthesize_records() {
+  std::vector<store::Record> records;
+  records.reserve(kRecords);
+  std::string pad(1400, 'x');
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    records.push_back(
+        {"{\"errorBudget\":0.001,\"logicalCounts\":{\"numQubits\":" + std::to_string(i) +
+             ",\"tCount\":100000},\"qubitParams\":{\"name\":\"qubit_gate_ns_e3\"}}",
+         "{\"jobParams\":{\"index\":" + std::to_string(i) + "},\"pad\":\"" + pad + "\"}"});
+  }
+  return records;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<store::Record> records = synthesize_records();
+  std::uint64_t payload_bytes = 0;
+  for (const store::Record& r : records) payload_bytes += r.key.size() + r.value.size();
+
+  char dir_pattern[] = "/tmp/qre_bench_store.XXXXXX";
+  if (::mkdtemp(dir_pattern) == nullptr) {
+    std::fprintf(stderr, "error: cannot create scratch dir\n");
+    return 1;
+  }
+  const std::string dir = dir_pattern;
+  const std::string path = dir + "/" + std::string(store::kStoreFileName);
+
+  std::printf("persistent estimate store, %zu records, %.1f MB payload\n\n", kRecords,
+              static_cast<double>(payload_bytes) / 1e6);
+
+  // --- persist: atomic snapshot write (temp + fsync + rename) -------------
+  auto start = std::chrono::steady_clock::now();
+  store::write_store_file(path, records);
+  const double persist_s = seconds_since(start);
+  std::printf("persist:  %6.1f ms  (%8.0f records/s, %6.1f MB/s)\n", persist_s * 1e3,
+              kRecords / persist_s, static_cast<double>(payload_bytes) / 1e6 / persist_s);
+
+  // --- cold open: header validation + mmap, no record touched -------------
+  start = std::chrono::steady_clock::now();
+  store::StoreReader reader(path);
+  const double open_s = seconds_since(start);
+  std::printf("open:     %6.3f ms  (header + mmap of %.1f MB)\n", open_s * 1e3,
+              static_cast<double>(reader.file_bytes()) / 1e6);
+
+  // --- prewarm: the full scan a restarted server pays once -----------------
+  store::EstimateStore estimate_store(dir);
+  start = std::chrono::steady_clock::now();
+  const store::LoadResult loaded = estimate_store.load();
+  const double prewarm_s = seconds_since(start);
+  std::printf("prewarm:  %6.1f ms  (%8.0f records/s, %zu loaded)\n", prewarm_s * 1e3,
+              loaded.records_loaded / prewarm_s, loaded.records_loaded);
+
+  // --- steady state: mmap'd store lookup vs in-memory LRU hit --------------
+  std::mt19937_64 rng(12345);
+  std::vector<const std::string*> probe_keys;
+  probe_keys.reserve(kLookups);
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    probe_keys.push_back(&records[rng() % records.size()].key);
+  }
+
+  start = std::chrono::steady_clock::now();
+  std::size_t found = 0;
+  for (const std::string* key : probe_keys) {
+    if (reader.lookup(*key).has_value()) ++found;
+  }
+  const double store_lookup_ns = seconds_since(start) / kLookups * 1e9;
+
+  service::EstimateCache cache(kRecords);
+  for (const store::Record& r : records) {
+    cache.get_or_compute(r.key, [&r] { return json::parse(r.value); });
+  }
+  start = std::chrono::steady_clock::now();
+  for (const std::string* key : probe_keys) {
+    cache.get_or_compute(*key, [] { return json::Value(); });
+  }
+  const double lru_lookup_ns = seconds_since(start) / kLookups * 1e9;
+
+  std::printf("lookup:   %6.0f ns/store (mmap, %zu/%zu found)  vs  %6.0f ns/LRU hit  (%.1fx)\n\n",
+              store_lookup_ns, found, kLookups, lru_lookup_ns,
+              store_lookup_ns / lru_lookup_ns);
+
+  json::Object metrics;
+  metrics.reserve(16);
+  metrics.emplace_back("records", json::Value(static_cast<std::uint64_t>(kRecords)));
+  metrics.emplace_back("payloadBytes", json::Value(payload_bytes));
+  metrics.emplace_back("persistSeconds", json::Value(persist_s));
+  metrics.emplace_back("persistRecordsPerSec", json::Value(kRecords / persist_s));
+  metrics.emplace_back("coldOpenMs", json::Value(open_s * 1e3));
+  metrics.emplace_back("prewarmSeconds", json::Value(prewarm_s));
+  metrics.emplace_back("prewarmRecordsPerSec", json::Value(loaded.records_loaded / prewarm_s));
+  metrics.emplace_back("storeLookupNs", json::Value(store_lookup_ns));
+  metrics.emplace_back("lruHitNs", json::Value(lru_lookup_ns));
+  metrics.emplace_back("storeVsLruRatio", json::Value(store_lookup_ns / lru_lookup_ns));
+  qre::bench::write_bench_json("BENCH_store", json::Value(std::move(metrics)));
+
+  std::remove(path.c_str());
+  std::string cleanup = dir;  // scratch dir is empty now
+  ::rmdir(cleanup.c_str());
+  return 0;
+}

@@ -6,6 +6,10 @@
 # metrics), then checks that SIGTERM drains gracefully with exit code 0.
 #
 # usage: scripts/server_smoke.sh [build-dir]   (default: build)
+#
+# The last leg restarts the daemon against the same --cache-dir and checks
+# that every previously seen job is answered from the persistent store:
+# byte-identical response, zero raw estimates in the fresh process.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -32,7 +36,8 @@ fail() {
 
 [[ -x "$SERVE" ]] || fail "$SERVE not built"
 
-"$SERVE" --port 0 --port-file "$PORT_FILE" --job-workers 1 &
+CACHE_DIR="$WORK_DIR/cache"
+"$SERVE" --port 0 --port-file "$PORT_FILE" --job-workers 1 --cache-dir "$CACHE_DIR" &
 SERVER_PID=$!
 
 for _ in $(seq 1 100); do
@@ -111,6 +116,46 @@ if wait "$SERVER_PID"; then
   SERVER_PID=""
 else
   fail "qre_serve exited non-zero after SIGTERM"
+fi
+
+# --- restart reuse: the store survives the process -------------------------
+[[ -s "$CACHE_DIR/estimates.qrestore" ]] || fail "drain did not persist the store"
+PORT_FILE2="$WORK_DIR/port2"
+"$SERVE" --port 0 --port-file "$PORT_FILE2" --job-workers 1 --cache-dir "$CACHE_DIR" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE2" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "qre_serve died during restart"
+  sleep 0.1
+done
+[[ -s "$PORT_FILE2" ]] || fail "port file never appeared after restart"
+BASE="http://127.0.0.1:$(cat "$PORT_FILE2")"
+echo "smoke: restarted at $BASE with cache dir $CACHE_DIR"
+
+STATUS=$(curl -sS -o "$WORK_DIR/estimate2.json" -w '%{http_code}' \
+              -X POST --data-binary "@$JOB" "$BASE/v2/estimate")
+[[ "$STATUS" == "200" ]] || fail "warm estimate returned HTTP $STATUS"
+cmp -s "$WORK_DIR/estimate.json" "$WORK_DIR/estimate2.json" \
+  || fail "warm response is not byte-identical to the cold one"
+
+# All 18 sweep items came from the store; the fresh process never designed
+# a T-factory, i.e. ran zero raw estimates.
+curl -fsS "$BASE/metrics" | jq -e '
+  .store.enabled == true and
+  .store.loaded >= 18 and
+  .store.hits >= 18 and
+  .store.misses == 0 and
+  .factoryCache.misses == 0' > /dev/null || fail "store metrics after restart"
+
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if wait "$SERVER_PID"; then
+  SERVER_PID=""
+else
+  fail "restarted qre_serve exited non-zero after SIGTERM"
 fi
 
 echo "smoke: OK"

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 
 #include "api/api.hpp"
 #include "api/schema.hpp"
@@ -72,7 +73,53 @@ Service::Service(api::Registry& registry, ServiceOptions options)
     : registry_(registry),
       engine_(options.engine),
       jobs_([this](const json::Value& document) { return run_document(document); },
-            options.jobs) {}
+            options.jobs) {
+  if (options.cache_dir.empty()) return;
+
+  // Prewarm: a usable store file fills the read-through tier, an unusable
+  // one is a logged cold start — never a failed construction.
+  store_ = std::make_unique<store::EstimateStore>(options.cache_dir);
+  const store::LoadResult loaded = store_->load();
+  if (loaded.usable) {
+    std::fprintf(stderr, "store: prewarmed %zu record(s) from %s (%zu corrupt skipped)\n",
+                 loaded.records_loaded, store_->path().c_str(), loaded.records_skipped);
+  } else if (loaded.file_found) {
+    std::fprintf(stderr, "store: %s — starting cold\n", loaded.message.c_str());
+  } else {
+    std::fprintf(stderr, "store: no store file at %s yet — starting cold\n",
+                 store_->path().c_str());
+  }
+  engine_.set_store(store_.get());
+
+  if (options.persist_interval_s > 0) {
+    const auto interval = std::chrono::duration<double>(options.persist_interval_s);
+    persist_thread_ = std::thread([this, interval] {
+      std::unique_lock lock(persist_thread_mutex_);
+      while (!persist_thread_cv_.wait_for(lock, interval,
+                                          [this] { return stop_persist_thread_; })) {
+        lock.unlock();
+        persist_store();
+        lock.lock();
+      }
+    });
+  }
+}
+
+Service::~Service() {
+  if (persist_thread_.joinable()) {
+    {
+      std::lock_guard lock(persist_thread_mutex_);
+      stop_persist_thread_ = true;
+    }
+    persist_thread_cv_.notify_all();
+    persist_thread_.join();
+  }
+  persist_store();  // final snapshot; persist() itself never throws
+}
+
+void Service::persist_store() {
+  if (store_ != nullptr) store_->persist();
+}
 
 json::Value Service::run_document(const json::Value& document) {
   api::EstimateRequest request = api::EstimateRequest::parse(document, registry_);
@@ -146,6 +193,13 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
       body.emplace_back(key, std::move(value));
     }
     body.emplace_back("factoryCache", factory_cache_stats());
+    if (service_.store() != nullptr) {
+      body.emplace_back("store", service_.store()->stats_to_json());
+    } else {
+      json::Object disabled;
+      disabled.emplace_back("enabled", json::Value(false));
+      body.emplace_back("store", json::Value(std::move(disabled)));
+    }
     body.emplace_back("jobs", service_.jobs().stats_to_json());
     return send(json_response(200, json::Value(std::move(body))));
   }

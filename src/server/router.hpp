@@ -24,13 +24,18 @@
 // endpoint surface is exercised in-process by tests/test_server.cpp.
 #pragma once
 
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "api/registry.hpp"
 #include "server/http.hpp"
 #include "server/job_queue.hpp"
 #include "server/metrics.hpp"
 #include "service/engine.hpp"
+#include "store/estimate_store.hpp"
 
 namespace qre::server {
 
@@ -40,6 +45,15 @@ struct ServiceOptions {
   /// Service's engine always owns the shared cache.)
   service::EngineOptions engine;
   JobQueueOptions jobs;
+  /// Directory of the persistent estimate store (qre_serve --cache-dir);
+  /// empty disables persistence. Must exist (the daemon creates it). The
+  /// Service prewarms the engine from <dir>/estimates.qrestore on
+  /// construction and persists on drain (see Service::persist_store).
+  std::string cache_dir;
+  /// Seconds between periodic persists of the store (qre_serve
+  /// --persist-interval); 0 persists only on drain. Ignored without
+  /// cache_dir.
+  double persist_interval_s = 0;
 };
 
 /// The process-wide serving state. `registry` must outlive the Service and
@@ -48,11 +62,18 @@ struct ServiceOptions {
 class Service {
  public:
   explicit Service(api::Registry& registry, ServiceOptions options = {});
+  ~Service();
 
   api::Registry& registry() { return registry_; }
   service::Engine& engine() { return engine_; }
   JobQueue& jobs() { return jobs_; }
   Metrics& metrics() { return metrics_; }
+  /// The persistent estimate store, or nullptr when cache_dir was empty.
+  store::EstimateStore* store() { return store_.get(); }
+
+  /// Persists the store now (no-op without one); called on graceful drain
+  /// and by the periodic persist thread.
+  void persist_store();
 
   /// Parses + runs one job document on the shared engine; returns the full
   /// v2 response envelope. This is the job-queue runner and the body of
@@ -61,8 +82,17 @@ class Service {
 
  private:
   api::Registry& registry_;
+  std::unique_ptr<store::EstimateStore> store_;  // before engine_: wired into it
   service::Engine engine_;
   Metrics metrics_;
+
+  // Periodic persistence (started only with cache_dir + a positive
+  // interval); the cv lets the destructor stop a long sleep immediately.
+  std::mutex persist_thread_mutex_;
+  std::condition_variable persist_thread_cv_;
+  bool stop_persist_thread_ = false;
+  std::thread persist_thread_;
+
   JobQueue jobs_;  // declared last: workers use engine_/registry_ via run_document
 };
 

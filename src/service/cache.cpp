@@ -62,7 +62,18 @@ json::Value EstimateCache::get_or_compute(const std::string& key, const Compute&
   }
   if (owner) {
     try {
-      promise.set_value(compute());
+      // Read-through: the persistent store answers before we compute, and
+      // write-through: what we do compute is offered back. Both happen on
+      // the single owner thread of this key, outside the cache lock.
+      std::optional<json::Value> stored;
+      if (backing_ != nullptr) stored = backing_->fetch(key);
+      if (stored.has_value()) {
+        promise.set_value(std::move(*stored));
+      } else {
+        json::Value computed = compute();
+        if (backing_ != nullptr) backing_->record(key, computed);
+        promise.set_value(std::move(computed));
+      }
     } catch (...) {
       promise.set_exception(std::current_exception());
     }

@@ -23,6 +23,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "common/lru_map.hpp"
@@ -40,6 +41,23 @@ std::string canonical_key(const json::Value& job);
 json::Value cache_counters_to_json(std::uint64_t hits, std::uint64_t misses,
                                    std::uint64_t evictions, std::size_t size,
                                    std::size_t capacity);
+
+/// Second-level backing behind an EstimateCache — the seam the persistent
+/// estimate store (store/estimate_store.hpp) plugs into. On an in-memory
+/// miss the cache consults fetch() before computing (read-through) and
+/// reports freshly computed results to record() (write-through), always
+/// from the single owner thread of that key, outside the cache lock.
+/// Implementations must be concurrency-safe across keys and must not
+/// throw: a failing backing degrades to a plain miss, never a failed
+/// lookup.
+class StoreBacking {
+ public:
+  virtual ~StoreBacking() = default;
+  /// Returns the stored result document for `key`, or nullopt.
+  virtual std::optional<json::Value> fetch(const std::string& key) = 0;
+  /// Observes a freshly computed result for `key`.
+  virtual void record(const std::string& key, const json::Value& result) = 0;
+};
 
 /// Concurrency-safe, LRU-bounded memoization table from canonical job keys
 /// to result documents.
@@ -60,6 +78,13 @@ class EstimateCache {
   /// rethrown to every caller of this key.
   json::Value get_or_compute(const std::string& key, const Compute& compute);
 
+  /// Attaches (or detaches, with nullptr) the second-level store. Follows
+  /// the registry discipline: wire the backing before traffic starts; it
+  /// is read concurrently and without synchronization afterwards. The
+  /// backing is not owned and must outlive the cache's last lookup.
+  void set_backing(StoreBacking* backing) { backing_ = backing; }
+  StoreBacking* backing() const { return backing_; }
+
   /// Lookups that found an existing (or in-flight) entry.
   std::uint64_t hits() const { return hits_.load(); }
   /// Lookups that had to compute.
@@ -75,6 +100,7 @@ class EstimateCache {
 
  private:
   mutable std::mutex mutex_;
+  StoreBacking* backing_ = nullptr;
   LruMap<std::shared_future<json::Value>> entries_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};

@@ -118,6 +118,14 @@ class Engine {
   EstimateCache& cache() { return cache_; }
   const EstimateCache& cache() const { return cache_; }
 
+  /// Wires a persistent second-level store behind the shared cache (see
+  /// StoreBacking in service/cache.hpp): in-memory misses consult the
+  /// store before estimating, fresh results are written through. Follow
+  /// the registration-before-serve discipline — attach the store before
+  /// the first request; it is not owned and must outlive the engine's
+  /// last run.
+  void set_store(StoreBacking* store) { cache_.set_backing(store); }
+
   /// Cumulative (process-lifetime) cache counters, the shape GET /metrics
   /// embeds: {"estimateCache": {hits, misses, evictions, size, capacity}}.
   json::Value stats_to_json() const;

@@ -1,0 +1,145 @@
+#include "store/estimate_store.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qre::store {
+
+namespace {
+
+/// Error documents ({"error": {...}} results of failed batch items) are
+/// deterministic but registry-shaped and cheap to recompute; keeping them
+/// out of the store means a persisted corpus only ever contains real
+/// estimates.
+bool is_error_document(const json::Value& result) {
+  return result.is_object() && result.find("error") != nullptr;
+}
+
+}  // namespace
+
+EstimateStore::EstimateStore(const std::string& dir)
+    : path_(dir + "/" + kStoreFileName) {}
+
+LoadResult EstimateStore::load() {
+  LoadResult result;
+  std::vector<Record> from_disk;
+  try {
+    result.records_skipped = read_store_records(path_, from_disk);
+    result.file_found = true;
+    result.usable = true;
+  } catch (const Error& e) {
+    // Missing file or unusable header: either way, a cold start. errno-
+    // style "cannot open" is the missing-file case; everything else means
+    // the file existed but was rejected (bad magic / version / truncation).
+    result.message = e.what();
+    result.file_found = result.message.find("cannot open") == std::string::npos;
+    std::lock_guard lock(mutex_);
+    last_load_ = result;
+    return result;
+  }
+
+  std::lock_guard lock(mutex_);
+  for (Record& r : from_disk) {
+    if (index_.count(r.key) != 0) continue;  // in-memory entries win
+    payload_bytes_ += kRecordHeaderSize + r.key.size() + r.value.size();
+    index_.emplace(r.key, records_.size());
+    records_.push_back(std::move(r));
+    ++result.records_loaded;
+  }
+  last_load_ = result;
+  return result;
+}
+
+std::optional<json::Value> EstimateStore::fetch(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  try {
+    json::Value parsed = json::parse(records_[it->second].value);
+    ++hits_;
+    return parsed;
+  } catch (const std::exception&) {
+    // A record that fails to parse (should be impossible past the CRC
+    // check) degrades to a miss: the result is recomputed and rewritten.
+    ++misses_;
+    return std::nullopt;
+  }
+}
+
+void EstimateStore::record(const std::string& key, const json::Value& result) {
+  if (is_error_document(result)) return;
+  std::string value;
+  try {
+    value = result.dump();
+  } catch (const std::exception&) {
+    return;  // un-serializable results are simply not persisted
+  }
+  std::lock_guard lock(mutex_);
+  if (index_.count(key) != 0) return;  // deterministic: first write is final
+  payload_bytes_ += kRecordHeaderSize + key.size() + value.size();
+  index_.emplace(key, records_.size());
+  records_.push_back({key, std::move(value)});
+  ++dirty_adds_;
+}
+
+bool EstimateStore::persist(bool force) {
+  // One persist at a time per process; snapshot under the data lock, write
+  // outside it so serving threads never wait on disk I/O.
+  std::lock_guard persist_lock(persist_mutex_);
+  std::vector<Record> snapshot;
+  std::size_t adds_at_snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    if (dirty_adds_ == 0 && !force) return false;
+    snapshot = records_;
+    adds_at_snapshot = dirty_adds_;
+  }
+  try {
+    write_store_file(path_, snapshot);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "store: persist to '%s' failed: %s\n", path_.c_str(), e.what());
+    return false;
+  }
+  std::lock_guard lock(mutex_);
+  dirty_adds_ -= adds_at_snapshot;
+  ++persists_;
+  return true;
+}
+
+json::Value EstimateStore::stats_to_json() const {
+  std::lock_guard lock(mutex_);
+  json::Object out;
+  out.emplace_back("enabled", json::Value(true));
+  out.emplace_back("hits", json::Value(hits_));
+  out.emplace_back("misses", json::Value(misses_));
+  out.emplace_back("records", json::Value(static_cast<std::uint64_t>(records_.size())));
+  out.emplace_back("payloadBytes", json::Value(payload_bytes_));
+  out.emplace_back("loaded", json::Value(static_cast<std::uint64_t>(last_load_.records_loaded)));
+  out.emplace_back("loadSkipped",
+                   json::Value(static_cast<std::uint64_t>(last_load_.records_skipped)));
+  out.emplace_back("persists", json::Value(persists_));
+  out.emplace_back("path", json::Value(path_));
+  return json::Value(std::move(out));
+}
+
+std::uint64_t EstimateStore::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t EstimateStore::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+std::size_t EstimateStore::records() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace qre::store

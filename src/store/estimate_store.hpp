@@ -1,0 +1,99 @@
+// Persistent estimate store (top layer): the object an engine serves from.
+//
+// EstimateStore owns the in-memory mirror of one on-disk store file
+// (`<dir>/estimates.qrestore`) and implements service::StoreBacking, so a
+// service::Engine wired to it answers previously seen jobs from disk after
+// a process restart — byte-identically, because values are the canonical
+// compact dumps of the exact result documents and the JSON writer is a
+// pure function of the parsed value.
+//
+// Lifecycle:
+//   EstimateStore store(dir);
+//   store.load();          // prewarm: merge the existing file, if usable
+//   engine.set_store(&store);
+//   ... serve ...
+//   store.persist();       // atomic snapshot (periodic and/or on drain)
+//
+// load() never fails the process: a missing file is a cold start, a file
+// with an unusable header (bad magic, wrong version, truncation) is a
+// logged cold start, and individually corrupt records are skipped and
+// counted. persist() writes the complete current map through the atomic
+// temp-and-rename path, so two processes persisting into one directory
+// race only on whole-file snapshots.
+//
+// Stores are registry-dependent the same way the in-memory cache is: keys
+// cover job documents only, so reuse a --cache-dir only with the same
+// profile packs the store was written under (docs/store.md).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "json/json.hpp"
+#include "service/cache.hpp"
+#include "store/store.hpp"
+
+namespace qre::store {
+
+/// Outcome of a load() prewarm, for logging and /metrics.
+struct LoadResult {
+  bool file_found = false;     // a store file existed at the path
+  bool usable = false;         // ... and had a valid header
+  std::size_t records_loaded = 0;
+  std::size_t records_skipped = 0;  // per-record corruption
+  std::string message;         // human-readable reason when !usable
+};
+
+class EstimateStore : public service::StoreBacking {
+ public:
+  /// `dir` must already exist; the store file lives at dir/estimates.qrestore.
+  explicit EstimateStore(const std::string& dir);
+
+  const std::string& path() const { return path_; }
+
+  /// Prewarms the in-memory map from the store file. Safe to call on a
+  /// missing or damaged file — both degrade to a cold start described by
+  /// the returned LoadResult. Existing in-memory entries win over loaded
+  /// ones (load after construction is the expected order).
+  LoadResult load();
+
+  // service::StoreBacking — read-through / write-through (never throws).
+  std::optional<json::Value> fetch(const std::string& key) override;
+  void record(const std::string& key, const json::Value& result) override;
+
+  /// Atomically writes the current map when it changed since the last
+  /// persist (or `force`). Returns whether a file was written. I/O
+  /// failures are reported by returning false, never by throwing: a
+  /// persistence problem must not take down serving.
+  bool persist(bool force = false);
+
+  /// Store counters for /metrics and --cache-stats:
+  /// {"enabled": true, "hits", "misses", "records", "payloadBytes",
+  ///  "loaded", "loadSkipped", "persists", "path"}.
+  json::Value stats_to_json() const;
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t records() const;
+
+ private:
+  const std::string path_;
+
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;                         // insertion order (oldest first)
+  std::unordered_map<std::string, std::size_t> index_;  // key -> records_ position
+  std::size_t dirty_adds_ = 0;   // adds since the last successful persist
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t persists_ = 0;
+  LoadResult last_load_;
+
+  std::mutex persist_mutex_;  // serializes in-process persist() calls
+};
+
+}  // namespace qre::store

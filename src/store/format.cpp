@@ -1,0 +1,128 @@
+#include "store/format.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace qre::store {
+
+namespace {
+
+/// CRC-32 lookup table for the reflected IEEE polynomial 0xEDB88320,
+/// generated once at first use.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fingerprint(std::string_view key) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char byte : key) {
+    h ^= byte;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t index_slot_count(std::uint64_t records) {
+  std::uint64_t want = records < 4 ? 8 : records * 2;
+  std::uint64_t slots = 8;
+  while (slots < want) slots <<= 1;
+  return slots;
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+std::uint32_t read_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t read_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+Header parse_header(std::string_view image) {
+  if (image.size() < kHeaderSize) {
+    throw Error("store: file truncated (" + std::to_string(image.size()) +
+                " bytes is smaller than the " + std::to_string(kHeaderSize) +
+                "-byte header)");
+  }
+  if (std::memcmp(image.data(), kMagic, sizeof kMagic) != 0) {
+    throw Error("store: bad magic (not a qre estimate store)");
+  }
+  const auto* bytes = reinterpret_cast<const unsigned char*>(image.data());
+  Header h;
+  h.version = read_u32(bytes + 8);
+  h.flags = read_u32(bytes + 12);
+  h.record_count = read_u64(bytes + 16);
+  h.index_offset = read_u64(bytes + 24);
+  h.slot_count = read_u64(bytes + 32);
+  h.payload_offset = read_u64(bytes + 40);
+  h.file_size = read_u64(bytes + 48);
+  const std::uint32_t stored_crc = read_u32(bytes + 56);
+
+  if (h.version != kFormatVersion) {
+    throw Error("store: unsupported format version " + std::to_string(h.version) +
+                " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  if (h.flags != 0) {
+    throw Error("store: unknown flags 0x" + std::to_string(h.flags) +
+                " (version 1 defines none)");
+  }
+  const std::uint32_t actual_crc = crc32(image.substr(0, 56));
+  if (stored_crc != actual_crc) {
+    throw Error("store: header checksum mismatch (file header is corrupt)");
+  }
+  if (h.file_size != image.size()) {
+    throw Error("store: file truncated (header says " + std::to_string(h.file_size) +
+                " bytes, file has " + std::to_string(image.size()) + ")");
+  }
+  // Structural bounds: the index must sit inside the file and the payload
+  // must follow it. slot_count is bounded before the multiply so a corrupt
+  // (but CRC-colliding) header cannot overflow the range check.
+  if (h.slot_count == 0 || (h.slot_count & (h.slot_count - 1)) != 0 ||
+      h.slot_count > image.size() / kSlotSize + 1) {
+    throw Error("store: corrupt index geometry (slot count " +
+                std::to_string(h.slot_count) + ")");
+  }
+  if (h.index_offset != kHeaderSize ||
+      h.index_offset + h.slot_count * kSlotSize != h.payload_offset ||
+      h.payload_offset > image.size()) {
+    throw Error("store: corrupt section offsets");
+  }
+  return h;
+}
+
+}  // namespace qre::store

@@ -1,0 +1,96 @@
+// On-disk format of the persistent estimate store (low-level layer).
+//
+// A store file maps 64-bit job fingerprints to checksummed result blobs in
+// a layout a reader can mmap and answer one lookup from without parsing the
+// whole file:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     8  magic "QREstor\n"
+//        8     4  format version (u32, little-endian; readers reject
+//                 versions they do not understand)
+//       12     4  flags (u32, reserved; must be 0 in version 1)
+//       16     8  record count (u64)
+//       24     8  index offset (u64, bytes from file start)
+//       32     8  index slot count (u64, power of two)
+//       40     8  payload offset (u64)
+//       48     8  total file size (u64; truncation detector)
+//       56     4  CRC32 of header bytes [0, 56)
+//       60     4  reserved padding (0)
+//       64        index: slot_count x { fingerprint u64, offset u64 }
+//                 (offset 0 = empty slot; linear probing)
+//       ...      payload: records, each
+//                 { key_len u32, value_len u32, crc u32 of key||value,
+//                   key bytes, value bytes }
+//
+// Keys are canonical job serializations (service::canonical_key); values
+// are compact result-document dumps. The full key is stored with every
+// record so a 64-bit fingerprint collision degrades to a probe step, never
+// a wrong result. All integers are little-endian; the encoder writes
+// explicitly byte-by-byte so the format is portable across hosts.
+//
+// Versioning policy (docs/store.md): bump kFormatVersion on any layout
+// change; readers reject other versions cleanly (the caller degrades to a
+// cold start) rather than guessing. Flags are reserved for forward-
+// compatible hints; version-1 readers require 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qre::store {
+
+/// First eight bytes of every store file.
+inline constexpr char kMagic[8] = {'Q', 'R', 'E', 's', 't', 'o', 'r', '\n'};
+
+/// Current format version; see the versioning policy above.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Fixed header size in bytes (index follows immediately).
+inline constexpr std::size_t kHeaderSize = 64;
+
+/// Bytes per index slot: fingerprint (u64) + payload offset (u64).
+inline constexpr std::size_t kSlotSize = 16;
+
+/// Per-record framing overhead: key_len + value_len + crc (3 x u32).
+inline constexpr std::size_t kRecordHeaderSize = 12;
+
+/// Conventional file name inside a --cache-dir.
+inline constexpr const char* kStoreFileName = "estimates.qrestore";
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// FNV-1a 64-bit fingerprint of a canonical job key.
+std::uint64_t fingerprint(std::string_view key);
+
+/// Smallest power of two >= max(8, 2 * records): open-addressing table
+/// size, keeping the load factor at or below one half.
+std::uint64_t index_slot_count(std::uint64_t records);
+
+/// Little-endian scalar append/read helpers shared by encoder and reader.
+void append_u32(std::string& out, std::uint32_t v);
+void append_u64(std::string& out, std::uint64_t v);
+std::uint32_t read_u32(const unsigned char* p);
+std::uint64_t read_u64(const unsigned char* p);
+
+/// Parsed, validated header of a store image.
+struct Header {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t record_count = 0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t slot_count = 0;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t file_size = 0;
+};
+
+/// Validates the fixed header of `image` (magic, version, CRC, size and
+/// bound consistency). Throws qre::Error describing the first problem; the
+/// error code distinguishes bad-magic / bad-version / truncation / CRC so
+/// tooling can report why a store was rejected.
+Header parse_header(std::string_view image);
+
+}  // namespace qre::store

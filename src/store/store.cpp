@@ -1,0 +1,304 @@
+#include "store/store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace qre::store {
+
+namespace {
+
+std::size_t encoded_record_size(const Record& r) {
+  return kRecordHeaderSize + r.key.size() + r.value.size();
+}
+
+/// Total on-disk size of a store holding `records` entries whose payload
+/// bytes sum to `payload`: header + index + payload.
+std::uint64_t encoded_store_size(std::uint64_t records, std::uint64_t payload) {
+  return kHeaderSize + index_slot_count(records) * kSlotSize + payload;
+}
+
+/// Last-wins key dedup preserving first-insertion order: repeated keys keep
+/// their original (oldest) position but take the latest value.
+void dedupe_records(std::vector<Record>& records) {
+  std::unordered_map<std::string_view, std::size_t> position;
+  std::vector<Record> unique;
+  unique.reserve(records.size());
+  for (Record& r : records) {
+    auto it = position.find(r.key);
+    if (it != position.end()) {
+      unique[it->second].value = std::move(r.value);
+    } else {
+      unique.push_back(std::move(r));
+      position.emplace(unique.back().key, unique.size() - 1);
+    }
+  }
+  records = std::move(unique);
+}
+
+void throw_errno(const std::string& what, const std::string& path) {
+  throw Error("store: " + what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string encode_store(const std::vector<Record>& records) {
+  const std::uint64_t slots = index_slot_count(records.size());
+  const std::uint64_t index_offset = kHeaderSize;
+  const std::uint64_t payload_offset = index_offset + slots * kSlotSize;
+
+  // Payload region + the offset every record lands at.
+  std::string payload;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(records.size());
+  for (const Record& r : records) {
+    offsets.push_back(payload_offset + payload.size());
+    append_u32(payload, static_cast<std::uint32_t>(r.key.size()));
+    append_u32(payload, static_cast<std::uint32_t>(r.value.size()));
+    std::string body = r.key + r.value;
+    append_u32(payload, crc32(body));
+    payload += body;
+  }
+
+  // Open-addressed index with linear probing. Offset 0 marks an empty slot
+  // (the payload region starts beyond the header, so 0 is never a record).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> index(slots, {0, 0});
+  const std::uint64_t mask = slots - 1;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::uint64_t fp = fingerprint(records[i].key);
+    std::uint64_t slot = fp & mask;
+    while (index[slot].second != 0) slot = (slot + 1) & mask;
+    index[slot] = {fp, offsets[i]};
+  }
+
+  const std::uint64_t file_size = payload_offset + payload.size();
+  std::string image;
+  image.reserve(file_size);
+  image.append(kMagic, sizeof kMagic);
+  append_u32(image, kFormatVersion);
+  append_u32(image, 0);  // flags
+  append_u64(image, records.size());
+  append_u64(image, index_offset);
+  append_u64(image, slots);
+  append_u64(image, payload_offset);
+  append_u64(image, file_size);
+  append_u32(image, crc32(std::string_view(image.data(), 56)));
+  append_u32(image, 0);  // reserved padding
+  for (const auto& [fp, offset] : index) {
+    append_u64(image, fp);
+    append_u64(image, offset);
+  }
+  image += payload;
+  return image;
+}
+
+void write_store_file(const std::string& path, const std::vector<Record>& records) {
+  const std::string image = encode_store(records);
+
+  // Unique temp name per process: two engines persisting into the same
+  // directory each write their own complete snapshot and race only on the
+  // atomic rename — last one wins, neither corrupts the other.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) throw_errno("cannot create temp file", tmp);
+  std::size_t written = 0;
+  while (written < image.size()) {
+    const ssize_t n = ::write(fd, image.data() + written, image.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_errno("write failed for", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("fsync/close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("rename failed onto", path);
+  }
+}
+
+StoreReader::StoreReader(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("cannot stat", path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* mapping = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping != MAP_FAILED) {
+      data_ = static_cast<const char*>(mapping);
+      mapped_ = true;
+    }
+  }
+  if (!mapped_) {
+    // Empty file or a filesystem without mmap: fall back to a plain read.
+    owned_.resize(size_);
+    std::size_t got = 0;
+    while (got < size_) {
+      const ssize_t n = ::read(fd, owned_.data() + got, size_ - got);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    if (got != size_) {
+      ::close(fd);
+      throw_errno("short read of", path);
+    }
+    data_ = owned_.data();
+  }
+  ::close(fd);
+  try {
+    header_ = parse_header(image());
+  } catch (...) {
+    if (mapped_) ::munmap(const_cast<char*>(data_), size_);
+    throw;
+  }
+}
+
+StoreReader::~StoreReader() {
+  if (mapped_) ::munmap(const_cast<char*>(data_), size_);
+}
+
+bool StoreReader::read_record(std::uint64_t offset, std::string_view& key,
+                              std::string_view& value) const {
+  if (offset < header_.payload_offset || offset + kRecordHeaderSize > size_) return false;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data_ + offset);
+  const std::uint64_t key_len = read_u32(bytes);
+  const std::uint64_t value_len = read_u32(bytes + 4);
+  const std::uint32_t stored_crc = read_u32(bytes + 8);
+  if (key_len + value_len > size_ - offset - kRecordHeaderSize) return false;
+  const std::string_view body(data_ + offset + kRecordHeaderSize, key_len + value_len);
+  if (crc32(body) != stored_crc) return false;
+  key = body.substr(0, key_len);
+  value = body.substr(key_len);
+  return true;
+}
+
+std::optional<std::string> StoreReader::lookup(std::string_view needle) const {
+  const std::uint64_t fp = fingerprint(needle);
+  const std::uint64_t mask = header_.slot_count - 1;
+  std::uint64_t slot = fp & mask;
+  for (std::uint64_t probes = 0; probes < header_.slot_count; ++probes) {
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(data_ + header_.index_offset + slot * kSlotSize);
+    const std::uint64_t slot_fp = read_u64(bytes);
+    const std::uint64_t offset = read_u64(bytes + 8);
+    if (offset == 0) return std::nullopt;  // empty slot terminates the probe
+    if (slot_fp == fp) {
+      std::string_view key, value;
+      if (!read_record(offset, key, value)) {
+        corrupt_skipped_.fetch_add(1);
+      } else if (key == needle) {
+        return std::string(value);
+      }
+      // Fingerprint collision (or corrupt record): keep probing.
+    }
+    slot = (slot + 1) & mask;
+  }
+  return std::nullopt;
+}
+
+std::size_t StoreReader::for_each(
+    const std::function<void(std::string_view key, std::string_view value)>& fn) const {
+  // Walk index slots, then visit records in payload (insertion) order so
+  // dump/merge/gc observe oldest-first.
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(header_.record_count);
+  for (std::uint64_t slot = 0; slot < header_.slot_count; ++slot) {
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(data_ + header_.index_offset + slot * kSlotSize);
+    const std::uint64_t offset = read_u64(bytes + 8);
+    if (offset != 0) offsets.push_back(offset);
+  }
+  std::sort(offsets.begin(), offsets.end());
+  std::size_t skipped = 0;
+  for (std::uint64_t offset : offsets) {
+    std::string_view key, value;
+    if (read_record(offset, key, value)) {
+      fn(key, value);
+    } else {
+      ++skipped;
+    }
+  }
+  return skipped;
+}
+
+std::size_t read_store_records(const std::string& path, std::vector<Record>& out) {
+  StoreReader reader(path);
+  return reader.for_each([&out](std::string_view key, std::string_view value) {
+    out.push_back({std::string(key), std::string(value)});
+  });
+}
+
+std::size_t merge_store_files(const std::vector<std::string>& inputs,
+                              const std::string& output) {
+  std::vector<Record> records;
+  for (const std::string& input : inputs) {
+    read_store_records(input, records);
+  }
+  dedupe_records(records);
+  write_store_file(output, records);
+  return records.size();
+}
+
+std::size_t gc_store_file(const std::string& input, const std::string& output,
+                          std::uint64_t max_bytes) {
+  std::vector<Record> records;
+  read_store_records(input, records);
+  dedupe_records(records);
+
+  std::uint64_t payload = 0;
+  for (const Record& r : records) payload += encoded_record_size(r);
+
+  // Drop oldest-first until the encoded file fits. An empty store still
+  // costs header + minimum index, so very small bounds floor there.
+  std::size_t first = 0;
+  std::uint64_t kept = records.size();
+  while (kept > 0 && encoded_store_size(kept, payload) > max_bytes) {
+    payload -= encoded_record_size(records[first]);
+    ++first;
+    --kept;
+  }
+  records.erase(records.begin(), records.begin() + static_cast<std::ptrdiff_t>(first));
+  write_store_file(output, records);
+  return records.size();
+}
+
+void ensure_directory(const std::string& dir) {
+  if (dir.empty()) throw Error("store: cache directory path is empty");
+  // Walk the path left to right, creating each missing component.
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = dir.find('/', pos + 1);
+    const std::string prefix = pos == std::string::npos ? dir : dir.substr(0, pos);
+    if (prefix.empty() || prefix == "/" || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw_errno("cannot create directory", prefix);
+    }
+  }
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    throw Error("store: '" + dir + "' is not a directory");
+  }
+}
+
+}  // namespace qre::store

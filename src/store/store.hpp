@@ -1,0 +1,112 @@
+// Persistent estimate store: file reader/writer (mid-level layer).
+//
+// StoreReader is a read-only, mmap-backed view of one store file: a single
+// lookup touches the header, a handful of index slots, and one payload
+// record — never the whole file. Per-record corruption (a flipped payload
+// byte, a bad length) is detected by CRC/bounds checks and skipped with a
+// count; only an unusable header (bad magic, wrong version, truncation,
+// header CRC) rejects the file as a whole, by throwing qre::Error.
+//
+// write_store_file builds the complete image in memory and publishes it
+// with write-to-temp + fsync + rename, so a crash mid-persist leaves the
+// previous file intact and a concurrent writer to the same path can at
+// worst win the rename race with its own complete snapshot — never
+// interleave bytes with ours. Record order in the payload region is the
+// order given (callers preserve insertion order, which `for_each` and the
+// offline gc treat as oldest-first).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace qre::store {
+
+/// One key -> value pair (canonical job key, compact result dump).
+struct Record {
+  std::string key;
+  std::string value;
+};
+
+/// Serializes `records` into a complete store image (header + index +
+/// payload). Duplicate keys must already be resolved by the caller.
+std::string encode_store(const std::vector<Record>& records);
+
+/// Atomically (re)writes `path`: the image goes to a uniquely named temp
+/// file in the same directory, is fsync'd, then renamed over `path`.
+/// Throws qre::Error on I/O failure (the temp file is cleaned up).
+void write_store_file(const std::string& path, const std::vector<Record>& records);
+
+/// Read-only view of one store file. The constructor validates the header
+/// and throws qre::Error if the file cannot be a usable store; per-record
+/// problems surface later as skipped records, not construction failures.
+class StoreReader {
+ public:
+  explicit StoreReader(const std::string& path);
+  ~StoreReader();
+
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+
+  /// Index lookup by canonical key. Returns the record's value, or nullopt
+  /// when absent — including when the matching record failed its checksum
+  /// (counted in corrupt_skipped()).
+  std::optional<std::string> lookup(std::string_view key) const;
+
+  /// Visits every intact record in payload (insertion) order; returns the
+  /// number of corrupt records skipped.
+  std::size_t for_each(
+      const std::function<void(std::string_view key, std::string_view value)>& fn) const;
+
+  const Header& header() const { return header_; }
+  std::uint64_t record_count() const { return header_.record_count; }
+  std::uint64_t file_bytes() const { return header_.file_size; }
+  std::uint64_t payload_bytes() const { return header_.file_size - header_.payload_offset; }
+  /// Corrupt records encountered (and skipped) by lookups so far.
+  std::uint64_t corrupt_skipped() const { return corrupt_skipped_.load(); }
+
+ private:
+  /// Decodes the record at `offset`; false when out of bounds or CRC-bad.
+  bool read_record(std::uint64_t offset, std::string_view& key,
+                   std::string_view& value) const;
+
+  std::string_view image() const { return {data_, size_}; }
+
+  Header header_;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;     // mmap'd (else owned_ holds the bytes)
+  std::string owned_;       // fallback when mmap is unavailable
+  mutable std::atomic<std::uint64_t> corrupt_skipped_{0};
+};
+
+/// Reads every intact record of `path` into memory, newest-wins per key
+/// — the prewarm/merge primitive. Appends records in insertion order
+/// (later files and later records override earlier ones in `out`).
+/// Returns the number of corrupt records skipped. Throws qre::Error when
+/// the header is unusable.
+std::size_t read_store_records(const std::string& path, std::vector<Record>& out);
+
+/// Last-wins merge of whole files: records of later `inputs` override
+/// earlier ones. The result is written atomically to `output`. Returns the
+/// merged record count.
+std::size_t merge_store_files(const std::vector<std::string>& inputs,
+                              const std::string& output);
+
+/// Bounds `input` to at most `max_bytes` on disk by dropping oldest
+/// records first, writing the result atomically to `output` (which may be
+/// `input` itself). Returns the number of records retained.
+std::size_t gc_store_file(const std::string& input, const std::string& output,
+                          std::uint64_t max_bytes);
+
+/// Creates `dir` (and missing parents) like `mkdir -p`. Throws qre::Error
+/// when a component exists but is not a directory or creation fails.
+void ensure_directory(const std::string& dir);
+
+}  // namespace qre::store

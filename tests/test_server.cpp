@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,6 +21,7 @@
 #include "server/job_queue.hpp"
 #include "server/router.hpp"
 #include "server/server.hpp"
+#include "tfactory/factory_cache.hpp"
 
 namespace qre {
 namespace {
@@ -457,6 +460,51 @@ TEST(Server, HealthVersionAndErrorRoutes) {
   json::Value envelope = json::parse(invalid.body);
   EXPECT_FALSE(envelope.at("success").as_bool());
   EXPECT_GE(envelope.at("diagnostics").as_array().size(), 1u);
+}
+
+TEST(Server, RestartedServerAnswersFromTheStoreWithZeroRawEstimates) {
+  char dir_pattern[] = "/tmp/qre_server_store.XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_pattern), nullptr);
+  server::ServiceOptions options;
+  options.cache_dir = dir_pattern;
+
+  // First server lifecycle: estimate once, then shut down (the Service
+  // destructor persists the store, like qre_serve's drain path).
+  std::string cold_body;
+  {
+    ServerFixture fx(options);
+    Client::Result r = fx.client().post("/v2/estimate", kSingleJob);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.status, 200);
+    cold_body = r.body;
+  }
+
+  // The T-factory cache is process-global; clearing it means any raw
+  // estimation after the "restart" would have to repopulate it.
+  FactoryCache::global().clear();
+
+  // Second lifecycle over the same cache dir: the answer must come from
+  // the store, byte-identically, with zero raw estimates.
+  ServerFixture fx(options);
+  Client::Result warm = fx.client().post("/v2/estimate", kSingleJob);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.body, cold_body);
+  EXPECT_EQ(FactoryCache::global().misses(), 0u);
+  ASSERT_NE(fx.service().store(), nullptr);
+  EXPECT_EQ(fx.service().store()->hits(), 1u);
+
+  // /metrics carries the store counters.
+  Client::Result metrics = fx.client().get("/metrics");
+  ASSERT_TRUE(metrics.ok);
+  const json::Value metrics_doc = json::parse(metrics.body);
+  const json::Value* block = metrics_doc.find("store");
+  ASSERT_NE(block, nullptr);
+  EXPECT_TRUE(block->at("enabled").as_bool());
+  EXPECT_EQ(block->at("hits").as_int(), 1);
+  EXPECT_GE(block->at("loaded").as_int(), 1);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir_pattern, ec);
 }
 
 TEST(Server, GracefulStopRefusesNewConnections) {

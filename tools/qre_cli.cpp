@@ -14,12 +14,15 @@
 //   qre_cli --sweep <job.json>   expand the sweep grid without estimating
 //   qre_cli --frontier <job.json> explore the adaptive Pareto frontier
 //   qre_cli --no-cache / --cache-capacity N / --cache-stats   cache control
+//   qre_cli --cache-dir DIR      persistent estimate store (read/write-through)
+//   qre_cli store <dump|info|merge|gc> ...   offline store tooling
 //   qre_cli --demo               run a built-in demonstration job
 //   qre_cli --version            print the build and schema version
 //   qre_cli -                    read the job document from stdin
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +34,7 @@
 #include "report/report.hpp"
 #include "service/engine.hpp"
 #include "service/sweep.hpp"
+#include "store/estimate_store.hpp"
 #include "tfactory/factory_cache.hpp"
 
 namespace {
@@ -80,8 +84,21 @@ void print_usage(std::FILE* out) {
                "  qre_cli --no-cache <job.json>  disable result memoization\n"
                "  qre_cli --cache-capacity N  bound the result cache to N entries\n"
                "                              (LRU eviction; 0 = unbounded)\n"
-               "  qre_cli --cache-stats <job.json>  print cache hit/miss/eviction\n"
-               "                              counters to stderr after the run\n"
+               "  qre_cli --cache-dir DIR     persistent estimate store: prewarm from\n"
+               "                              DIR/estimates.qrestore, write new results\n"
+               "                              through, persist atomically after the run\n"
+               "                              (created if missing; docs/store.md)\n"
+               "  qre_cli --cache-stats <job.json>  print one JSON document with the\n"
+               "                              estimate-cache, factory-cache and (with\n"
+               "                              --cache-dir) store counters to stderr\n"
+               "  qre_cli store dump <store>  print store records as NDJSON, one\n"
+               "                              {\"key\", \"result\"} object per line\n"
+               "  qre_cli store info <store>  print header/record statistics as JSON\n"
+               "  qre_cli store merge <a> <b> [...] -o <out>  merge stores\n"
+               "                              (last input wins on duplicate keys)\n"
+               "  qre_cli store gc --max-bytes N <store> [-o <out>]  bound a store,\n"
+               "                              dropping oldest records first (in place\n"
+               "                              unless -o names an output)\n"
                "  qre_cli --demo              run a built-in demonstration job\n"
                "  qre_cli --version           print the build and schema version\n"
                "  qre_cli --help, -h          print this help\n"
@@ -110,6 +127,7 @@ struct Options {
   bool cache_stats = false;
   std::size_t num_workers = 0;
   std::size_t cache_capacity = qre::service::EstimateCache::kDefaultCapacity;
+  std::string cache_dir;
   std::vector<std::string> profile_packs;
   std::string path;
 };
@@ -148,6 +166,12 @@ int parse_args(int argc, char** argv, Options& opts) {
         return 2;
       }
       opts.cache_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "error: --cache-dir requires a directory path\n");
+        return 2;
+      }
+      opts.cache_dir = argv[++i];
     } else if (arg == "--validate") {
       opts.validate_only = true;
     } else if (arg == "--list-profiles") {
@@ -232,31 +256,171 @@ void print_diagnostics(const qre::Diagnostics& diags) {
   }
 }
 
-/// Prints the run's cache counters to stderr: the batch's estimate-cache
-/// deltas (when the result carries batchStats) and the process-level
-/// T-factory design cache.
-void print_cache_stats(const qre::json::Value* result) {
-  if (result != nullptr && result->is_object()) {
-    if (const qre::json::Value* stats = result->find("batchStats")) {
-      std::fprintf(stderr,
-                   "estimate cache: %llu hits, %llu misses, %llu evictions\n",
-                   static_cast<unsigned long long>(stats->at("cacheHits").as_uint()),
-                   static_cast<unsigned long long>(stats->at("cacheMisses").as_uint()),
-                   static_cast<unsigned long long>(stats->at("cacheEvictions").as_uint()));
+/// Prints the run's cache counters to stderr as ONE JSON document covering
+/// every caching tier: the engine's estimate cache, the process-level
+/// T-factory design cache, and (when --cache-dir wired one) the persistent
+/// store.
+void print_cache_stats(const qre::service::Engine& engine,
+                       const qre::store::EstimateStore* store) {
+  const qre::service::EstimateCache& estimates = engine.cache();
+  const qre::FactoryCache& factories = qre::FactoryCache::global();
+
+  qre::json::Object out;
+  out.emplace_back("estimateCache", qre::service::cache_counters_to_json(
+                                        estimates.hits(), estimates.misses(),
+                                        estimates.evictions(), estimates.size(),
+                                        estimates.capacity()));
+  qre::json::Value factory_stats = qre::service::cache_counters_to_json(
+      factories.hits(), factories.misses(), factories.evictions(), factories.size(),
+      factories.capacity());
+  factory_stats.as_object().emplace_back("enabled", qre::json::Value(factories.enabled()));
+  out.emplace_back("factoryCache", std::move(factory_stats));
+  if (store != nullptr) {
+    out.emplace_back("store", store->stats_to_json());
+  } else {
+    qre::json::Object disabled;
+    disabled.emplace_back("enabled", qre::json::Value(false));
+    out.emplace_back("store", qre::json::Value(std::move(disabled)));
+  }
+  std::fprintf(stderr, "%s\n", qre::json::Value(std::move(out)).dump().c_str());
+}
+
+// ------------------------------------------------------- store tooling ---
+
+void print_store_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage:\n"
+               "  qre_cli store dump <store>                    NDJSON record dump\n"
+               "  qre_cli store info <store>                    header/record stats\n"
+               "  qre_cli store merge <a> <b> [...] -o <out>    last-wins merge\n"
+               "  qre_cli store gc --max-bytes N <store> [-o <out>]  bound a store\n");
+}
+
+/// Dispatches `qre_cli store <subcommand> ...`; argv[0] is "store".
+int run_store_command(int argc, char** argv) {
+  if (argc < 2) {
+    print_store_usage(stderr);
+    return 2;
+  }
+  const std::string sub = argv[1];
+
+  // Shared flag scan: positional paths, -o output, --max-bytes bound.
+  std::vector<std::string> paths;
+  std::string output;
+  long long max_bytes = -1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: -o requires an output path\n");
+        return 2;
+      }
+      output = argv[++i];
+    } else if (arg == "--max-bytes") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --max-bytes requires a byte count\n");
+        return 2;
+      }
+      char* end = nullptr;
+      max_bytes = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || max_bytes < 0) {
+        std::fprintf(stderr, "error: --max-bytes expects a non-negative integer\n");
+        return 2;
+      }
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown store option '%s'\n\n", arg.c_str());
+      print_store_usage(stderr);
+      return 2;
+    } else {
+      paths.push_back(arg);
     }
   }
-  const qre::FactoryCache& factories = qre::FactoryCache::global();
-  std::fprintf(stderr,
-               "factory cache: %llu hits, %llu misses, %llu evictions, %zu/%zu entries%s\n",
-               static_cast<unsigned long long>(factories.hits()),
-               static_cast<unsigned long long>(factories.misses()),
-               static_cast<unsigned long long>(factories.evictions()), factories.size(),
-               factories.capacity(), factories.enabled() ? "" : " (disabled)");
+
+  if (sub == "dump") {
+    if (paths.size() != 1 || !output.empty() || max_bytes >= 0) {
+      print_store_usage(stderr);
+      return 2;
+    }
+    qre::store::StoreReader reader(paths[0]);
+    const std::size_t skipped =
+        reader.for_each([](std::string_view key, std::string_view value) {
+          qre::json::Object line;
+          line.emplace_back("key", qre::json::parse(key));
+          line.emplace_back("result", qre::json::parse(value));
+          std::printf("%s\n", qre::json::Value(std::move(line)).dump().c_str());
+        });
+    if (skipped != 0) {
+      std::fprintf(stderr, "store: skipped %zu corrupt record(s)\n", skipped);
+    }
+    return 0;
+  }
+
+  if (sub == "info") {
+    if (paths.size() != 1 || !output.empty() || max_bytes >= 0) {
+      print_store_usage(stderr);
+      return 2;
+    }
+    qre::store::StoreReader reader(paths[0]);
+    // Full scan so corrupt records are counted, not just declared totals.
+    std::size_t intact = 0;
+    const std::size_t skipped = reader.for_each(
+        [&intact](std::string_view, std::string_view) { ++intact; });
+    qre::json::Object info;
+    info.emplace_back("path", paths[0]);
+    info.emplace_back("formatVersion",
+                      qre::json::Value(static_cast<std::uint64_t>(reader.header().version)));
+    info.emplace_back("records", qre::json::Value(static_cast<std::uint64_t>(intact)));
+    info.emplace_back("corruptRecords",
+                      qre::json::Value(static_cast<std::uint64_t>(skipped)));
+    info.emplace_back("indexSlots", qre::json::Value(reader.header().slot_count));
+    info.emplace_back("fileBytes", qre::json::Value(reader.file_bytes()));
+    info.emplace_back("payloadBytes", qre::json::Value(reader.payload_bytes()));
+    std::printf("%s\n", qre::json::Value(std::move(info)).pretty().c_str());
+    return skipped == 0 ? 0 : 1;
+  }
+
+  if (sub == "merge") {
+    if (paths.size() < 2 || output.empty() || max_bytes >= 0) {
+      std::fprintf(stderr, "error: store merge needs two or more inputs and -o <out>\n");
+      return 2;
+    }
+    const std::size_t records = qre::store::merge_store_files(paths, output);
+    std::fprintf(stderr, "store: merged %zu input(s) into %s (%zu record(s))\n",
+                 paths.size(), output.c_str(), records);
+    return 0;
+  }
+
+  if (sub == "gc") {
+    if (paths.size() != 1 || max_bytes < 0) {
+      std::fprintf(stderr, "error: store gc needs --max-bytes N and one store path\n");
+      return 2;
+    }
+    const std::string out_path = output.empty() ? paths[0] : output;
+    const std::size_t kept = qre::store::gc_store_file(
+        paths[0], out_path, static_cast<std::uint64_t>(max_bytes));
+    std::fprintf(stderr, "store: kept %zu record(s) in %s\n", kept, out_path.c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "error: unknown store subcommand '%s'\n\n", sub.c_str());
+  print_store_usage(stderr);
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `qre_cli store ...` is its own tool family (offline store inspection);
+  // it never loads a job document or touches the estimator.
+  if (argc >= 2 && std::string(argv[1]) == "store") {
+    try {
+      return run_store_command(argc - 1, argv + 1);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
   Options opts;
   if (int status = parse_args(argc, argv, opts); status != 0) return status;
 
@@ -322,6 +486,33 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // One engine for the whole invocation, optionally backed by the
+    // persistent store: previously seen jobs replay from disk (zero raw
+    // estimates), new results are written through and persisted after the
+    // run.
+    qre::service::EngineOptions engine_options;
+    engine_options.num_workers = opts.num_workers;
+    engine_options.use_cache = opts.use_cache;
+    engine_options.cache_capacity = opts.cache_capacity;
+    qre::service::Engine engine(engine_options);
+
+    std::unique_ptr<qre::store::EstimateStore> store;
+    if (!opts.cache_dir.empty()) {
+      qre::store::ensure_directory(opts.cache_dir);
+      store = std::make_unique<qre::store::EstimateStore>(opts.cache_dir);
+      const qre::store::LoadResult loaded = store->load();
+      if (!loaded.usable && loaded.file_found) {
+        std::fprintf(stderr, "%s — starting cold\n", loaded.message.c_str());
+      }
+      engine.set_store(store.get());
+    }
+    // Persists new results (if any) and prints --cache-stats; every run
+    // path below funnels through here before returning.
+    auto finish_run = [&] {
+      if (store != nullptr) store->persist();
+      if (opts.cache_stats) print_cache_stats(engine, store.get());
+    };
+
     if (opts.text_mode && job.find("items") == nullptr && job.find("sweep") == nullptr &&
         job.find("frontier") == nullptr) {
       // Same leniency as the JSON path: typos warn (on stderr), errors list
@@ -339,16 +530,13 @@ int main(int argc, char** argv) {
       qre::ResourceEstimate e = qre::estimate(input);
       std::printf("%s\n%s", qre::report_to_text(e).c_str(),
                   qre::space_diagram(e).c_str());
-      if (opts.cache_stats) print_cache_stats(nullptr);
+      finish_run();
       return 0;
     }
 
-    qre::service::EngineOptions engine;
-    engine.num_workers = opts.num_workers;
-    engine.use_cache = opts.use_cache;
-    engine.cache_capacity = opts.cache_capacity;
+    qre::service::EngineOptions run_options = engine.options();
     if (opts.stream) {
-      engine.on_result = [](std::size_t index, const qre::json::Value& result) {
+      run_options.on_result = [](std::size_t index, const qre::json::Value& result) {
         qre::json::Object line;
         line.emplace_back("item", qre::json::Value(static_cast<std::uint64_t>(index)));
         line.emplace_back("result", result);
@@ -359,9 +547,9 @@ int main(int argc, char** argv) {
 
     qre::api::EstimateRequest request = qre::api::EstimateRequest::parse(job, registry);
     if (opts.response_envelope) {
-      qre::api::EstimateResponse response = qre::api::run(request, engine, registry);
+      qre::api::EstimateResponse response = qre::api::run(request, run_options, registry);
       std::printf("%s\n", response.to_json().pretty().c_str());
-      if (opts.cache_stats) print_cache_stats(&response.result);
+      finish_run();
       return response.success ? 0 : 1;
     }
     print_diagnostics(request.diagnostics);  // warnings (and errors, below)
@@ -370,8 +558,8 @@ int main(int argc, char** argv) {
                    request.diagnostics.num_errors());
       return 1;
     }
-    qre::api::EstimateResponse response = qre::api::run(request, engine, registry);
-    if (opts.cache_stats) print_cache_stats(&response.result);
+    qre::api::EstimateResponse response = qre::api::run(request, run_options, registry);
+    finish_run();
     if (!response.success) {
       std::fprintf(stderr, "error: %s\n", response.diagnostics.summary().c_str());
       return 1;

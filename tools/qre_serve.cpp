@@ -26,6 +26,7 @@
 #include "common/version.hpp"
 #include "server/router.hpp"
 #include "server/server.hpp"
+#include "store/store.hpp"
 
 namespace {
 
@@ -53,6 +54,12 @@ void print_usage(std::FILE* out) {
                "                      (default: hardware concurrency)\n"
                "  --cache-capacity N  shared estimate-cache entry bound (LRU; 0 =\n"
                "                      unbounded; default %zu)\n"
+               "  --cache-dir DIR     persistent estimate store: prewarm from\n"
+               "                      DIR/estimates.qrestore on startup, write results\n"
+               "                      through, persist atomically on drain (the\n"
+               "                      directory is created if missing; docs/store.md)\n"
+               "  --persist-interval S  with --cache-dir, also persist the store\n"
+               "                      every S seconds (default: only on drain)\n"
                "  --profile-pack P    register a JSON profile pack before serving\n"
                "                      (repeatable; packs load BEFORE the first request)\n"
                "  --version           print the version and exit\n"
@@ -118,6 +125,20 @@ int parse_args(int argc, char** argv, Options& opts) {
       const char* v = next("--cache-capacity");
       if (v == nullptr || !parse_size(v, 0, n)) return 2;
       opts.service.engine.cache_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--cache-dir") {
+      const char* v = next("--cache-dir");
+      if (v == nullptr || *v == '\0') return 2;
+      opts.service.cache_dir = v;
+    } else if (arg == "--persist-interval") {
+      const char* v = next("--persist-interval");
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      const double seconds = std::strtod(v, &end);
+      if (end == nullptr || *end != '\0' || !(seconds > 0)) {
+        std::fprintf(stderr, "error: --persist-interval expects seconds > 0\n");
+        return 2;
+      }
+      opts.service.persist_interval_s = seconds;
     } else if (arg == "--profile-pack") {
       const char* v = next("--profile-pack");
       if (v == nullptr) return 2;
@@ -160,6 +181,10 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!opts.service.cache_dir.empty()) {
+      qre::store::ensure_directory(opts.service.cache_dir);
+    }
+
     qre::server::Service service(registry, opts.service);
     qre::server::Router router(service);
     qre::server::Server server(router, opts.server);
@@ -191,6 +216,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "qre_serve: draining (in-flight requests finish, queued jobs cancel)\n");
     server.stop();
     service.jobs().drain();
+    service.persist_store();  // final snapshot before the stats line
     g_server = nullptr;
 
     std::fprintf(stderr, "qre_serve: served %llu request(s); bye\n",
