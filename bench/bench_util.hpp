@@ -7,12 +7,14 @@
 #include <cstdio>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arith/multipliers.hpp"
 #include "common/format.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/estimator.hpp"
 
 namespace qre::bench {
@@ -29,13 +31,16 @@ inline const std::vector<MultiplierKind>& figure_algorithms() {
 class WorkloadCache {
  public:
   const LogicalCounts& get(MultiplierKind kind, std::uint64_t bits) {
-    std::unique_lock lock(mutex_);
     auto key = std::make_pair(kind, bits);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    lock.unlock();
+    {
+      MutexLock lock(mutex_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;  // map references are stable
+    }
+    // Trace outside the lock (seconds for the big workloads); emplace
+    // tolerates a concurrent tracer winning the race for the same key.
     LogicalCounts counts = multiplier_counts(kind, bits);
-    lock.lock();
+    MutexLock lock(mutex_);
     return cache_.emplace(key, std::move(counts)).first->second;
   }
 
@@ -53,8 +58,9 @@ class WorkloadCache {
   }
 
  private:
-  std::mutex mutex_;
-  std::map<std::pair<MultiplierKind, std::uint64_t>, LogicalCounts> cache_;
+  Mutex mutex_;
+  std::map<std::pair<MultiplierKind, std::uint64_t>, LogicalCounts> cache_
+      QRE_GUARDED_BY(mutex_);
 };
 
 inline WorkloadCache& workload_cache() {

@@ -22,15 +22,15 @@ if [ -z "$flags" ]; then
 fi
 
 status=0
-for flag in $flags; do
+while IFS= read -r flag; do
   if ! grep -qF -- "$flag" <<<"$help_text"; then
     echo "FAIL: accepted flag '$flag' is missing from --help" >&2
     status=1
   fi
-done
+done <<<"$flags"
 
 count=$(wc -w <<<"$flags")
 if [ "$status" -eq 0 ]; then
   echo "ok: all $count accepted flags are documented in --help"
 fi
-exit $status
+exit "$status"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Checks (never rewrites) clang-format conformance of the C++ files changed
+# relative to a base ref, per the .clang-format at the repo root. Scoped to
+# changed files deliberately: the baseline was adopted without a mass
+# reformat, so only lines you touch are held to it.
+#
+# Usage: scripts/check_format.sh [base-ref]
+#
+# The base defaults to the merge base with origin/main (falling back to
+# HEAD~1, so push-to-main CI checks the commit itself). Exits 0 with a
+# notice when clang-format is not installed — the CI static-analysis job
+# pins one; local runs without it just skip.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+clang_format=""
+for candidate in clang-format-18 clang-format; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    clang_format=$candidate
+    break
+  fi
+done
+if [ -z "$clang_format" ]; then
+  echo "check_format: clang-format not installed; skipping (CI runs it)" >&2
+  exit 0
+fi
+
+base=${1:-}
+if [ -z "$base" ]; then
+  base=$(git merge-base HEAD origin/main 2>/dev/null || true)
+fi
+if [ -z "$base" ] || [ "$base" = "$(git rev-parse HEAD)" ]; then
+  base=$(git rev-parse HEAD~1 2>/dev/null || true)
+fi
+if [ -z "$base" ]; then
+  echo "check_format: no base ref to diff against; skipping" >&2
+  exit 0
+fi
+
+changed=$(git diff --name-only --diff-filter=ACMR "$base" -- \
+            '*.cpp' '*.hpp' | sort -u)
+if [ -z "$changed" ]; then
+  echo "check_format: no C++ files changed since ${base:0:12}"
+  exit 0
+fi
+
+status=0
+while IFS= read -r file; do
+  [ -f "$file" ] || continue
+  if ! "$clang_format" --dry-run -Werror "$file"; then
+    status=1
+  fi
+done <<<"$changed"
+
+count=$(wc -l <<<"$changed")
+if [ "$status" -eq 0 ]; then
+  echo "check_format: $count changed file(s) conform ($clang_format)"
+else
+  echo "check_format: formatting violations above; fix with: $clang_format -i <file>" >&2
+fi
+exit "$status"

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds (if needed) and runs the qre_lint project-invariant linter against
+# the repo root. See tools/qre_lint.cpp for what it checks and
+# docs/static_analysis.md for the conventions it enforces.
+#
+# Usage: scripts/qre_lint.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir=${1:-build}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S "$repo_root" > /dev/null
+fi
+cmake --build "$build_dir" --target qre_lint -j > /dev/null
+"$build_dir/qre_lint" "$repo_root"

@@ -1,7 +1,6 @@
 #include "api/registry.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/error.hpp"
 
@@ -37,7 +36,7 @@ Registry Registry::with_builtins() {
 }
 
 Registry::Registry(Registry&& other) noexcept {
-  std::unique_lock lock(other.mutex_);
+  WriterLock lock(other.mutex_);
   qubits_ = std::move(other.qubits_);
   qec_ = std::move(other.qec_);
   distillation_ = std::move(other.distillation_);
@@ -61,7 +60,7 @@ void Registry::register_qubit_locked(QubitParams profile) {
 }
 
 void Registry::register_qubit(QubitParams profile) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   register_qubit_locked(std::move(profile));
 }
 
@@ -73,12 +72,12 @@ const QubitParams* Registry::find_qubit_locked(std::string_view name) const {
 }
 
 const QubitParams* Registry::find_qubit(std::string_view name) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return find_qubit_locked(name);
 }
 
 std::vector<std::string> Registry::qubit_names() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(qubits_.size());
   for (const QubitParams& q : qubits_) names.push_back(q.name);
@@ -97,7 +96,7 @@ void Registry::register_qec_locked(InstructionSet set, QecScheme scheme) {
 }
 
 void Registry::register_qec(InstructionSet set, QecScheme scheme) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   register_qec_locked(set, std::move(scheme));
 }
 
@@ -109,12 +108,12 @@ const QecScheme* Registry::find_qec_locked(std::string_view name, InstructionSet
 }
 
 const QecScheme* Registry::find_qec(std::string_view name, InstructionSet set) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return find_qec_locked(name, set);
 }
 
 std::vector<std::string> Registry::qec_names() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   std::vector<std::string> names;
   for (const QecEntry& e : qec_) {
     if (std::find(names.begin(), names.end(), e.scheme.name()) == names.end()) {
@@ -137,12 +136,12 @@ void Registry::register_distillation_locked(DistillationUnit unit) {
 }
 
 void Registry::register_distillation(DistillationUnit unit) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   register_distillation_locked(std::move(unit));
 }
 
 const DistillationUnit* Registry::find_distillation(std::string_view name) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   for (const DistillationUnit& u : distillation_) {
     if (u.name == name) return &u;
   }
@@ -150,7 +149,7 @@ const DistillationUnit* Registry::find_distillation(std::string_view name) const
 }
 
 std::vector<std::string> Registry::distillation_names() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(distillation_.size());
   for (const DistillationUnit& u : distillation_) names.push_back(u.name);
@@ -165,7 +164,7 @@ void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
   // One exclusive lock across the whole pack: concurrent readers never
   // observe a half-loaded pack, and the in-pack base/override lookups below
   // must use the _locked variants.
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   check_known_keys(pack, {"schemaVersion", "qubitParams", "qecSchemes", "distillationUnits"},
                    "", &diags);
   if (const json::Value* version = pack.find("schemaVersion")) {
@@ -291,7 +290,7 @@ void Registry::load_profile_pack(const json::Value& pack, Diagnostics& diags) {
 }
 
 json::Value Registry::to_json() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   json::Object out;
   out.emplace_back("schemaVersion", 2);
 

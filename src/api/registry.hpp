@@ -51,12 +51,13 @@
 #pragma once
 
 #include <deque>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/diagnostics.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "json/json.hpp"
 #include "profiles/qubit_params.hpp"
 #include "qec/qec_scheme.hpp"
@@ -124,18 +125,20 @@ class Registry {
   // Unlocked bodies, shared by the public entry points and by
   // load_profile_pack (which holds the exclusive lock across the whole pack
   // so a half-loaded pack is never observable).
-  void register_qubit_locked(QubitParams profile);
-  void register_qec_locked(InstructionSet set, QecScheme scheme);
-  void register_distillation_locked(DistillationUnit unit);
-  const QubitParams* find_qubit_locked(std::string_view name) const;
-  const QecScheme* find_qec_locked(std::string_view name, InstructionSet set) const;
+  void register_qubit_locked(QubitParams profile) QRE_REQUIRES(mutex_);
+  void register_qec_locked(InstructionSet set, QecScheme scheme) QRE_REQUIRES(mutex_);
+  void register_distillation_locked(DistillationUnit unit) QRE_REQUIRES(mutex_);
+  const QubitParams* find_qubit_locked(std::string_view name) const
+      QRE_REQUIRES_SHARED(mutex_);
+  const QecScheme* find_qec_locked(std::string_view name, InstructionSet set) const
+      QRE_REQUIRES_SHARED(mutex_);
 
-  mutable std::shared_mutex mutex_;
+  mutable SharedMutex mutex_;
   // Deques: registering a new profile never relocates existing entries, so
   // pointers handed out by find_* survive later (new-name) registrations.
-  std::deque<QubitParams> qubits_;
-  std::deque<QecEntry> qec_;
-  std::deque<DistillationUnit> distillation_;
+  std::deque<QubitParams> qubits_ QRE_GUARDED_BY(mutex_);
+  std::deque<QecEntry> qec_ QRE_GUARDED_BY(mutex_);
+  std::deque<DistillationUnit> distillation_ QRE_GUARDED_BY(mutex_);
 };
 
 }  // namespace qre::api

@@ -1,5 +1,6 @@
 #include "api/schema.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -471,6 +472,20 @@ const std::vector<std::string_view>& job_keys() {
   return kKeys;
 }
 
+const std::vector<std::string_view>& job_kinds() {
+  static const std::vector<std::string_view> kKinds = {"items", "sweep", "frontier"};
+  return kKinds;
+}
+
+namespace {
+
+bool is_job_kind(std::string_view key) {
+  const std::vector<std::string_view>& kinds = job_kinds();
+  return std::find(kinds.begin(), kinds.end(), key) != kinds.end();
+}
+
+}  // namespace
+
 json::Value upgrade_job(const json::Value& job, Diagnostics& diags, int* source_version) {
   if (source_version != nullptr) *source_version = 1;
   if (!job.is_object()) return job;  // the validator reports the type error
@@ -528,7 +543,7 @@ void validate_batch_items(const json::Value& job, const Registry& registry,
 json::Value merge_job_item(const json::Value& base, const json::Value& overlay) {
   json::Object pruned;
   for (const auto& [k, v] : base.as_object()) {
-    if (k != "items" && k != "sweep" && k != "frontier") pruned.emplace_back(k, v);
+    if (!is_job_kind(k)) pruned.emplace_back(k, v);
   }
   json::Value merged{std::move(pruned)};
   for (const auto& [k, v] : overlay.as_object()) merged.set(k, v);
@@ -602,10 +617,12 @@ void validate_job(const json::Value& job, const Registry& registry, Diagnostics&
           continue;
         }
         check_known_keys(item, job_keys(), path, &diags);
-        if (item.find("items") != nullptr || item.find("sweep") != nullptr ||
-            item.find("frontier") != nullptr) {
-          diags.error("mutually-exclusive", path,
-                      "a batch item must not itself carry items, sweep, or frontier");
+        for (std::string_view kind : job_kinds()) {
+          if (item.find(kind) != nullptr) {
+            diags.error("mutually-exclusive", path,
+                        "a batch item must not itself carry items, sweep, or frontier");
+            break;
+          }
         }
       }
     }

@@ -38,6 +38,14 @@ inline constexpr int kSchemaVersion = 2;
 /// The top-level keys a v2 job document may carry.
 const std::vector<std::string_view>& job_keys();
 
+/// The mutually exclusive multi-result job kinds ("items", "sweep",
+/// "frontier"): top-level sections that shape the whole job rather than one
+/// estimate, so batch items never inherit or carry them. This is the
+/// canonical table — the validator, merge_job_item, and the qre_lint
+/// invariant checker (tools/qre_lint.cpp) all key off it, so adding a kind
+/// here flags every place that must learn about it.
+const std::vector<std::string_view>& job_kinds();
+
 /// Upgrades a job document to schema v2: a missing "schemaVersion" (or 1)
 /// marks a v1 document and is rewritten to 2; other versions produce an
 /// "unsupported-version" error. Returns the normalized document and stores

@@ -1,0 +1,151 @@
+// Capability-annotated synchronization primitives (see thread_annotations.hpp).
+//
+// Thin zero-overhead wrappers over the std:: primitives that carry Clang
+// thread-safety attributes, because the analysis only tracks types declared
+// as capabilities — libstdc++'s std::mutex is invisible to it. All mutex-
+// bearing qre types lock through these so `-Wthread-safety` can prove their
+// lock discipline at compile time:
+//
+//   qre::Mutex mutex_;
+//   int value_ QRE_GUARDED_BY(mutex_);
+//
+//   void touch() {
+//     MutexLock lock(mutex_);   // scoped: released at end of scope
+//     ++value_;                 // OK; without the lock: compile error
+//   }
+//
+// CondVar pairs with Mutex the way std::condition_variable pairs with
+// std::mutex, but takes the already-held qre::Mutex directly (the caller
+// keeps holding it through a MutexLock), so waiting code stays fully
+// visible to the analysis:
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(mutex_);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace qre {
+
+class CondVar;
+
+/// std::mutex as a Clang capability.
+class QRE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QRE_ACQUIRE() { m_.lock(); }
+  void unlock() QRE_RELEASE() { m_.unlock(); }
+  bool try_lock() QRE_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;  // waits on the underlying std::mutex
+  std::mutex m_;
+};
+
+/// std::shared_mutex as a Clang capability (exclusive + shared modes).
+class QRE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() QRE_ACQUIRE() { m_.lock(); }
+  void unlock() QRE_RELEASE() { m_.unlock(); }
+  void lock_shared() QRE_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() QRE_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock of a Mutex (std::lock_guard shape).
+class QRE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) QRE_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() QRE_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scoped exclusive lock of a SharedMutex (writer side).
+class QRE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mutex) QRE_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~WriterLock() QRE_RELEASE() { mutex_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped shared lock of a SharedMutex (reader side).
+class QRE_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mutex) QRE_ACQUIRE_SHARED(mutex) : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderLock() QRE_RELEASE_GENERIC() { mutex_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Condition variable over qre::Mutex. Waits take the held Mutex itself
+/// (not a lock object), which keeps the wait visible to the analysis as
+/// "requires the capability"; predicates are deliberately not accepted —
+/// callers loop over guarded state themselves, in analyzed code:
+///
+///   MutexLock lock(mutex_);
+///   while (!draining_ && pending_.empty()) cv_.wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mutex`, blocks, and reacquires before returning
+  /// (may wake spuriously — always re-check the condition in a loop).
+  void wait(Mutex& mutex) QRE_REQUIRES(mutex) {
+    // The caller's scoped lock keeps logical ownership: adopt the held
+    // std::mutex for the wait, then release the unique_lock's claim so the
+    // destructor of the caller's MutexLock remains the one unlock.
+    std::unique_lock<std::mutex> inner(mutex.m_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+  }
+
+  /// wait() with a timeout; std::cv_status::timeout when it elapsed.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mutex, const std::chrono::duration<Rep, Period>& timeout)
+      QRE_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> inner(mutex.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(inner, timeout);
+    inner.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qre

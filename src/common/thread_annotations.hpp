@@ -1,0 +1,81 @@
+// Clang thread-safety-analysis annotations (compile-time lock discipline).
+//
+// These macros expand to Clang's capability attributes when compiling with
+// Clang and to nothing elsewhere, so annotated code builds unchanged under
+// GCC. Under `cmake -DQRE_THREAD_SAFETY=ON` (Clang only) the whole tree is
+// compiled with `-Wthread-safety -Werror=thread-safety`, turning the lock
+// contracts written with these macros into build errors instead of TSan
+// findings that depend on which interleavings the stress tests happen to
+// hit. The CI `static-analysis` job runs that configuration on every push;
+// tests/static/ proves the analysis actually fires (a seeded violation must
+// fail to compile).
+//
+// The annotations only bite on capability-annotated types, so all qre code
+// synchronizes through the wrappers in common/mutex.hpp (qre::Mutex,
+// qre::SharedMutex, qre::CondVar and the scoped locks) instead of the
+// unannotated std:: primitives. Conventions, the full macro table, and the
+// suppression policy are documented in docs/static_analysis.md.
+#pragma once
+
+#if defined(__clang__)
+#define QRE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QRE_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a capability (a lockable type). The string names
+/// the capability kind in diagnostics, e.g. QRE_CAPABILITY("mutex").
+#define QRE_CAPABILITY(x) QRE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define QRE_SCOPED_CAPABILITY QRE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define QRE_GUARDED_BY(x) QRE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the given capability (the
+/// pointer itself may be read freely).
+#define QRE_PT_GUARDED_BY(x) QRE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations between capabilities (deadlock prevention).
+#define QRE_ACQUIRED_BEFORE(...) QRE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define QRE_ACQUIRED_AFTER(...) QRE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The calling thread must hold the capability (exclusively / shared) on
+/// entry, and still holds it on exit.
+#define QRE_REQUIRES(...) QRE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define QRE_REQUIRES_SHARED(...) QRE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (exclusively / shared); it must not
+/// be held on entry and is held on exit.
+#define QRE_ACQUIRE(...) QRE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define QRE_ACQUIRE_SHARED(...) QRE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability; it must be held on entry.
+/// QRE_RELEASE_GENERIC releases either an exclusive or a shared hold —
+/// destructors of scoped locks that support both use it.
+#define QRE_RELEASE(...) QRE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define QRE_RELEASE_SHARED(...) QRE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define QRE_RELEASE_GENERIC(...) QRE_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability if and only if it returns the given
+/// value, e.g. QRE_TRY_ACQUIRE(true) on a try_lock.
+#define QRE_TRY_ACQUIRE(...) QRE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define QRE_TRY_ACQUIRE_SHARED(...) \
+  QRE_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The capability must NOT be held when calling (non-reentrancy contract).
+#define QRE_EXCLUDES(...) QRE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, from the analysis' view) that the capability is
+/// held; for code reached only from holders the analysis cannot see.
+#define QRE_ASSERT_CAPABILITY(x) QRE_THREAD_ANNOTATION(assert_capability(x))
+#define QRE_ASSERT_SHARED_CAPABILITY(x) QRE_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define QRE_RETURN_CAPABILITY(x) QRE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Every use must carry a
+/// justification comment (docs/static_analysis.md).
+#define QRE_NO_THREAD_SAFETY_ANALYSIS QRE_THREAD_ANNOTATION(no_thread_safety_analysis)

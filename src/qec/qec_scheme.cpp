@@ -1,12 +1,13 @@
 #include "qec/qec_scheme.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace qre {
 
@@ -27,9 +28,9 @@ struct QecScheme::EvalCache {
     bool operator==(const CycleKey&) const = default;
   };
 
-  std::mutex mutex;
-  std::vector<std::pair<CycleKey, double>> cycle_times;
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> patch_qubits;
+  Mutex mutex;
+  std::vector<std::pair<CycleKey, double>> cycle_times QRE_GUARDED_BY(mutex);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> patch_qubits QRE_GUARDED_BY(mutex);
 };
 
 QecScheme::QecScheme(std::string name, double threshold, double prefactor, Formula cycle_time,
@@ -193,7 +194,7 @@ double QecScheme::logical_cycle_time_ns(const QubitParams& qubit,
                                 qubit.two_qubit_joint_measurement_time_ns,
                                 qubit.t_gate_time_ns};
   {
-    std::lock_guard lock(eval_cache_->mutex);
+    MutexLock lock(eval_cache_->mutex);
     for (const auto& [k, v] : eval_cache_->cycle_times) {
       if (k == key) return v;
     }
@@ -201,7 +202,7 @@ double QecScheme::logical_cycle_time_ns(const QubitParams& qubit,
   Environment env = qec_formula_environment(qubit, code_distance);
   double t = logical_cycle_time_.evaluate(env);
   QRE_REQUIRE(t > 0.0, "QEC scheme '" + name_ + "': logical cycle time must be positive");
-  std::lock_guard lock(eval_cache_->mutex);
+  MutexLock lock(eval_cache_->mutex);
   if (eval_cache_->cycle_times.size() < EvalCache::kMaxEntries) {
     eval_cache_->cycle_times.emplace_back(key, t);
   }
@@ -210,7 +211,7 @@ double QecScheme::logical_cycle_time_ns(const QubitParams& qubit,
 
 std::uint64_t QecScheme::physical_qubits_per_logical_qubit(std::uint64_t code_distance) const {
   {
-    std::lock_guard lock(eval_cache_->mutex);
+    MutexLock lock(eval_cache_->mutex);
     for (const auto& [d, q] : eval_cache_->patch_qubits) {
       if (d == code_distance) return q;
     }
@@ -221,7 +222,7 @@ std::uint64_t QecScheme::physical_qubits_per_logical_qubit(std::uint64_t code_di
   QRE_REQUIRE(q >= 1.0,
               "QEC scheme '" + name_ + "': physical qubits per logical qubit must be >= 1");
   std::uint64_t rounded = ceil_to_u64(q);
-  std::lock_guard lock(eval_cache_->mutex);
+  MutexLock lock(eval_cache_->mutex);
   if (eval_cache_->patch_qubits.size() < EvalCache::kMaxEntries) {
     eval_cache_->patch_qubits.emplace_back(code_distance, rounded);
   }

@@ -26,7 +26,7 @@ JobQueue::~JobQueue() { drain(); }
 std::optional<std::uint64_t> JobQueue::submit(json::Value document) {
   std::uint64_t id = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (draining_ || pending_.size() >= options_.max_backlog) return std::nullopt;
     id = next_id_++;
     Job job;
@@ -40,7 +40,7 @@ std::optional<std::uint64_t> JobQueue::submit(json::Value document) {
 }
 
 std::optional<json::Value> JobQueue::status(std::uint64_t id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return std::nullopt;
   const Job& job = it->second;
@@ -58,7 +58,7 @@ std::optional<json::Value> JobQueue::status(std::uint64_t id) const {
 }
 
 JobQueue::CancelResult JobQueue::cancel(std::uint64_t id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return CancelResult::kNotFound;
   Job& job = it->second;
@@ -77,7 +77,7 @@ JobQueue::CancelResult JobQueue::cancel(std::uint64_t id) {
 }
 
 json::Value JobQueue::stats_to_json() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   json::Object out;
   out.emplace_back("queued", json::Value(static_cast<std::uint64_t>(pending_.size())));
   out.emplace_back("running", json::Value(static_cast<std::uint64_t>(num_running_)));
@@ -91,7 +91,7 @@ json::Value JobQueue::stats_to_json() const {
 
 void JobQueue::drain() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (draining_ && workers_.empty()) return;
     draining_ = true;
     // Everything still queued will never run: flip it to cancelled so
@@ -109,7 +109,7 @@ void JobQueue::drain() {
   work_available_.notify_all();
   std::vector<std::thread> workers;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     workers.swap(workers_);
   }
   for (std::thread& t : workers) t.join();
@@ -120,8 +120,8 @@ void JobQueue::worker_loop() {
     std::uint64_t id = 0;
     json::Value document;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock, [this] { return draining_ || !pending_.empty(); });
+      MutexLock lock(mutex_);
+      while (!draining_ && pending_.empty()) work_available_.wait(mutex_);
       if (pending_.empty()) return;  // draining and nothing left
       id = pending_.front();
       pending_.pop_front();
@@ -143,7 +143,7 @@ void JobQueue::worker_loop() {
     }
 
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       Job& job = jobs_.at(id);
       --num_running_;
       if (!error.empty()) {

@@ -19,17 +19,17 @@
 // gracefully: running jobs finish, still-queued jobs flip to cancelled.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "json/json.hpp"
 
 namespace qre::server {
@@ -97,23 +97,24 @@ class JobQueue {
   };
 
   void worker_loop();
-  void retire_locked(std::uint64_t id);
+  void retire_locked(std::uint64_t id) QRE_REQUIRES(mutex_);
 
   Runner runner_;
   JobQueueOptions options_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  bool draining_ = false;
-  std::uint64_t next_id_ = 1;
-  std::deque<std::uint64_t> pending_;
-  std::map<std::uint64_t, Job> jobs_;     // id -> record (ordered: eviction scans old ids first)
-  std::deque<std::uint64_t> finished_;    // retention order
-  std::uint64_t num_succeeded_ = 0;
-  std::uint64_t num_failed_ = 0;
-  std::uint64_t num_cancelled_ = 0;
-  std::size_t num_running_ = 0;
-  std::vector<std::thread> workers_;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  bool draining_ QRE_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_id_ QRE_GUARDED_BY(mutex_) = 1;
+  std::deque<std::uint64_t> pending_ QRE_GUARDED_BY(mutex_);
+  // id -> record (ordered: eviction scans old ids first)
+  std::map<std::uint64_t, Job> jobs_ QRE_GUARDED_BY(mutex_);
+  std::deque<std::uint64_t> finished_ QRE_GUARDED_BY(mutex_);  // retention order
+  std::uint64_t num_succeeded_ QRE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t num_failed_ QRE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t num_cancelled_ QRE_GUARDED_BY(mutex_) = 0;
+  std::size_t num_running_ QRE_GUARDED_BY(mutex_) = 0;
+  std::vector<std::thread> workers_ QRE_GUARDED_BY(mutex_);
 };
 
 }  // namespace qre::server

@@ -10,7 +10,7 @@ const std::vector<double>& Metrics::latency_buckets_ms() {
 
 void Metrics::record(std::string_view route, int status, double latency_ms) {
   const std::vector<double>& buckets = latency_buckets_ms();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (bucket_counts_.empty()) bucket_counts_.assign(buckets.size() + 1, 0);
   ++total_;
   latency_total_ms_ += latency_ms;
@@ -39,13 +39,13 @@ void Metrics::record(std::string_view route, int status, double latency_ms) {
 }
 
 std::uint64_t Metrics::requests_total() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return total_;
 }
 
 json::Value Metrics::to_json() const {
   const std::vector<double>& buckets = latency_buckets_ms();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
 
   json::Object out;
   out.emplace_back("requestsTotal", json::Value(total_));

@@ -14,12 +14,13 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "json/json.hpp"
 
 namespace qre::server {
@@ -42,12 +43,14 @@ class Metrics {
   json::Value to_json() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::uint64_t total_ = 0;
-  double latency_total_ms_ = 0.0;
-  std::vector<std::pair<std::string, std::uint64_t>> by_route_;  // insertion order
-  std::array<std::uint64_t, 5> by_status_class_{};               // 1xx..5xx
-  std::vector<std::uint64_t> bucket_counts_;                     // buckets + overflow
+  mutable Mutex mutex_;
+  std::uint64_t total_ QRE_GUARDED_BY(mutex_) = 0;
+  double latency_total_ms_ QRE_GUARDED_BY(mutex_) = 0.0;
+  // insertion order
+  std::vector<std::pair<std::string, std::uint64_t>> by_route_ QRE_GUARDED_BY(mutex_);
+  std::array<std::uint64_t, 5> by_status_class_ QRE_GUARDED_BY(mutex_) = {};  // 1xx..5xx
+  // buckets + overflow
+  std::vector<std::uint64_t> bucket_counts_ QRE_GUARDED_BY(mutex_);
 };
 
 }  // namespace qre::server

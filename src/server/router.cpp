@@ -93,22 +93,32 @@ Service::Service(api::Registry& registry, ServiceOptions options)
 
   if (options.persist_interval_s > 0) {
     const auto interval = std::chrono::duration<double>(options.persist_interval_s);
-    persist_thread_ = std::thread([this, interval] {
-      std::unique_lock lock(persist_thread_mutex_);
-      while (!persist_thread_cv_.wait_for(lock, interval,
-                                          [this] { return stop_persist_thread_; })) {
-        lock.unlock();
-        persist_store();
-        lock.lock();
+    persist_thread_ = std::thread([this, interval] { persist_thread_loop(interval); });
+  }
+}
+
+void Service::persist_thread_loop(std::chrono::duration<double> interval) {
+  for (;;) {
+    {
+      MutexLock lock(persist_thread_mutex_);
+      while (!stop_persist_thread_) {
+        if (persist_thread_cv_.wait_for(persist_thread_mutex_, interval) ==
+            std::cv_status::timeout) {
+          break;  // interval elapsed: persist below, outside the lock
+        }
+        // Woken early: either the destructor set the stop flag (checked by
+        // the loop condition) or a spurious wakeup (wait again).
       }
-    });
+      if (stop_persist_thread_) return;
+    }
+    persist_store();
   }
 }
 
 Service::~Service() {
   if (persist_thread_.joinable()) {
     {
-      std::lock_guard lock(persist_thread_mutex_);
+      MutexLock lock(persist_thread_mutex_);
       stop_persist_thread_ = true;
     }
     persist_thread_cv_.notify_all();

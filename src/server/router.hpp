@@ -24,13 +24,14 @@
 // endpoint surface is exercised in-process by tests/test_server.cpp.
 #pragma once
 
-#include <condition_variable>
+#include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "api/registry.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "server/http.hpp"
 #include "server/job_queue.hpp"
 #include "server/metrics.hpp"
@@ -86,11 +87,13 @@ class Service {
   service::Engine engine_;
   Metrics metrics_;
 
+  void persist_thread_loop(std::chrono::duration<double> interval);
+
   // Periodic persistence (started only with cache_dir + a positive
   // interval); the cv lets the destructor stop a long sleep immediately.
-  std::mutex persist_thread_mutex_;
-  std::condition_variable persist_thread_cv_;
-  bool stop_persist_thread_ = false;
+  Mutex persist_thread_mutex_;
+  CondVar persist_thread_cv_;
+  bool stop_persist_thread_ QRE_GUARDED_BY(persist_thread_mutex_) = false;
   std::thread persist_thread_;
 
   JobQueue jobs_;  // declared last: workers use engine_/registry_ via run_document

@@ -57,7 +57,7 @@ void Server::start() {
   // shutdown state or the new acceptor/workers would exit immediately.
   stop_requested_.store(false);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     acceptor_done_ = false;
   }
 
@@ -107,8 +107,8 @@ void Server::request_stop() {
 }
 
 void Server::wait() {
-  std::unique_lock lock(mutex_);
-  acceptor_done_cv_.wait(lock, [this] { return acceptor_done_ || !started_; });
+  MutexLock lock(mutex_);
+  while (!acceptor_done_ && started_) acceptor_done_cv_.wait(mutex_);
 }
 
 void Server::stop() {
@@ -116,7 +116,7 @@ void Server::stop() {
   request_stop();
   if (acceptor_.joinable()) acceptor_.join();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // Connections that never reached a worker are closed unserved — serving
     // them now could block shutdown behind clients that never send a byte.
     for (int fd : pending_connections_) ::close(fd);
@@ -160,7 +160,7 @@ void Server::acceptor_loop() {
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       pending_connections_.push_back(conn);
     }
     connections_available_.notify_one();
@@ -168,7 +168,7 @@ void Server::acceptor_loop() {
 
   close_quietly(listen_fd_);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     acceptor_done_ = true;
   }
   acceptor_done_cv_.notify_all();
@@ -179,10 +179,10 @@ void Server::worker_loop(std::size_t slot) {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock lock(mutex_);
-      connections_available_.wait(lock, [this] {
-        return !pending_connections_.empty() || stop_requested_.load();
-      });
+      MutexLock lock(mutex_);
+      while (pending_connections_.empty() && !stop_requested_.load()) {
+        connections_available_.wait(mutex_);
+      }
       if (pending_connections_.empty()) return;  // stopping and drained
       fd = pending_connections_.front();
       pending_connections_.pop_front();
@@ -190,7 +190,7 @@ void Server::worker_loop(std::size_t slot) {
     }
     serve_connection(fd);
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       active_fds_[slot] = -1;
     }
     ::close(fd);

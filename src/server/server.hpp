@@ -21,14 +21,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "server/http.hpp"
 #include "server/router.hpp"
 
@@ -94,12 +94,13 @@ class Server {
 
   std::atomic<bool> stop_requested_{false};
 
-  std::mutex mutex_;
-  std::condition_variable connections_available_;
-  std::condition_variable acceptor_done_cv_;
-  std::deque<int> pending_connections_;
-  bool acceptor_done_ = false;
-  std::vector<int> active_fds_;  // per worker slot; -1 when idle
+  Mutex mutex_;
+  CondVar connections_available_;
+  CondVar acceptor_done_cv_;
+  std::deque<int> pending_connections_ QRE_GUARDED_BY(mutex_);
+  bool acceptor_done_ QRE_GUARDED_BY(mutex_) = false;
+  // per worker slot; -1 when idle
+  std::vector<int> active_fds_ QRE_GUARDED_BY(mutex_);
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

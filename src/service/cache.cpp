@@ -49,7 +49,7 @@ json::Value EstimateCache::get_or_compute(const std::string& key, const Compute&
   std::promise<json::Value> promise;
   bool owner = false;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (const std::shared_future<json::Value>* found = entries_.find(key)) {
       hits_.fetch_add(1);
       future = *found;
@@ -82,12 +82,12 @@ json::Value EstimateCache::get_or_compute(const std::string& key, const Compute&
 }
 
 std::size_t EstimateCache::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void EstimateCache::clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   hits_.store(0);
   misses_.store(0);

@@ -22,11 +22,12 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/lru_map.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "json/json.hpp"
 
 namespace qre::service {
@@ -99,9 +100,11 @@ class EstimateCache {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
+  // Deliberately unguarded: wired before traffic starts (see set_backing)
+  // and read-only afterwards, like the registry's registration contract.
   StoreBacking* backing_ = nullptr;
-  LruMap<std::shared_future<json::Value>> entries_;
+  LruMap<std::shared_future<json::Value>> entries_ QRE_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

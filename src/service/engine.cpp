@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "tfactory/factory_cache.hpp"
 
 namespace qre::service {
@@ -84,7 +84,7 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
   std::vector<char> done(n, 0);
   std::atomic<std::size_t> next_item{0};
   std::atomic<std::size_t> num_errors{0};
-  std::mutex emit_mutex;
+  Mutex emit_mutex;
   std::size_t next_emit = 0;
 
   // Stores result `i` and streams the contiguous prefix of completed items,
@@ -93,7 +93,7 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
     if (result.is_object() && result.find("error") != nullptr) {
       num_errors.fetch_add(1);
     }
-    std::lock_guard lock(emit_mutex);
+    MutexLock lock(emit_mutex);
     results[i] = std::move(result);
     done[i] = 1;
     while (next_emit < n && done[next_emit]) {

@@ -35,12 +35,12 @@ LoadResult EstimateStore::load() {
     // the file existed but was rejected (bad magic / version / truncation).
     result.message = e.what();
     result.file_found = result.message.find("cannot open") == std::string::npos;
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     last_load_ = result;
     return result;
   }
 
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (Record& r : from_disk) {
     if (index_.count(r.key) != 0) continue;  // in-memory entries win
     payload_bytes_ += kRecordHeaderSize + r.key.size() + r.value.size();
@@ -53,7 +53,7 @@ LoadResult EstimateStore::load() {
 }
 
 std::optional<json::Value> EstimateStore::fetch(const std::string& key) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -79,7 +79,7 @@ void EstimateStore::record(const std::string& key, const json::Value& result) {
   } catch (const std::exception&) {
     return;  // un-serializable results are simply not persisted
   }
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (index_.count(key) != 0) return;  // deterministic: first write is final
   payload_bytes_ += kRecordHeaderSize + key.size() + value.size();
   index_.emplace(key, records_.size());
@@ -90,11 +90,11 @@ void EstimateStore::record(const std::string& key, const json::Value& result) {
 bool EstimateStore::persist(bool force) {
   // One persist at a time per process; snapshot under the data lock, write
   // outside it so serving threads never wait on disk I/O.
-  std::lock_guard persist_lock(persist_mutex_);
+  MutexLock persist_lock(persist_mutex_);
   std::vector<Record> snapshot;
   std::size_t adds_at_snapshot;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (dirty_adds_ == 0 && !force) return false;
     snapshot = records_;
     adds_at_snapshot = dirty_adds_;
@@ -105,14 +105,14 @@ bool EstimateStore::persist(bool force) {
     std::fprintf(stderr, "store: persist to '%s' failed: %s\n", path_.c_str(), e.what());
     return false;
   }
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   dirty_adds_ -= adds_at_snapshot;
   ++persists_;
   return true;
 }
 
 json::Value EstimateStore::stats_to_json() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   json::Object out;
   out.emplace_back("enabled", json::Value(true));
   out.emplace_back("hits", json::Value(hits_));
@@ -128,17 +128,17 @@ json::Value EstimateStore::stats_to_json() const {
 }
 
 std::uint64_t EstimateStore::hits() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t EstimateStore::misses() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 
 std::size_t EstimateStore::records() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return records_.size();
 }
 

@@ -27,12 +27,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "json/json.hpp"
 #include "service/cache.hpp"
 #include "store/store.hpp"
@@ -83,17 +84,21 @@ class EstimateStore : public service::StoreBacking {
  private:
   const std::string path_;
 
-  mutable std::mutex mutex_;
-  std::vector<Record> records_;                         // insertion order (oldest first)
-  std::unordered_map<std::string, std::size_t> index_;  // key -> records_ position
-  std::size_t dirty_adds_ = 0;   // adds since the last successful persist
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t payload_bytes_ = 0;
-  std::uint64_t persists_ = 0;
-  LoadResult last_load_;
+  mutable Mutex mutex_;
+  // insertion order (oldest first)
+  std::vector<Record> records_ QRE_GUARDED_BY(mutex_);
+  // key -> records_ position
+  std::unordered_map<std::string, std::size_t> index_ QRE_GUARDED_BY(mutex_);
+  // adds since the last successful persist
+  std::size_t dirty_adds_ QRE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ QRE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ QRE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t payload_bytes_ QRE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t persists_ QRE_GUARDED_BY(mutex_) = 0;
+  LoadResult last_load_ QRE_GUARDED_BY(mutex_);
 
-  std::mutex persist_mutex_;  // serializes in-process persist() calls
+  // Serializes in-process persist() calls; always acquired before mutex_.
+  Mutex persist_mutex_ QRE_ACQUIRED_BEFORE(mutex_);
 };
 
 }  // namespace qre::store

@@ -102,7 +102,7 @@ std::optional<TFactory> FactoryCache::design(double required_output_error,
   // factories, so cached entries stay valid across the toggle.
   const std::string key = fingerprint(required_output_error, qubit, scheme, units, options);
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (const std::optional<TFactory>* found = entries_.find(key)) {
       hits_.fetch_add(1);
       return *found;
@@ -114,7 +114,7 @@ std::optional<TFactory> FactoryCache::design(double required_output_error,
   // same (deterministic) design twice.
   std::optional<TFactory> designed =
       design_tfactory(required_output_error, qubit, scheme, units, options);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!entries_.contains(key)) {
     evictions_.fetch_add(entries_.insert(key, designed));
   }
@@ -122,12 +122,12 @@ std::optional<TFactory> FactoryCache::design(double required_output_error,
 }
 
 std::size_t FactoryCache::size() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void FactoryCache::clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   hits_.store(0);
   misses_.store(0);

@@ -19,12 +19,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/lru_map.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "profiles/qubit_params.hpp"
 #include "qec/qec_scheme.hpp"
 #include "tfactory/distillation_unit.hpp"
@@ -68,8 +69,8 @@ class FactoryCache {
 
  private:
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mutex_;
-  LruMap<std::optional<TFactory>> entries_;
+  mutable Mutex mutex_;
+  LruMap<std::optional<TFactory>> entries_ QRE_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

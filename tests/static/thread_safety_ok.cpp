@@ -1,0 +1,69 @@
+// Positive control for the negative compile-test: the same shape as
+// thread_safety_violation.cpp with the lock discipline done right, which
+// MUST compile cleanly under `-Wthread-safety -Werror=thread-safety`.
+// Together the pair proves the analysis configuration both fires on real
+// violations and stays quiet on correct code — a violation-only test could
+// "pass" because of an unrelated compile error.
+//
+// This file also exercises every wrapper in common/mutex.hpp (Mutex,
+// SharedMutex, CondVar, all three scoped locks and a QRE_REQUIRES helper)
+// so a regression in the wrappers' own annotations is caught here, not in
+// the middle of the server build.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    qre::MutexLock lock(mutex_);
+    increment_locked();
+    changed_.notify_all();
+  }
+
+  void wait_for_nonzero() {
+    qre::MutexLock lock(mutex_);
+    while (value_ == 0) changed_.wait(mutex_);
+  }
+
+  int value() const {
+    qre::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void increment_locked() QRE_REQUIRES(mutex_) { value_ += 1; }
+
+  mutable qre::Mutex mutex_;
+  qre::CondVar changed_;
+  int value_ QRE_GUARDED_BY(mutex_) = 0;
+};
+
+class Table {
+ public:
+  void set(int v) {
+    qre::WriterLock lock(mutex_);
+    value_ = v;
+  }
+
+  int get() const {
+    qre::ReaderLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable qre::SharedMutex mutex_;
+  int value_ QRE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  counter.wait_for_nonzero();
+  Table table;
+  table.set(counter.value());
+  return table.get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Negative compile-test: a deliberate lock-discipline violation that MUST
+// fail to compile under `-Wthread-safety -Werror=thread-safety` (the
+// static_thread_safety_violation ctest entry is marked WILL_FAIL). If this
+// file ever compiles in the QRE_THREAD_SAFETY configuration, the analysis
+// is not actually firing — annotations that merely parse prove nothing.
+//
+// Keep this file minimal: the only error it may contain is the missing
+// lock, so a failure is unambiguously the analysis firing (the companion
+// thread_safety_ok.cpp compiles the same shape correctly as the control).
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    value_ += 1;  // BUG (intentional): guarded write without holding mutex_
+  }
+
+  int value() const {
+    qre::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable qre::Mutex mutex_;
+  int value_ QRE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}
