@@ -1,6 +1,7 @@
 #include "api/api.hpp"
 
 #include "api/frontier.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "report/report.hpp"
 #include "service/sweep.hpp"
@@ -171,6 +172,10 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
   const json::Value* sweep = doc.find("sweep");
 
   try {
+    // Bail before any estimation when the request arrives already cancelled
+    // or past its deadline; mid-run the engine and frontier explorer check
+    // the same token at item boundaries.
+    options.cancel.throw_if_cancelled("estimate");
     if (doc.find("frontier") != nullptr) {
       // The adaptive Pareto explorer (see api/frontier.hpp). Probes are
       // memoized individually through `options`' cache, never the frontier
@@ -224,6 +229,10 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
       }
       response.success = true;
     }
+  } catch (const DeadlineExceededError& e) {
+    response.diagnostics.error("deadline-exceeded", "", e.what());
+  } catch (const CancelledError& e) {
+    response.diagnostics.error("cancelled", "", e.what());
   } catch (const ValidationError& e) {
     response.diagnostics.append(e.diagnostics());
   } catch (const std::exception& e) {

@@ -1,0 +1,107 @@
+// Cooperative cancellation and deadlines (resilience layer).
+//
+// A CancelToken is a cheap, copyable handle to shared cancellation state —
+// an optional atomic "cancel requested" flag plus an optional monotonic
+// deadline. Tokens propagate BY VALUE through EngineOptions into every
+// long-running path (sweep worker loops, frontier probe waves, api::run),
+// which check should_stop() at item boundaries: cancellation is observed
+// within one item, never mid-estimate, so results stay deterministic and a
+// cancelled run simply stops producing new items.
+//
+//   CancelToken token = CancelToken::cancellable().with_deadline(2.5);
+//   ... hand copies to workers ...
+//   token.request_cancel();            // from any thread
+//   ... workers: if (token.should_stop()) bail at the next item boundary
+//
+// The default-constructed token is the null token: it never cancels and
+// costs nothing to check, so code paths that never need cancellation pass
+// it through untouched. request_cancel() on the null token is a no-op.
+//
+// Two exception types give cancellation a structured diagnostics shape:
+// throw_if_cancelled() raises DeadlineExceededError (code
+// "deadline-exceeded") or CancelledError (code "cancelled"), which api::run
+// maps onto the response envelope and the HTTP layer onto 408.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace qre {
+
+/// Raised when a run is abandoned because its CancelToken was cancelled.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a run is abandoned because its deadline elapsed.
+class DeadlineExceededError : public CancelledError {
+ public:
+  explicit DeadlineExceededError(const std::string& what) : CancelledError(what) {}
+};
+
+class CancelToken {
+ public:
+  /// The null token: never cancels, never expires, free to copy and check.
+  CancelToken() = default;
+
+  /// A token whose request_cancel() actually works (allocates the shared
+  /// flag). Copies share the flag: cancelling any copy cancels them all.
+  static CancelToken cancellable() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// A copy of this token that additionally expires `seconds` from now
+  /// (monotonic clock). The cancel flag stays shared; the deadline is part
+  /// of the copy, so derived scopes can be bounded independently.
+  CancelToken with_deadline(double seconds) const {
+    CancelToken token = *this;
+    token.has_deadline_ = true;
+    token.deadline_ = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(seconds));
+    return token;
+  }
+
+  /// Flags every copy of this token as cancelled. Safe from any thread and
+  /// more than once; a no-op on the null token.
+  void request_cancel() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  bool deadline_exceeded() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// The item-boundary check: cancelled or past the deadline.
+  bool should_stop() const { return cancel_requested() || deadline_exceeded(); }
+
+  /// Raises DeadlineExceededError / CancelledError naming `what` when the
+  /// token says to stop; the deadline is reported in preference to the flag
+  /// (a drain may set both, and "deadline exceeded" is the more actionable
+  /// diagnostic).
+  void throw_if_cancelled(const char* what) const {
+    if (deadline_exceeded()) {
+      throw DeadlineExceededError(std::string(what) + ": request deadline exceeded");
+    }
+    if (cancel_requested()) {
+      throw CancelledError(std::string(what) + ": request cancelled");
+    }
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;  // null = never cancelled
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace qre

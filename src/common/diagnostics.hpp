@@ -21,6 +21,8 @@
 //   invalid-sweep        a sweep grid does not expand
 //   invalid-item         a batch item failed validation
 //   estimation-failed    a structurally valid input was infeasible at runtime
+//   cancelled            the run was abandoned on a cancellation request
+//   deadline-exceeded    the run was abandoned because its deadline elapsed
 //
 // This lives in common/ (not api/) so the per-module from_json parsers can
 // feed the same channel without depending on the API layer.

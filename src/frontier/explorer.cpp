@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 
 namespace qre::frontier {
@@ -235,6 +236,10 @@ class Explorer {
   /// worker pool, per-item error isolation) and records the outcomes.
   /// Returns the global index of the wave's first probe.
   std::size_t run_wave(const std::vector<std::pair<std::size_t, std::uint64_t>>& wave) {
+    // A cancelled exploration aborts between waves (partial probes are
+    // discarded by api::run, which maps the throw onto the response
+    // diagnostics); within a wave the engine skips remaining items itself.
+    wave_options_.cancel.throw_if_cancelled("frontier exploration");
     std::vector<json::Value> items;
     items.reserve(wave.size());
     for (const auto& [level, cap] : wave) items.push_back(probe_document(level, cap));

@@ -5,10 +5,47 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <random>
+#include <thread>
 
 namespace qre::server {
+
+namespace {
+
+std::atomic<std::uint64_t> g_process_retries{0};
+
+/// Uniform jitter in [backoff/2, backoff]: desynchronizes clients that
+/// failed together so they do not retry together.
+int jittered_ms(int backoff_ms) {
+  if (backoff_ms <= 1) return backoff_ms;
+  thread_local std::minstd_rand rng{std::random_device{}()};
+  const int half = backoff_ms / 2;
+  return half + static_cast<int>(rng() % static_cast<unsigned>(backoff_ms - half + 1));
+}
+
+/// Retry-After in whole seconds (the HTTP-date form is not supported);
+/// -1 when absent or unparseable.
+int retry_after_ms(const std::vector<Header>& headers) {
+  const std::string* value = find_header(headers, "Retry-After");
+  if (value == nullptr || value->empty() ||
+      value->find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  if (value->size() > 4) return -1;  // > 9999 s: treat as hostile/garbage
+  return std::atoi(value->c_str()) * 1000;
+}
+
+}  // namespace
+
+std::uint64_t Client::process_retries() {
+  return g_process_retries.load(std::memory_order_relaxed);
+}
 
 Client::~Client() { disconnect(); }
 
@@ -58,6 +95,36 @@ bool Client::connect_if_needed(std::string& error) {
 Client::Result Client::request(const std::string& method, const std::string& target,
                                const std::string& body,
                                const std::vector<Header>& headers) {
+  // DELETE is idempotent here by the server's own contract: repeating a
+  // cancel is answered consistently (cancelling/409), never doubly applied.
+  const bool idempotent = method == "GET" || method == "HEAD" || method == "DELETE";
+  int backoff_ms = policy_.initial_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    bool transport_retriable = false;
+    Result result = request_once(method, target, body, headers, idempotent, transport_retriable);
+
+    int wait_ms = -1;
+    if (!result.ok) {
+      if (transport_retriable) wait_ms = jittered_ms(backoff_ms);
+    } else if (idempotent &&
+               (result.status == 408 || result.status == 429 || result.status == 503)) {
+      const int hinted = retry_after_ms(result.headers);
+      wait_ms = hinted >= 0 ? std::min(hinted, policy_.max_retry_after_ms)
+                            : jittered_ms(backoff_ms);
+    }
+    if (wait_ms < 0 || attempt + 1 >= policy_.max_attempts) return result;
+
+    ++retries_;
+    g_process_retries.fetch_add(1, std::memory_order_relaxed);
+    if (wait_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    backoff_ms = std::min(backoff_ms * 2, policy_.max_backoff_ms);
+  }
+}
+
+Client::Result Client::request_once(const std::string& method, const std::string& target,
+                                    const std::string& body,
+                                    const std::vector<Header>& headers, bool idempotent,
+                                    bool& transport_retriable) {
   Result result;
 
   std::string message = method + " " + target + " HTTP/1.1\r\n";
@@ -74,9 +141,13 @@ Client::Result Client::request(const std::string& method, const std::string& tar
   // Non-idempotent methods only retry when NO request byte reached the
   // wire — a consumed-but-unanswered POST must not be blindly resent (it
   // could, e.g., double-submit an async job).
-  const bool idempotent = method == "GET" || method == "HEAD";
   for (int attempt = 0; attempt < 2; ++attempt) {
-    if (!connect_if_needed(result.error)) return result;
+    if (!connect_if_needed(result.error)) {
+      // Nothing reached the wire, so even a POST may retry — except on a
+      // malformed address, which no amount of retrying fixes.
+      transport_retriable = result.error.rfind("invalid host", 0) != 0;
+      return result;
+    }
 
     bool write_ok = true;
     std::string_view remaining = message;
@@ -93,7 +164,8 @@ Client::Result Client::request(const std::string& method, const std::string& tar
       const bool untouched = remaining.size() == message.size();
       disconnect();
       result.error = "send failed";
-      if (idempotent || untouched) continue;  // retry on a fresh connection
+      transport_retriable = idempotent || untouched;
+      if (transport_retriable) continue;  // retry on a fresh connection
       return result;
     }
 
@@ -118,6 +190,9 @@ Client::Result Client::request(const std::string& method, const std::string& tar
     if (status != ReadStatus::kOk) {
       disconnect();
       if (result.error.empty()) result.error = "failed to read response";
+      // The request reached the wire but no response came back: safe to
+      // retry only when re-execution is harmless.
+      transport_retriable = idempotent;
       return result;
     }
 
@@ -131,6 +206,9 @@ Client::Result Client::request(const std::string& method, const std::string& tar
     if (connection != nullptr && *connection == "close") disconnect();
     return result;
   }
+  // Both keep-alive-race attempts failed; every path that lands here was a
+  // retriable transport failure.
+  transport_retriable = true;
   return result;
 }
 

@@ -10,6 +10,12 @@
 // Connections are reused across request() calls (keep-alive) and
 // transparently re-opened when the server closed in between. Not
 // concurrency-safe; give each test thread its own Client.
+//
+// Resilience: idempotent requests (GET/HEAD/DELETE) — plus any request
+// that failed before a byte reached the wire — are retried with bounded
+// exponential backoff and jitter on connect failures and on 408/429/503
+// responses, honoring a server-sent Retry-After (seconds). A POST that
+// may have reached the server is never blindly resent.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +26,22 @@
 
 namespace qre::server {
 
+/// Bounded-exponential-backoff retry schedule. The wait before retry k is
+/// uniformly jittered in [backoff/2, backoff], backoff doubling from
+/// initial_backoff_ms up to max_backoff_ms; a Retry-After response header
+/// overrides it (capped by max_retry_after_ms so a hostile header cannot
+/// stall the caller).
+struct RetryPolicy {
+  int max_attempts = 3;  // total tries, including the first; 1 disables retry
+  int initial_backoff_ms = 25;
+  int max_backoff_ms = 1000;
+  int max_retry_after_ms = 5000;
+};
+
 class Client {
  public:
-  Client(std::string host, std::uint16_t port) : host_(std::move(host)), port_(port) {}
+  Client(std::string host, std::uint16_t port, RetryPolicy policy = {})
+      : host_(std::move(host)), port_(port), policy_(policy) {}
   ~Client();
 
   Client(const Client&) = delete;
@@ -54,12 +73,24 @@ class Client {
   }
   Result del(const std::string& target) { return request("DELETE", target); }
 
+  /// Retries this client performed (each backoff wait counts one).
+  std::uint64_t retries() const { return retries_; }
+
+  /// Process-wide retry counter across every Client instance; surfaced as
+  /// client.retriesTotal in GET /metrics.
+  static std::uint64_t process_retries();
+
  private:
+  Result request_once(const std::string& method, const std::string& target,
+                      const std::string& body, const std::vector<Header>& headers,
+                      bool idempotent, bool& transport_retriable);
   bool connect_if_needed(std::string& error);
   void disconnect();
 
   std::string host_;
   std::uint16_t port_;
+  RetryPolicy policy_;
+  std::uint64_t retries_ = 0;
   int fd_ = -1;
   std::string buffer_;  // leftover bytes between keep-alive responses
 };

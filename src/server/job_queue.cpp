@@ -1,11 +1,14 @@
 #include "server/job_queue.hpp"
 
+#include "common/failpoint.hpp"
+
 namespace qre::server {
 
 std::string_view to_string(JobState state) {
   switch (state) {
     case JobState::kQueued: return "queued";
     case JobState::kRunning: return "running";
+    case JobState::kCancelling: return "cancelling";
     case JobState::kSucceeded: return "succeeded";
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
@@ -62,18 +65,27 @@ JobQueue::CancelResult JobQueue::cancel(std::uint64_t id) {
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return CancelResult::kNotFound;
   Job& job = it->second;
-  if (job.state != JobState::kQueued) return CancelResult::kNotCancellable;
-  for (auto pending_it = pending_.begin(); pending_it != pending_.end(); ++pending_it) {
-    if (*pending_it == id) {
-      pending_.erase(pending_it);
-      break;
+  if (job.state == JobState::kQueued) {
+    for (auto pending_it = pending_.begin(); pending_it != pending_.end(); ++pending_it) {
+      if (*pending_it == id) {
+        pending_.erase(pending_it);
+        break;
+      }
     }
+    job.state = JobState::kCancelled;
+    job.document = json::Value();  // the document is dead weight from here on
+    ++num_cancelled_;
+    retire_locked(id);
+    return CancelResult::kCancelled;
   }
-  job.state = JobState::kCancelled;
-  job.document = json::Value();  // the document is dead weight from here on
-  ++num_cancelled_;
-  retire_locked(id);
-  return CancelResult::kCancelled;
+  if (job.state == JobState::kRunning || job.state == JobState::kCancelling) {
+    // Cooperative: flag the token; the worker observes it at the next item
+    // boundary and completes the transition to kCancelled. Idempotent.
+    job.state = JobState::kCancelling;
+    job.cancel.request_cancel();
+    return CancelResult::kCancelling;
+  }
+  return CancelResult::kNotCancellable;
 }
 
 json::Value JobQueue::stats_to_json() const {
@@ -94,6 +106,16 @@ void JobQueue::drain() {
     MutexLock lock(mutex_);
     if (draining_ && workers_.empty()) return;
     draining_ = true;
+    // Ask running jobs to stop: their tokens are flagged, the engine bails
+    // at the next item boundary, and the worker marks them cancelled —
+    // shutdown waits for one item, not a whole sweep.
+    for (auto& entry : jobs_) {
+      Job& job = entry.second;
+      if (job.state == JobState::kRunning || job.state == JobState::kCancelling) {
+        job.state = JobState::kCancelling;
+        job.cancel.request_cancel();
+      }
+    }
     // Everything still queued will never run: flip it to cancelled so
     // pollers see a terminal state instead of an eternal "queued".
     for (std::uint64_t id : pending_) {
@@ -119,6 +141,7 @@ void JobQueue::worker_loop() {
   for (;;) {
     std::uint64_t id = 0;
     json::Value document;
+    CancelToken token;
     {
       MutexLock lock(mutex_);
       while (!draining_ && pending_.empty()) work_available_.wait(mutex_);
@@ -127,6 +150,8 @@ void JobQueue::worker_loop() {
       pending_.pop_front();
       Job& job = jobs_.at(id);
       job.state = JobState::kRunning;
+      job.cancel = CancelToken::cancellable();
+      token = job.cancel;
       document = std::move(job.document);
       job.document = json::Value();
       ++num_running_;
@@ -135,7 +160,8 @@ void JobQueue::worker_loop() {
     json::Value response;
     std::string error;
     try {
-      response = runner_(document);
+      QRE_FAILPOINT("jobqueue.worker.before_run");
+      response = runner_(document, token);
     } catch (const std::exception& e) {
       error = e.what();
     } catch (...) {
@@ -146,7 +172,14 @@ void JobQueue::worker_loop() {
       MutexLock lock(mutex_);
       Job& job = jobs_.at(id);
       --num_running_;
-      if (!error.empty()) {
+      if (token.cancel_requested()) {
+        // Cancel wins even when the runner happened to finish: the client
+        // was told "cancelling", so the terminal state is cancelled and
+        // partial results are discarded.
+        job.state = JobState::kCancelled;
+        job.error.clear();
+        ++num_cancelled_;
+      } else if (!error.empty()) {
         job.state = JobState::kFailed;
         job.error = std::move(error);
         ++num_failed_;
@@ -160,6 +193,7 @@ void JobQueue::worker_loop() {
         job.response = std::move(response);
         ok ? ++num_succeeded_ : ++num_failed_;
       }
+      job.cancel = CancelToken();  // drop the shared flag
       retire_locked(id);
     }
   }

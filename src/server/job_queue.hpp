@@ -7,6 +7,14 @@
 //
 //     queued -> running -> succeeded | failed
 //     queued -> cancelled                     (DELETE while still queued)
+//     queued -> running -> cancelling -> cancelled
+//                                             (DELETE while running)
+//
+// Cancelling a RUNNING job is cooperative: the job's CancelToken is
+// flagged, the estimation engine observes it at the next item boundary,
+// and the worker marks the job cancelled when the runner returns — partial
+// results are discarded (cancel wins even when the runner happened to
+// finish). "cancelling" is the observable in-between state.
 //
 // The backlog is bounded: submit() refuses new work once `max_backlog` jobs
 // are queued (the HTTP layer turns that into 429 Too Many Requests), which
@@ -16,7 +24,9 @@
 // eviction is indistinguishable from an unknown id (404).
 //
 // All public methods are concurrency-safe. drain() stops the workers
-// gracefully: running jobs finish, still-queued jobs flip to cancelled.
+// gracefully: running jobs are asked to cancel (their tokens are flagged,
+// so shutdown is bounded by one item, not a whole sweep), still-queued
+// jobs flip to cancelled.
 #pragma once
 
 #include <cstdint>
@@ -28,13 +38,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "json/json.hpp"
 
 namespace qre::server {
 
-enum class JobState { kQueued, kRunning, kSucceeded, kFailed, kCancelled };
+enum class JobState { kQueued, kRunning, kCancelling, kSucceeded, kFailed, kCancelled };
 
 std::string_view to_string(JobState state);
 
@@ -52,8 +63,10 @@ struct JobQueueOptions {
 class JobQueue {
  public:
   /// Runs one job document and returns the full v2 response envelope.
-  /// Invoked on queue workers; exceptions become state kFailed.
-  using Runner = std::function<json::Value(const json::Value& document)>;
+  /// Invoked on queue workers; exceptions become state kFailed. The token
+  /// is this job's cancellation handle — runners thread it into the engine
+  /// so DELETE can interrupt running work at item boundaries.
+  using Runner = std::function<json::Value(const json::Value& document, const CancelToken& cancel)>;
 
   JobQueue(Runner runner, JobQueueOptions options = {});
   ~JobQueue();
@@ -66,24 +79,32 @@ class JobQueue {
   std::optional<std::uint64_t> submit(json::Value document);
 
   /// The job's status document:
-  ///   {"id": ..., "status": "queued|running|succeeded|failed|cancelled",
-  ///    "response": {...}}            // terminal runs only
+  ///   {"id": ..., "status":
+  ///        "queued|running|cancelling|succeeded|failed|cancelled",
+  ///    "response": {...}}            // succeeded / failed runs only
   ///   {"id": ..., "status": "failed", "error": "..."}  // runner threw
-  /// nullopt = unknown (or evicted) id -> 404.
+  /// nullopt = unknown (or evicted) id -> 404. Cancelled jobs carry no
+  /// response: partial results are discarded.
   std::optional<json::Value> status(std::uint64_t id) const;
 
-  enum class CancelResult { kCancelled, kNotFound, kNotCancellable };
+  enum class CancelResult { kCancelled, kCancelling, kNotFound, kNotCancellable };
 
-  /// Cancels a still-queued job. Running and finished jobs are not
-  /// cancellable (estimation is not interruptible mid-item).
+  /// Cancels a job. Queued jobs cancel immediately (kCancelled); running
+  /// jobs are cancelled cooperatively — the job's token is flagged, the
+  /// state becomes kCancelling, and the worker finishes the transition to
+  /// kCancelled at the next item boundary. Repeating the request while
+  /// cancelling returns kCancelling again. Only finished jobs are
+  /// kNotCancellable.
   CancelResult cancel(std::uint64_t id);
 
   /// {"queued": ..., "running": ..., "succeeded": ..., "failed": ...,
   ///  "cancelled": ..., "backlogLimit": ...} — lifetime counters for
-  /// terminal states, instantaneous gauges for queued/running.
+  /// terminal states, instantaneous gauges for queued/running (the running
+  /// gauge includes jobs in the cancelling state).
   json::Value stats_to_json() const;
 
-  /// Graceful shutdown: stop accepting, let running jobs finish, mark the
+  /// Graceful shutdown: stop accepting, request cancellation of running
+  /// jobs (they terminate as cancelled at the next item boundary), mark the
   /// remaining queue cancelled, join the workers. Idempotent.
   void drain();
 
@@ -94,6 +115,7 @@ class JobQueue {
     json::Value document;
     json::Value response;  // set in kSucceeded / kFailed (when the runner returned)
     std::string error;     // set when the runner threw
+    CancelToken cancel;    // armed while running; shared with the runner
   };
 
   void worker_loop();

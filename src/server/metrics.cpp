@@ -49,6 +49,13 @@ json::Value Metrics::to_json() const {
 
   json::Object out;
   out.emplace_back("requestsTotal", json::Value(total_));
+  out.emplace_back("uptimeSeconds",
+                   json::Value(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start_)
+                                   .count()));
+  out.emplace_back("connectionsInFlight", json::Value(connections_in_flight()));
+  out.emplace_back("deadlineExceededTotal", json::Value(deadline_exceeded_total()));
+  out.emplace_back("cancelRequestsTotal", json::Value(cancel_requests_total()));
 
   json::Object by_route;
   for (const auto& [name, count] : by_route_) by_route.emplace_back(name, json::Value(count));

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -27,6 +29,8 @@ namespace qre::server {
 
 class Metrics {
  public:
+  Metrics() : start_(std::chrono::steady_clock::now()) {}
+
   /// Upper bucket bounds of the latency histogram, in milliseconds; the
   /// implicit final bucket is +inf.
   static const std::vector<double>& latency_buckets_ms();
@@ -34,15 +38,44 @@ class Metrics {
   /// Records one completed request.
   void record(std::string_view route, int status, double latency_ms);
 
+  /// In-flight connection gauge, driven by the transport's worker loop
+  /// (Server wires its ServerOptions::metrics to the service's instance).
+  void connection_opened() { connections_in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  void connection_closed() { connections_in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+  std::int64_t connections_in_flight() const {
+    return connections_in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Resilience counters: estimate runs abandoned at the request deadline,
+  /// and accepted DELETE /v2/jobs/{id} cancellations (queued or running).
+  void record_deadline_exceeded() {
+    deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_cancel_request() {
+    cancel_requests_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t deadline_exceeded_total() const {
+    return deadline_exceeded_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cancel_requests_total() const {
+    return cancel_requests_total_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t requests_total() const;
 
   /// {"requestsTotal": ..., "requestsByRoute": {...},
   ///  "responsesByStatus": {"2xx": ..., ...},
+  ///  "uptimeSeconds": ..., "connectionsInFlight": ...,
+  ///  "deadlineExceededTotal": ..., "cancelRequestsTotal": ...,
   ///  "latencyMs": {"bucketUpperBounds": [...], "counts": [...],
   ///                "totalMs": ..., "count": ...}}
   json::Value to_json() const;
 
  private:
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<std::int64_t> connections_in_flight_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_total_{0};
+  std::atomic<std::uint64_t> cancel_requests_total_{0};
   mutable Mutex mutex_;
   std::uint64_t total_ QRE_GUARDED_BY(mutex_) = 0;
   double latency_total_ms_ QRE_GUARDED_BY(mutex_) = 0.0;

@@ -7,7 +7,9 @@
 #include "api/api.hpp"
 #include "api/schema.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/version.hpp"
+#include "server/client.hpp"
 #include "tfactory/factory_cache.hpp"
 
 namespace qre::server {
@@ -71,8 +73,10 @@ std::string method_label(const std::string& method) {
 
 Service::Service(api::Registry& registry, ServiceOptions options)
     : registry_(registry),
+      request_deadline_s_(options.request_deadline_s),
       engine_(options.engine),
-      jobs_([this](const json::Value& document) { return run_document(document); },
+      jobs_([this](const json::Value& document,
+                   const CancelToken& cancel) { return run_document(document, cancel); },
             options.jobs) {
   if (options.cache_dir.empty()) return;
 
@@ -131,9 +135,11 @@ void Service::persist_store() {
   if (store_ != nullptr) store_->persist();
 }
 
-json::Value Service::run_document(const json::Value& document) {
+json::Value Service::run_document(const json::Value& document, const CancelToken& cancel) {
   api::EstimateRequest request = api::EstimateRequest::parse(document, registry_);
-  api::EstimateResponse response = api::run(request, engine_.options(), registry_);
+  service::EngineOptions options = engine_.options();
+  options.cancel = cancel;
+  api::EstimateResponse response = api::run(request, options, registry_);
   return response.to_json();
 }
 
@@ -211,6 +217,12 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
       body.emplace_back("store", json::Value(std::move(disabled)));
     }
     body.emplace_back("jobs", service_.jobs().stats_to_json());
+    // Resilience observability: retries performed by in-process clients
+    // (loopback health checks, tests) and the fault-injection registry.
+    json::Object client_stats;
+    client_stats.emplace_back("retriesTotal", json::Value(Client::process_retries()));
+    body.emplace_back("client", json::Value(std::move(client_stats)));
+    body.emplace_back("failpoints", failpoint::stats_to_json());
     return send(json_response(200, json::Value(std::move(body))));
   }
 
@@ -265,6 +277,23 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
                                parsed.document.find("sweep") != nullptr ||
                                parsed.document.find("frontier") != nullptr;
 
+    // The per-request deadline (qre_serve --request-deadline): once it
+    // elapses, the engine stops at the next item boundary. Sweeps degrade
+    // to per-item "cancelled" entries; single/frontier runs answer 408.
+    CancelToken cancel;
+    if (service_.request_deadline_s() > 0) {
+      cancel = cancel.with_deadline(service_.request_deadline_s());
+    }
+    auto deadline_status = [&](const api::EstimateResponse& response, int fallback) {
+      for (const Diagnostic& d : response.diagnostics.entries()) {
+        if (d.code == "deadline-exceeded") {
+          service_.metrics().record_deadline_exceeded();
+          return 408;
+        }
+      }
+      return fallback;
+    };
+
     if (parsed.ok() && is_streamable && request.accepts("application/x-ndjson")) {
       // Streaming: one NDJSON line per item (or frontier probe), strictly
       // in item order, then a final batchStats/frontierStats line. Headers
@@ -282,11 +311,13 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
             line.emplace_back("result", result);
             sink_ok = chunked.write(json::Value(std::move(line)).dump() + "\n") && sink_ok;
           });
+      options.cancel = cancel;
       api::EstimateResponse response = api::run(parsed, options, service_.registry());
       if (!chunked.begun()) {
         // Nothing streamed: empty expansion or a failure before the batch
         // ran. Fall back to a plain envelope.
-        return send(json_response(response.success ? 200 : 422, response.to_json()));
+        return send(json_response(deadline_status(response, response.success ? 200 : 422),
+                                  response.to_json()));
       }
       if (!response.success) {
         // The run failed after lines went out (e.g. a frontier whose every
@@ -314,9 +345,11 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
       return keep_alive && sink_ok;
     }
 
-    api::EstimateResponse response =
-        api::run(parsed, service_.engine().options(), service_.registry());
-    const int http_status = parsed.ok() ? (response.success ? 200 : 422) : 400;
+    service::EngineOptions options = service_.engine().options();
+    options.cancel = cancel;
+    api::EstimateResponse response = api::run(parsed, options, service_.registry());
+    int http_status = parsed.ok() ? (response.success ? 200 : 422) : 400;
+    if (parsed.ok() && !response.success) http_status = deadline_status(response, http_status);
     return send(json_response(http_status, response.to_json()));
   }
 
@@ -365,10 +398,20 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
       case JobQueue::CancelResult::kNotCancellable:
         return send(error_response(409, "not-cancellable",
                                    "job " + std::to_string(id) +
-                                       " is running or finished; only queued jobs cancel"));
+                                       " already finished; finished jobs cannot be cancelled"));
+      case JobQueue::CancelResult::kCancelling: {
+        // Running: cancellation is cooperative. 202 = accepted, in
+        // progress; poll GET /v2/jobs/{id} for the terminal "cancelled".
+        service_.metrics().record_cancel_request();
+        json::Object body;
+        body.emplace_back("id", json::Value(id));
+        body.emplace_back("status", std::string(to_string(JobState::kCancelling)));
+        return send(json_response(202, json::Value(std::move(body))));
+      }
       case JobQueue::CancelResult::kCancelled:
         break;
     }
+    service_.metrics().record_cancel_request();
     json::Object body;
     body.emplace_back("id", json::Value(id));
     body.emplace_back("status", std::string(to_string(JobState::kCancelled)));

@@ -12,7 +12,8 @@
 //   POST   /v2/jobs       async submit -> 202 {"id", "status"}; 429 when
 //                         the backlog is full
 //   GET    /v2/jobs/{id}  job status (+ response envelope when finished)
-//   DELETE /v2/jobs/{id}  cancel a still-queued job
+//   DELETE /v2/jobs/{id}  cancel a queued job (200) or a running one
+//                         (202 "cancelling", cooperative — see job_queue.hpp)
 //   POST   /v2/validate   schema dry-run; never estimates
 //   GET    /v2/profiles   registry dump (qubits, QEC schemes, units)
 //   GET    /healthz       liveness probe
@@ -55,6 +56,13 @@ struct ServiceOptions {
   /// --persist-interval); 0 persists only on drain. Ignored without
   /// cache_dir.
   double persist_interval_s = 0;
+  /// Deadline applied to every POST /v2/estimate run (qre_serve
+  /// --request-deadline); 0 disables. A run past its deadline stops at the
+  /// next item boundary: batch responses keep per-item "cancelled" entries
+  /// (isolation semantics), single/frontier runs answer HTTP 408 with a
+  /// "deadline-exceeded" diagnostic. Async jobs are not bounded — they are
+  /// cancelled explicitly via DELETE.
+  double request_deadline_s = 0;
 };
 
 /// The process-wide serving state. `registry` must outlive the Service and
@@ -78,11 +86,16 @@ class Service {
 
   /// Parses + runs one job document on the shared engine; returns the full
   /// v2 response envelope. This is the job-queue runner and the body of
-  /// POST /v2/estimate.
-  json::Value run_document(const json::Value& document);
+  /// POST /v2/estimate. `cancel` propagates into the engine's item loop;
+  /// pass the default token for an unbounded run.
+  json::Value run_document(const json::Value& document, const CancelToken& cancel = {});
+
+  /// ServiceOptions::request_deadline_s (0 = no deadline).
+  double request_deadline_s() const { return request_deadline_s_; }
 
  private:
   api::Registry& registry_;
+  double request_deadline_s_ = 0;
   std::unique_ptr<store::EstimateStore> store_;  // before engine_: wired into it
   service::Engine engine_;
   Metrics metrics_;

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace qre::server {
 
@@ -28,7 +29,9 @@ void close_quietly(int& fd) {
 }
 
 /// Blocking send of the whole buffer; MSG_NOSIGNAL so a dead peer surfaces
-/// as an error instead of SIGPIPE.
+/// as an error instead of SIGPIPE. EAGAIN/EWOULDBLOCK — SO_SNDTIMEO fired
+/// because the peer stopped reading — also returns false: the caller
+/// abandons the response and closes, freeing the worker.
 bool send_all(int fd, std::string_view data) {
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
@@ -156,6 +159,11 @@ void Server::acceptor_loop() {
       timeout.tv_sec = options_.receive_timeout_seconds;
       ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
     }
+    if (options_.send_timeout_seconds > 0) {
+      timeval timeout{};
+      timeout.tv_sec = options_.send_timeout_seconds;
+      ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+    }
     const int one = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
@@ -188,7 +196,9 @@ void Server::worker_loop(std::size_t slot) {
       pending_connections_.pop_front();
       active_fds_[slot] = fd;
     }
+    if (options_.metrics != nullptr) options_.metrics->connection_opened();
     serve_connection(fd);
+    if (options_.metrics != nullptr) options_.metrics->connection_closed();
     {
       MutexLock lock(mutex_);
       active_fds_[slot] = -1;
@@ -207,10 +217,26 @@ void Server::serve_connection(int fd) {
       return -1;
     }
   };
-  const ByteSink sink = [fd](std::string_view data) { return send_all(fd, data); };
+  const ByteSink sink = [fd](std::string_view data) {
+    // Injected write fault = the peer became unwritable: abandon the
+    // response, report failure so the connection closes.
+    try {
+      QRE_FAILPOINT("server.conn.before_write");
+    } catch (const Error&) {
+      return false;
+    }
+    return send_all(fd, data);
+  };
 
   std::string buffer;
   for (;;) {
+    // Injected read fault = the peer vanished mid-stream: drop the
+    // connection without a response, like a real half-open socket.
+    try {
+      QRE_FAILPOINT("server.conn.before_read");
+    } catch (const Error&) {
+      break;
+    }
     Request request;
     const ReadStatus status = read_request(source, buffer, request, options_.limits);
     if (status == ReadStatus::kClosed || status == ReadStatus::kTimeout) break;

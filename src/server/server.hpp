@@ -45,8 +45,16 @@ struct ServerOptions {
   /// recv timeout on an open connection; bounds how long an idle keep-alive
   /// socket can pin a worker.
   int receive_timeout_seconds = 30;
+  /// send timeout (SO_SNDTIMEO); bounds how long a slow or stalled reader
+  /// can wedge a worker mid-response. A timed-out write closes the
+  /// connection. 0 disables.
+  int send_timeout_seconds = 30;
   /// Header/body size bounds for request parsing.
   ReadLimits limits;
+  /// Optional serving-metrics sink (not owned): when set, workers drive the
+  /// in-flight connection gauge. qre_serve wires the Service's instance so
+  /// GET /metrics sees the transport.
+  Metrics* metrics = nullptr;
 };
 
 class Server {

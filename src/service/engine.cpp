@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/mutex.hpp"
 #include "tfactory/factory_cache.hpp"
 
@@ -34,13 +35,22 @@ json::Value Engine::stats_to_json() const {
 
 namespace {
 
-json::Value error_value(const std::string& message) {
+json::Value error_value(const char* code, const std::string& message) {
   json::Object error;
-  error.emplace_back("code", "estimation-failed");
+  error.emplace_back("code", code);
   error.emplace_back("message", message);
   json::Object failure;
   failure.emplace_back("error", json::Value(std::move(error)));
   return json::Value(std::move(failure));
+}
+
+/// The per-item document for an item skipped because the batch's token said
+/// stop. Never cached: a cancelled entry must not shadow a real result for
+/// the same grid point in a shared cache.
+json::Value cancelled_value(const CancelToken& cancel) {
+  return error_value("cancelled", cancel.deadline_exceeded()
+                                      ? "item skipped: request deadline exceeded"
+                                      : "item skipped: request cancelled");
 }
 
 /// Runs one item, memoized when a cache is present. All failures — from the
@@ -48,12 +58,13 @@ json::Value error_value(const std::string& message) {
 /// document, preserving the batch's isolation contract.
 json::Value run_one(const json::Value& item, const JobRunner& runner, EstimateCache* cache) {
   try {
+    QRE_FAILPOINT("engine.evaluate.before");
     if (cache != nullptr) {
       return cache->get_or_compute(canonical_key(item), [&] { return runner(item); });
     }
     return runner(item);
   } catch (const std::exception& e) {
-    return error_value(e.what());
+    return error_value("estimation-failed", e.what());
   }
 }
 
@@ -106,6 +117,12 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
     for (;;) {
       const std::size_t i = next_item.fetch_add(1);
       if (i >= n) return;
+      // Cancellation is observed at item boundaries: skipped items become
+      // structured "cancelled" entries so the output array keeps its shape.
+      if (options.cancel.should_stop()) {
+        complete(i, cancelled_value(options.cancel));
+        continue;
+      }
       complete(i, run_one(items[i], runner, cache));
     }
   };

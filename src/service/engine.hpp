@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "json/json.hpp"
 #include "service/cache.hpp"
 
@@ -52,6 +53,11 @@ struct EngineOptions {
   EstimateCache* cache = nullptr;
   /// Optional streaming sink; see ResultSink.
   ResultSink on_result;
+  /// Cooperative cancellation / deadline, checked at item boundaries: once
+  /// the token says stop, remaining items become {"error": {"code":
+  /// "cancelled", ...}} entries without running (and without touching the
+  /// cache). The default token never cancels.
+  CancelToken cancel;
 };
 
 /// Aggregate counters for one batch run, echoed as "batchStats" by run_job.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace qre::store {
 
@@ -26,6 +27,9 @@ LoadResult EstimateStore::load() {
   LoadResult result;
   std::vector<Record> from_disk;
   try {
+    // Injected open/read faults degrade to the cold-start path below, the
+    // same way a rejected or unreadable file does.
+    QRE_FAILPOINT("store.open.before_read");
     result.records_skipped = read_store_records(path_, from_disk);
     result.file_found = true;
     result.usable = true;

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace qre::store {
 
@@ -103,6 +104,11 @@ std::string encode_store(const std::vector<Record>& records) {
 void write_store_file(const std::string& path, const std::vector<Record>& records) {
   const std::string image = encode_store(records);
 
+  // The crash-safety contract drilled by tests/test_resilience.cpp: a crash
+  // anywhere before the rename leaves at most a torn `.tmp.*` file behind —
+  // the previous snapshot at `path` is untouched and fully readable.
+  QRE_FAILPOINT("store.persist.before_write");
+
   // Unique temp name per process: two engines persisting into the same
   // directory each write their own complete snapshot and race only on the
   // atomic rename — last one wins, neither corrupts the other.
@@ -112,9 +118,22 @@ void write_store_file(const std::string& path, const std::vector<Record>& record
 
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (fd < 0) throw_errno("cannot create temp file", tmp);
+  // Bounded chunks (not one giant write) give the mid-write failpoint a
+  // real torn-write window between syscalls; the cost is negligible.
+  constexpr std::size_t kWriteChunk = 64 * 1024;
   std::size_t written = 0;
   while (written < image.size()) {
-    const ssize_t n = ::write(fd, image.data() + written, image.size() - written);
+    if (written > 0) {
+      try {
+        QRE_FAILPOINT("store.persist.mid_write");
+      } catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+      }
+    }
+    const std::size_t chunk = std::min(image.size() - written, kWriteChunk);
+    const ssize_t n = ::write(fd, image.data() + written, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
@@ -126,6 +145,12 @@ void write_store_file(const std::string& path, const std::vector<Record>& record
   if (::fsync(fd) != 0 || ::close(fd) != 0) {
     ::unlink(tmp.c_str());
     throw_errno("fsync/close failed for", tmp);
+  }
+  try {
+    QRE_FAILPOINT("store.persist.before_rename");
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
   }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());

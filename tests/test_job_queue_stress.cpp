@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <random>
 #include <set>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "json/json.hpp"
 #include "server/job_queue.hpp"
@@ -37,7 +39,7 @@ TEST(JobQueueStress, RacingSubmitPollCancelKeepsInvariants) {
 
   std::atomic<std::uint64_t> executed{0};
   JobQueue queue(
-      [&executed](const json::Value& document) {
+      [&executed](const json::Value& document, const CancelToken&) {
         executed.fetch_add(1, std::memory_order_relaxed);
         // Occasionally fail so the failed path races too.
         if (document.at("payload").as_uint() % 7 == 0) {
@@ -79,8 +81,8 @@ TEST(JobQueueStress, RacingSubmitPollCancelKeepsInvariants) {
             if (status.has_value()) {
               const std::string& state = status->at("status").as_string();
               EXPECT_TRUE(state == "queued" || state == "running" ||
-                          state == "succeeded" || state == "failed" ||
-                          state == "cancelled")
+                          state == "cancelling" || state == "succeeded" ||
+                          state == "failed" || state == "cancelled")
                   << state;
             }
             break;
@@ -88,7 +90,11 @@ TEST(JobQueueStress, RacingSubmitPollCancelKeepsInvariants) {
           default: {  // cancel one of ours
             if (!mine.empty()) {
               const JobQueue::CancelResult result = queue.cancel(mine[rng() % mine.size()]);
-              if (result == JobQueue::CancelResult::kCancelled) {
+              // kCancelled (was queued) and kCancelling (was running) both
+              // guarantee a terminal "cancelled" — cancel wins over a runner
+              // that happens to finish.
+              if (result == JobQueue::CancelResult::kCancelled ||
+                  result == JobQueue::CancelResult::kCancelling) {
                 cancelled.fetch_add(1, std::memory_order_relaxed);
               }
             }
@@ -133,7 +139,10 @@ TEST(JobQueueStress, RacingSubmitPollCancelKeepsInvariants) {
   }
   EXPECT_EQ(succeeded + failed + cancelled_terminal, total_submitted);
   EXPECT_GE(cancelled_terminal, cancelled.load());  // drain cancels the rest
-  EXPECT_EQ(executed.load(), succeeded + failed);
+  // Cancel-wins: a job whose runner executed can still terminate cancelled
+  // (its response is discarded), so executed bounds the counted terminals
+  // from above instead of matching exactly.
+  EXPECT_GE(executed.load(), succeeded + failed);
 
   const json::Value stats = queue.stats_to_json();
   EXPECT_EQ(stats.at("succeeded").as_uint(), succeeded);
@@ -147,7 +156,9 @@ TEST(JobQueueStress, BoundedBacklogShedsLoadUnderBurst) {
   JobQueueOptions options;
   options.num_workers = 0;  // frozen: nothing ever starts
   options.max_backlog = 8;
-  JobQueue queue([](const json::Value&) { return json::Value(json::Object{}); }, options);
+  JobQueue queue(
+      [](const json::Value&, const CancelToken&) { return json::Value(json::Object{}); },
+      options);
 
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> rejected{0};
@@ -172,10 +183,115 @@ TEST(JobQueueStress, BoundedBacklogShedsLoadUnderBurst) {
   EXPECT_EQ(queue.stats_to_json().at("cancelled").as_uint(), 8u);
 }
 
+TEST(JobQueueStress, CancelInterruptsRunningJob) {
+  JobQueueOptions options;
+  options.num_workers = 1;
+  std::atomic<std::uint64_t> started{0};
+  JobQueue queue(
+      [&started](const json::Value&, const CancelToken& cancel) {
+        started.fetch_add(1, std::memory_order_relaxed);
+        // Simulated sweep: poll the token at 1ms "item boundaries"; without
+        // a cancel this outlives the test's polling budget by design.
+        for (int i = 0; i < 4000 && !cancel.should_stop(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        json::Object o;
+        o.emplace_back("done", json::Value(true));
+        return json::Value(std::move(o));
+      },
+      options);
+
+  const std::optional<std::uint64_t> id = queue.submit(tiny_document(1));
+  ASSERT_TRUE(id.has_value());
+  for (int i = 0; i < 4000 && started.load(std::memory_order_relaxed) == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(started.load(std::memory_order_relaxed), 0u) << "worker never started the job";
+
+  const JobQueue::CancelResult result = queue.cancel(*id);
+  EXPECT_TRUE(result == JobQueue::CancelResult::kCancelling ||
+              result == JobQueue::CancelResult::kCancelled);
+
+  // Cooperative cancellation lands within one item boundary (1ms here) —
+  // far inside this polling budget.
+  std::string state;
+  for (int i = 0; i < 4000; ++i) {
+    const std::optional<json::Value> status = queue.status(*id);
+    ASSERT_TRUE(status.has_value());
+    state = status->at("status").as_string();
+    if (state == "cancelled") break;
+    EXPECT_TRUE(state == "running" || state == "cancelling") << state;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(state, "cancelled");
+  // Partial results are discarded: cancelled jobs never expose a response.
+  EXPECT_EQ(queue.status(*id)->find("response"), nullptr);
+  // Cancelling again is answered consistently (already finished).
+  EXPECT_EQ(queue.cancel(*id), JobQueue::CancelResult::kNotCancellable);
+  queue.drain();
+}
+
+TEST(JobQueueStress, RetentionEvictionRacesDeleteAndPolls) {
+  JobQueueOptions options;
+  options.num_workers = 2;
+  options.max_backlog = 64;
+  options.max_retained = 8;  // aggressive eviction while clients still poll
+  JobQueue queue(
+      [](const json::Value& document, const CancelToken&) {
+        json::Object o;
+        o.emplace_back("echo", document.at("payload").as_uint());
+        return json::Value(std::move(o));
+      },
+      options);
+
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937_64 rng(t + 100);
+      std::vector<std::uint64_t> mine;
+      for (std::size_t op = 0; op < 300; ++op) {
+        switch (rng() % 3) {
+          case 0: {
+            const std::optional<std::uint64_t> id = queue.submit(tiny_document(rng() % 100));
+            if (id.has_value()) mine.push_back(*id);
+            break;
+          }
+          case 1: {  // poll: an evicted id is indistinguishable from unknown
+            if (!mine.empty()) {
+              const std::optional<json::Value> status =
+                  queue.status(mine[rng() % mine.size()]);
+              if (status.has_value()) {
+                const std::string& state = status->at("status").as_string();
+                EXPECT_TRUE(state == "queued" || state == "running" ||
+                            state == "cancelling" || state == "succeeded" ||
+                            state == "failed" || state == "cancelled")
+                    << state;
+              }
+            }
+            break;
+          }
+          default: {  // DELETE races eviction and the running worker
+            if (!mine.empty()) (void)queue.cancel(mine[rng() % mine.size()]);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  queue.drain();
+
+  const json::Value stats = queue.stats_to_json();
+  EXPECT_EQ(stats.at("queued").as_uint(), 0u);
+  EXPECT_EQ(stats.at("running").as_uint(), 0u);
+}
+
 TEST(JobQueueStress, ConcurrentDrainsAreIdempotent) {
   JobQueueOptions options;
   options.num_workers = 2;
-  JobQueue queue([](const json::Value&) { return json::Value(json::Object{}); }, options);
+  JobQueue queue(
+      [](const json::Value&, const CancelToken&) { return json::Value(json::Object{}); },
+      options);
   for (std::size_t i = 0; i < 16; ++i) (void)queue.submit(tiny_document(i));
   std::vector<std::thread> drains;
   for (std::size_t t = 0; t < 4; ++t) drains.emplace_back([&] { queue.drain(); });

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "common/failpoint.hpp"
 #include "core/job.hpp"
 #include "json/json.hpp"
 #include "server/client.hpp"
@@ -160,7 +161,7 @@ class ServerFixture {
       EXPECT_TRUE(r.ok) << r.error;
       json::Value doc = json::parse(r.body);
       const std::string& state = doc.at("status").as_string();
-      if (state != "queued" && state != "running") return doc;
+      if (state != "queued" && state != "running" && state != "cancelling") return doc;
       if (std::chrono::steady_clock::now() > deadline) {
         ADD_FAILURE() << "job " << id << " stuck in state " << state;
         return doc;
@@ -272,6 +273,69 @@ TEST(Server, QueuedJobsCancelDeterministically) {
   Client::Result again = fx.client().del("/v2/jobs/" + std::to_string(id));
   ASSERT_TRUE(again.ok) << again.error;
   EXPECT_EQ(again.status, 409);
+}
+
+TEST(Server, DeleteCancelsARunningJobWithinOneItem) {
+  if (!failpoint::compiled_in()) GTEST_SKIP() << "built with QRE_FAILPOINTS=OFF";
+  // Each item stalls 200 ms at the evaluate seam, so the 4-item batch runs
+  // long enough to be caught mid-flight and cancellation (observed at the
+  // next item boundary) still lands far inside the await budget.
+  failpoint::configure("engine.evaluate.before=delay(200)");
+  struct Disarm {
+    ~Disarm() { failpoint::reset(); }
+  } disarm;
+
+  ServerFixture fx;
+  Client::Result submit = fx.client().post("/v2/jobs", kBatchJob);
+  ASSERT_TRUE(submit.ok) << submit.error;
+  ASSERT_EQ(submit.status, 202);
+  const std::uint64_t id = json::parse(submit.body).at("id").as_uint();
+
+  // Catch the job while it is actually running.
+  std::string state = "queued";
+  for (int i = 0; i < 2000 && state == "queued"; ++i) {
+    Client::Result poll = fx.client().get("/v2/jobs/" + std::to_string(id));
+    ASSERT_TRUE(poll.ok) << poll.error;
+    state = json::parse(poll.body).at("status").as_string();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(state, "running");
+
+  Client::Result cancel = fx.client().del("/v2/jobs/" + std::to_string(id));
+  ASSERT_TRUE(cancel.ok) << cancel.error;
+  EXPECT_EQ(cancel.status, 202);  // accepted: cancellation is cooperative
+  EXPECT_EQ(json::parse(cancel.body).at("status").as_string(), "cancelling");
+
+  // Terminal within the polling budget; partial results are discarded.
+  const json::Value terminal = fx.await_job(id);
+  EXPECT_EQ(terminal.at("status").as_string(), "cancelled");
+  EXPECT_EQ(terminal.find("response"), nullptr);
+
+  // The cancel surfaced in /metrics.
+  Client::Result metrics = fx.client().get("/metrics");
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  EXPECT_GE(json::parse(metrics.body).at("server").at("cancelRequestsTotal").as_uint(), 1u);
+}
+
+TEST(Server, RequestDeadlineAnswers408WithDiagnostic) {
+  server::ServiceOptions options;
+  options.request_deadline_s = 1e-9;  // expired before the run begins
+  ServerFixture fx(options);
+
+  Client::Result r = fx.client().post("/v2/estimate", kSingleJob);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 408);
+  const json::Value body = json::parse(r.body);
+  EXPECT_FALSE(body.at("success").as_bool());
+  bool saw_code = false;
+  for (const json::Value& d : body.at("diagnostics").as_array()) {
+    if (d.at("code").as_string() == "deadline-exceeded") saw_code = true;
+  }
+  EXPECT_TRUE(saw_code);
+
+  Client::Result metrics = fx.client().get("/metrics");
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  EXPECT_GE(json::parse(metrics.body).at("server").at("deadlineExceededTotal").as_uint(), 1u);
 }
 
 TEST(Server, FullBacklogReturns429) {

@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/version.hpp"
 #include "core/job.hpp"
 #include "report/report.hpp"
@@ -91,6 +93,14 @@ void print_usage(std::FILE* out) {
                "  qre_cli --cache-stats <job.json>  print one JSON document with the\n"
                "                              estimate-cache, factory-cache and (with\n"
                "                              --cache-dir) store counters to stderr\n"
+               "  qre_cli --deadline S <job.json>  bound the run to S seconds: batch\n"
+               "                              items past the deadline become per-item\n"
+               "                              \"cancelled\" entries, single/frontier runs\n"
+               "                              fail with a deadline-exceeded diagnostic\n"
+               "                              (docs/robustness.md)\n"
+               "  qre_cli --failpoints SPEC   arm fault-injection sites, e.g.\n"
+               "                              'store.persist.before_rename=error' (also\n"
+               "                              via QRE_FAILPOINTS; docs/robustness.md)\n"
                "  qre_cli store dump <store>  print store records as NDJSON, one\n"
                "                              {\"key\", \"result\"} object per line\n"
                "  qre_cli store info <store>  print header/record statistics as JSON\n"
@@ -127,6 +137,8 @@ struct Options {
   bool cache_stats = false;
   std::size_t num_workers = 0;
   std::size_t cache_capacity = qre::service::EstimateCache::kDefaultCapacity;
+  double deadline_s = 0;  // 0 = unbounded
+  std::string failpoints;
   std::string cache_dir;
   std::vector<std::string> profile_packs;
   std::string path;
@@ -197,6 +209,25 @@ int parse_args(int argc, char** argv, Options& opts) {
         return 2;
       }
       opts.num_workers = static_cast<std::size_t>(n);
+    } else if (arg == "--deadline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --deadline requires a duration in seconds\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const double seconds = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || !(seconds > 0)) {
+        std::fprintf(stderr, "error: --deadline expects seconds > 0, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      opts.deadline_s = seconds;
+    } else if (arg == "--failpoints") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --failpoints requires a spec string\n");
+        return 2;
+      }
+      opts.failpoints = argv[++i];
     } else if (arg == "--version") {
       std::printf("qre_cli %s (schema v%d)\n", qre::version_string(),
                   qre::api::kSchemaVersion);
@@ -425,6 +456,11 @@ int main(int argc, char** argv) {
   if (int status = parse_args(argc, argv, opts); status != 0) return status;
 
   try {
+    // Fault injection arms before the job loads: a bad spec is a usage-time
+    // error, and every seam below (store open, engine evaluate) is covered.
+    qre::failpoint::configure_from_env();
+    qre::failpoint::configure(opts.failpoints);
+
     qre::api::Registry& registry = qre::api::Registry::global();
     for (const std::string& pack_path : opts.profile_packs) {
       qre::Diagnostics pack_diags;
@@ -535,6 +571,12 @@ int main(int argc, char** argv) {
     }
 
     qre::service::EngineOptions run_options = engine.options();
+    if (opts.deadline_s > 0) {
+      // Offline runs share the server's deadline semantics: batch items past
+      // the deadline report per-item "cancelled" entries, single/frontier
+      // runs fail with a deadline-exceeded diagnostic (docs/robustness.md).
+      run_options.cancel = qre::CancelToken().with_deadline(opts.deadline_s);
+    }
     if (opts.stream) {
       run_options.on_result = [](std::size_t index, const qre::json::Value& result) {
         qre::json::Object line;

@@ -21,6 +21,11 @@
 //      tool's --help text and in README.md or docs/ — the static
 //      generalization of scripts/check_cli_help.sh, which checks the same
 //      property against the built binaries at test time.
+//   5. Failpoints. Every QRE_FAILPOINT("name") site in src/ must use a
+//      unique name (one site per seam — a spec term arms exactly one
+//      place), and every name must be catalogued with a backticked entry
+//      in docs/robustness.md; conversely every catalogued name must still
+//      exist in the code.
 //
 // Usage: qre_lint <repo-root>       (exit 0 clean, 1 findings, 2 usage/IO)
 //
@@ -237,6 +242,46 @@ void check_cli_flags(const fs::path& root) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// 5. Failpoints: QRE_FAILPOINT sites unique and catalogued in
+//    docs/robustness.md; no stale catalog entries.
+
+void check_failpoints(const fs::path& root) {
+  const std::regex site_re(R"#(QRE_FAILPOINT\(\s*"([a-z0-9_.]+)"\s*\))#");
+  std::set<std::string> sites;
+  for (const fs::path& source : collect(root / "src", ".cpp")) {
+    const std::string text = read_file(source);
+    for (const std::string& name : find_all(text, site_re)) {
+      if (!sites.insert(name).second) {
+        finding(source.string(),
+                "failpoint '" + name + "' is defined at more than one site "
+                "(names must map to exactly one seam)");
+      }
+    }
+  }
+
+  const fs::path catalog_path = root / "docs/robustness.md";
+  const std::string catalog = read_file(catalog_path);
+  // Catalogued names lead a markdown table row (| `store.persist...` | ...),
+  // which keeps backticked filenames elsewhere in the doc out of the parse.
+  const std::regex doc_re(R"#(\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`)#");
+  std::set<std::string> documented;
+  for (const std::string& name : find_all(catalog, doc_re)) documented.insert(name);
+
+  for (const std::string& name : sites) {
+    if (documented.count(name) == 0) {
+      finding(catalog_path.string(),
+              "failpoint '" + name + "' exists in the code but is not catalogued");
+    }
+  }
+  for (const std::string& name : documented) {
+    if (sites.count(name) == 0) {
+      finding(catalog_path.string(),
+              "catalogued failpoint '" + name + "' matches no QRE_FAILPOINT site");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +299,7 @@ int main(int argc, char** argv) {
   check_error_codes(root);
   check_headers(root);
   check_cli_flags(root);
+  check_failpoints(root);
 
   if (g_findings != 0) {
     std::fprintf(stderr, "qre_lint: %d finding(s)\n", g_findings);

@@ -7,6 +7,8 @@
 //   POST /v2/estimate     synchronous estimate (NDJSON streaming on
 //                         "Accept: application/x-ndjson" for batches)
 //   POST /v2/jobs         async submit; GET/DELETE /v2/jobs/{id} poll/cancel
+//                         (DELETE cancels queued AND running jobs; running
+//                         ones cancel cooperatively at the next item)
 //   POST /v2/validate     schema dry-run
 //   GET  /v2/profiles     profile registry dump
 //   GET  /healthz /version /metrics
@@ -23,6 +25,7 @@
 #include "api/api.hpp"
 #include "api/schema.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/version.hpp"
 #include "server/router.hpp"
 #include "server/server.hpp"
@@ -62,6 +65,19 @@ void print_usage(std::FILE* out) {
                "                      every S seconds (default: only on drain)\n"
                "  --profile-pack P    register a JSON profile pack before serving\n"
                "                      (repeatable; packs load BEFORE the first request)\n"
+               "  --request-deadline S  bound every POST /v2/estimate run to S seconds:\n"
+               "                      sweeps degrade to per-item \"cancelled\" entries,\n"
+               "                      single/frontier runs answer 408 deadline-exceeded\n"
+               "                      (default: unbounded; docs/robustness.md)\n"
+               "  --recv-timeout S    receive timeout on open connections in seconds\n"
+               "                      (0 disables; default 30)\n"
+               "  --send-timeout S    send timeout in seconds — a reader that stalls\n"
+               "                      longer loses its connection instead of wedging a\n"
+               "                      worker (0 disables; default 30)\n"
+               "  --failpoints SPEC   arm fault-injection sites, e.g.\n"
+               "                      'store.persist.before_rename=crash;engine.evaluate\n"
+               "                      .before=5%%error' (also via the QRE_FAILPOINTS env\n"
+               "                      var; catalog in docs/robustness.md)\n"
                "  --version           print the version and exit\n"
                "  --help              this text\n",
                qre::service::EstimateCache::kDefaultCapacity);
@@ -71,6 +87,7 @@ struct Options {
   qre::server::ServerOptions server;
   qre::server::ServiceOptions service;
   std::string port_file;
+  std::string failpoints;
   std::vector<std::string> profile_packs;
 };
 
@@ -143,6 +160,28 @@ int parse_args(int argc, char** argv, Options& opts) {
       const char* v = next("--profile-pack");
       if (v == nullptr) return 2;
       opts.profile_packs.emplace_back(v);
+    } else if (arg == "--request-deadline") {
+      const char* v = next("--request-deadline");
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      const double seconds = std::strtod(v, &end);
+      if (end == nullptr || *end != '\0' || !(seconds > 0)) {
+        std::fprintf(stderr, "error: --request-deadline expects seconds > 0\n");
+        return 2;
+      }
+      opts.service.request_deadline_s = seconds;
+    } else if (arg == "--recv-timeout") {
+      const char* v = next("--recv-timeout");
+      if (v == nullptr || !parse_size(v, 0, n)) return 2;
+      opts.server.receive_timeout_seconds = static_cast<int>(n);
+    } else if (arg == "--send-timeout") {
+      const char* v = next("--send-timeout");
+      if (v == nullptr || !parse_size(v, 0, n)) return 2;
+      opts.server.send_timeout_seconds = static_cast<int>(n);
+    } else if (arg == "--failpoints") {
+      const char* v = next("--failpoints");
+      if (v == nullptr) return 2;
+      opts.failpoints = v;
     } else if (arg == "--version") {
       std::printf("qre_serve %s (schema v%d)\n", qre::version_string(),
                   qre::api::kSchemaVersion);
@@ -166,6 +205,11 @@ int main(int argc, char** argv) {
   if (int status = parse_args(argc, argv, opts); status != 0) return status;
 
   try {
+    // Fault injection arms before anything runs; a bad spec is a startup
+    // error, not a surprise mid-serve.
+    qre::failpoint::configure_from_env();
+    qre::failpoint::configure(opts.failpoints);
+
     // All registry mutation happens here, before the first request: the
     // serving phase is read-only per the api::Registry concurrency contract.
     qre::api::Registry& registry = qre::api::Registry::global();
@@ -187,6 +231,7 @@ int main(int argc, char** argv) {
 
     qre::server::Service service(registry, opts.service);
     qre::server::Router router(service);
+    opts.server.metrics = &service.metrics();  // transport drives the connection gauge
     qre::server::Server server(router, opts.server);
     server.start();
 
