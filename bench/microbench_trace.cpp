@@ -1,0 +1,142 @@
+// Tracing overhead: what does instrumentation cost when nobody is looking?
+//
+// The tracer's contract (src/common/trace.hpp) is near-zero cost while
+// disabled — one relaxed atomic load plus a TLS read per QRE_TRACE_SPAN —
+// and bounded cost while enabled. This bench keeps both honest with its
+// own main (the span cost is too fine-grained and the sweep comparison too
+// stateful for the Google Benchmark harness):
+//
+//   1. raw span open/close cost, disabled vs enabled vs collector-only;
+//   2. the estimation hot path — a warm sweep through api::run — timed
+//      with tracing off and on, plus the disabled-instrumentation tax
+//      (points/sweep x disabled span cost), which is the acceptance
+//      number: < 2% sweep regression with tracing off.
+//
+// Records the numbers as BENCH_trace.json (bench/bench_json.hpp).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "api/api.hpp"
+#include "bench/bench_json.hpp"
+#include "common/trace.hpp"
+#include "json/json.hpp"
+
+namespace {
+
+using namespace qre;
+
+constexpr int kSpanIterations = 2'000'000;
+constexpr int kSweepWarmups = 3;
+constexpr int kSweepRepeats = 12;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// ns per span open/close over a tight loop of the real macro.
+double span_cost_ns() {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSpanIterations; ++i) {
+    QRE_TRACE_SPAN("bench.span");
+  }
+  return seconds_since(start) * 1e9 / kSpanIterations;
+}
+
+/// Best-of-k wall time of one warm api::run sweep, in milliseconds.
+/// Minimum, not mean: instrumentation overhead is a floor shift, and the
+/// minimum is the estimator least polluted by scheduler noise.
+double sweep_ms(const api::EstimateRequest& request) {
+  double best = 1e300;
+  for (int i = 0; i < kSweepRepeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    api::EstimateResponse response = api::run(request);
+    const double elapsed = seconds_since(start) * 1e3;
+    if (!response.success) {
+      std::fprintf(stderr, "error: bench sweep failed\n");
+      std::exit(1);
+    }
+    best = std::min(best, elapsed);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // --- raw span cost ------------------------------------------------------
+  trace::disable();
+  trace::clear();
+  const double disabled_ns = span_cost_ns();
+
+  trace::Collector collector;
+  double collector_ns = 0;
+  {
+    trace::CollectorScope scope(&collector);
+    collector_ns = span_cost_ns();
+  }
+
+  trace::enable(64 * 1024);
+  const double enabled_ns = span_cost_ns();
+  trace::disable();
+  trace::clear();
+
+  std::printf("span open/close: disabled %5.1f ns, collector-only %5.1f ns, "
+              "tracing %5.1f ns\n",
+              disabled_ns, collector_ns, enabled_ns);
+
+  // --- sweep hot path -----------------------------------------------------
+  // A 12-item sweep over small counts: enough engine.item spans per run to
+  // surface per-span overhead, small enough to repeat for a stable minimum.
+  api::EstimateRequest request = api::EstimateRequest::parse(json::parse(R"({
+    "logicalCounts": {"numQubits": 20, "tCount": 40000},
+    "qubitParams": {"name": "qubit_gate_ns_e3"},
+    "sweep": {"errorBudget": [0.5, 0.3, 0.2, 0.1, 0.05, 0.03, 0.02, 0.01,
+                              0.005, 0.003, 0.002, 0.001]}
+  })"));
+  if (!request.ok()) {
+    std::fprintf(stderr, "error: bench job invalid: %s\n",
+                 request.diagnostics.summary().c_str());
+    return 1;
+  }
+  for (int i = 0; i < kSweepWarmups; ++i) api::run(request);  // warm caches
+
+  const double off_ms = sweep_ms(request);
+  trace::enable(64 * 1024);
+  const double on_ms = sweep_ms(request);
+
+  // How many instrumentation points does one sweep cross? The ring holds
+  // kSweepRepeats identical runs; divide to get per-run span+instant count.
+  const double events_per_sweep =
+      static_cast<double>(trace::snapshot().size()) / kSweepRepeats;
+  trace::disable();
+  trace::clear();
+
+  // The acceptance criterion is about the DISABLED state: instrumentation
+  // compiled in but off must not tax the sweep path. Its only cost is the
+  // per-point disabled check, so the regression is bounded by
+  // events/sweep x disabled-cost/event over the uninstrumented wall time.
+  const double disabled_overhead_pct =
+      events_per_sweep * disabled_ns / (off_ms * 1e6) * 100.0;
+  const double enabled_overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+  std::printf("sweep (12 items): tracing off %7.3f ms, on %7.3f ms "
+              "(%+5.2f%% while recording)\n",
+              off_ms, on_ms, enabled_overhead_pct);
+  std::printf("disabled instrumentation: %.0f points/sweep x %.1f ns = "
+              "%.4f%% of the sweep (acceptance: < 2%%)\n",
+              events_per_sweep, disabled_ns, disabled_overhead_pct);
+
+  json::Object metrics;
+  metrics.emplace_back("disabledSpanNs", json::Value(disabled_ns));
+  metrics.emplace_back("collectorSpanNs", json::Value(collector_ns));
+  metrics.emplace_back("enabledSpanNs", json::Value(enabled_ns));
+  metrics.emplace_back("sweepTracingOffMs", json::Value(off_ms));
+  metrics.emplace_back("sweepTracingOnMs", json::Value(on_ms));
+  metrics.emplace_back("eventsPerSweep", json::Value(events_per_sweep));
+  metrics.emplace_back("sweepDisabledOverheadPercent", json::Value(disabled_overhead_pct));
+  metrics.emplace_back("sweepRecordingOverheadPercent", json::Value(enabled_overhead_pct));
+  bench::write_bench_json("BENCH_trace", json::Value(std::move(metrics)));
+  return 0;
+}

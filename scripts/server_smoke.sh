@@ -7,6 +7,11 @@
 #
 # usage: scripts/server_smoke.sh [build-dir]   (default: build)
 #
+# The observability surface is part of the contract: the first daemon runs
+# with --trace-file and --access-log, and the script asserts the Prometheus
+# exposition parses, X-Request-Id round-trips into the access log, GET
+# /v2/trace exports spans, and the drain writes a loadable trace file.
+#
 # The last leg restarts the daemon against the same --cache-dir and checks
 # that every previously seen job is answered from the persistent store:
 # byte-identical response, zero raw estimates in the fresh process.
@@ -37,7 +42,10 @@ fail() {
 [[ -x "$SERVE" ]] || fail "$SERVE not built"
 
 CACHE_DIR="$WORK_DIR/cache"
-"$SERVE" --port 0 --port-file "$PORT_FILE" --job-workers 1 --cache-dir "$CACHE_DIR" &
+TRACE_FILE="$WORK_DIR/trace.json"
+ACCESS_LOG="$WORK_DIR/access.log"
+"$SERVE" --port 0 --port-file "$PORT_FILE" --job-workers 1 --cache-dir "$CACHE_DIR" \
+         --trace-file "$TRACE_FILE" --access-log "$ACCESS_LOG" &
 SERVER_PID=$!
 
 for _ in $(seq 1 100); do
@@ -106,6 +114,39 @@ curl -fsS "$BASE/metrics" | jq -e '
   .estimateCache.misses > 0 and
   .jobs.succeeded >= 1' > /dev/null || fail "metrics"
 
+# --- prometheus exposition ------------------------------------------------
+curl -fsS -D "$WORK_DIR/prom_headers" "$BASE/metrics?format=prometheus" \
+  > "$WORK_DIR/prom.txt" || fail "prometheus scrape"
+grep -qi '^content-type: text/plain; version=0.0.4' "$WORK_DIR/prom_headers" \
+  || fail "prometheus content type"
+# Every non-empty line must be a comment or a qre_-prefixed sample. (The
+# label block is matched greedily: route labels like "GET /v2/jobs/{id}"
+# contain literal braces.)
+if grep -vE '^($|#|qre_[a-z_]+(\{.*\})? -?[0-9])' "$WORK_DIR/prom.txt" \
+     | grep -q .; then
+  fail "prometheus exposition has malformed lines"
+fi
+grep -q '^qre_requests_total ' "$WORK_DIR/prom.txt" || fail "prometheus counter"
+grep -q 'le="+Inf"' "$WORK_DIR/prom.txt" || fail "prometheus histogram +Inf"
+grep -q 'qre_requests_by_route_total{route="POST /v2/estimate"}' \
+  "$WORK_DIR/prom.txt" || fail "prometheus route labels"
+
+# --- request ids: echoed when supplied, generated otherwise ---------------
+curl -fsS -D "$WORK_DIR/reqid_headers" -H 'X-Request-Id: smoke-req-1' \
+     "$BASE/healthz" > /dev/null || fail "request-id probe"
+grep -qi '^x-request-id: smoke-req-1' "$WORK_DIR/reqid_headers" \
+  || fail "supplied X-Request-Id not echoed"
+curl -fsS -D "$WORK_DIR/genid_headers" "$BASE/healthz" > /dev/null \
+  || fail "generated-id probe"
+grep -qi '^x-request-id: qre-' "$WORK_DIR/genid_headers" \
+  || fail "no generated X-Request-Id"
+
+# --- live trace export (--trace-file implies --trace) ---------------------
+curl -fsS "$BASE/v2/trace" > "$WORK_DIR/trace_live.json" || fail "trace endpoint"
+jq -e 'type == "array" and (map(select(.name == "server.request")) | length > 0)
+       and (map(select(.name == "api.run")) | length > 0)' \
+  "$WORK_DIR/trace_live.json" > /dev/null || fail "trace export spans"
+
 # --- graceful shutdown ----------------------------------------------------
 kill -TERM "$SERVER_PID"
 for _ in $(seq 1 100); do
@@ -117,6 +158,21 @@ if wait "$SERVER_PID"; then
 else
   fail "qre_serve exited non-zero after SIGTERM"
 fi
+
+# --- drain artifacts: trace file + access log -----------------------------
+[[ -s "$TRACE_FILE" ]] || fail "drain did not write the trace file"
+jq -e 'type == "array" and length > 0' "$TRACE_FILE" > /dev/null \
+  || fail "trace file is not a Chrome-trace event array"
+[[ -s "$ACCESS_LOG" ]] || fail "no access log written"
+jq -es 'length > 0' "$ACCESS_LOG" > /dev/null || fail "access log lines not JSON"
+jq -es 'map(select(.id == "smoke-req-1" and .route == "GET /healthz"
+                   and .status == 200)) | length == 1' "$ACCESS_LOG" > /dev/null \
+  || fail "supplied request id missing from access log"
+jq -es 'map(select(.route == "POST /v2/estimate" and .status == 200))
+        | length >= 2' "$ACCESS_LOG" > /dev/null \
+  || fail "estimate requests missing from access log"
+jq -es 'all(.ts != "" and .id != "" and .latencyMs >= 0)' "$ACCESS_LOG" \
+  > /dev/null || fail "access log entries incomplete"
 
 # --- restart reuse: the store survives the process -------------------------
 [[ -s "$CACHE_DIR/estimates.qrestore" ]] || fail "drain did not persist the store"

@@ -1,8 +1,11 @@
 #include "api/api.hpp"
 
+#include <chrono>
+
 #include "api/frontier.hpp"
 #include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "report/report.hpp"
 #include "service/sweep.hpp"
 
@@ -83,7 +86,26 @@ json::Value item_error(const char* code, const std::string& message,
 
 EstimateRequest EstimateRequest::parse(const json::Value& job, const Registry& registry) {
   EstimateRequest request;
-  request.document = upgrade_job(job, request.diagnostics, &request.source_version);
+  // "collectTimings" is transport-level (it changes what run() reports, not
+  // what it computes), so it is split off before the upgrade/validate
+  // passes: the normalized document — and with it every cache key, store
+  // record, and result payload — is identical with or without the flag.
+  json::Value stripped = job;
+  if (stripped.is_object()) {
+    json::Object& obj = stripped.as_object();
+    for (auto it = obj.begin(); it != obj.end(); ++it) {
+      if (it->first != "collectTimings") continue;
+      if (it->second.is_bool()) {
+        request.collect_timings = it->second.as_bool();
+      } else {
+        request.diagnostics.error("type-mismatch", "/collectTimings",
+                                  "collectTimings must be a boolean");
+      }
+      obj.erase(it);
+      break;
+    }
+  }
+  request.document = upgrade_job(stripped, request.diagnostics, &request.source_version);
   if (!request.diagnostics.has_errors()) {
     validate_job(request.document, registry, request.diagnostics);
   }
@@ -171,26 +193,45 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
   const json::Value* items = doc.find("items");
   const json::Value* sweep = doc.find("sweep");
 
+  // Timing collection: an external collector (qre_cli --timings) wins;
+  // otherwise "collectTimings": true gets a request-local one whose
+  // rendering is appended to the result below. Both stay null-cost when
+  // neither was asked for.
+  trace::Collector local_timings;
+  trace::Collector* timings = options.timings;
+  if (timings == nullptr && request.collect_timings) timings = &local_timings;
+  service::EngineOptions run_options = options;
+  run_options.timings = timings;
+
+  QRE_TRACE_SPAN("api.run");
+  trace::CollectorScope collector_scope(timings);
+  const auto run_start = std::chrono::steady_clock::now();
+  const std::int64_t run_cpu_start = trace::process_cpu_ns();
+
   try {
     // Bail before any estimation when the request arrives already cancelled
     // or past its deadline; mid-run the engine and frontier explorer check
     // the same token at item boundaries.
-    options.cancel.throw_if_cancelled("estimate");
+    run_options.cancel.throw_if_cancelled("estimate");
     if (doc.find("frontier") != nullptr) {
       // The adaptive Pareto explorer (see api/frontier.hpp). Probes are
       // memoized individually through `options`' cache, never the frontier
       // document as a whole, so streaming sinks observe every probe even on
       // a warm engine.
-      response.result = run_frontier_document(doc, registry, options);
+      trace::PhaseTimer phase(timings, "api.explore");
+      response.result = run_frontier_document(doc, registry, run_options);
       response.success = true;
     } else if (items != nullptr || sweep != nullptr) {
       std::vector<json::Value> expanded;
-      if (sweep != nullptr) {
-        expanded = service::expand_sweep(doc);
-      } else {
-        expanded.reserve(items->as_array().size());
-        for (const json::Value& item : items->as_array()) {
-          expanded.push_back(merge_job_item(doc, item));
+      {
+        trace::PhaseTimer phase(timings, "api.expand");
+        if (sweep != nullptr) {
+          expanded = service::expand_sweep(doc);
+        } else {
+          expanded.reserve(items->as_array().size());
+          for (const json::Value& item : items->as_array()) {
+            expanded.push_back(merge_job_item(doc, item));
+          }
         }
       }
       auto runner = [&registry](const json::Value& item) -> json::Value {
@@ -208,7 +249,11 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
         return run_single_document(item, registry, &sink);
       };
       service::BatchStats stats;
-      json::Array results = service::run_batch(expanded, runner, options, &stats);
+      json::Array results;
+      {
+        trace::PhaseTimer phase(timings, "api.execute");
+        results = service::run_batch(expanded, runner, run_options, &stats);
+      }
       json::Object out;
       out.emplace_back("results", json::Value(std::move(results)));
       out.emplace_back("batchStats", stats.to_json());
@@ -219,11 +264,12 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
       // serving engine's): a batch-private cache would die with this call
       // anyway, and run_job's contract stays byte-identical either way —
       // the cache replays the exact result document.
+      trace::PhaseTimer phase(timings, "api.execute");
       Diagnostics sink;
       auto compute = [&] { return run_single_document(doc, registry, &sink); };
-      if (options.use_cache && options.cache != nullptr) {
+      if (run_options.use_cache && run_options.cache != nullptr) {
         response.result =
-            options.cache->get_or_compute(service::canonical_key(doc), compute);
+            run_options.cache->get_or_compute(service::canonical_key(doc), compute);
       } else {
         response.result = compute();
       }
@@ -237,6 +283,19 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
     response.diagnostics.append(e.diagnostics());
   } catch (const std::exception& e) {
     response.diagnostics.error("estimation-failed", "", e.what());
+  }
+
+  // The opt-in "timings" block, appended AFTER any cache interaction so
+  // cached payloads (and golden files) never carry it. totalCpuMs is a
+  // process-CPU delta: it covers the engine workers, but under concurrent
+  // server load it includes other requests too (see docs/observability.md).
+  if (request.collect_timings && timings != nullptr && response.success &&
+      response.result.is_object()) {
+    const std::int64_t total_wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::steady_clock::now() - run_start)
+                                           .count();
+    response.result.set(
+        "timings", timings->to_json(total_wall_ns, trace::process_cpu_ns() - run_cpu_start));
   }
   return response;
 }

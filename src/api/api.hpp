@@ -33,6 +33,11 @@ struct EstimateRequest {
   json::Value document;      // normalized v2 document
   int source_version = kSchemaVersion;  // version the input declared
   Diagnostics diagnostics;   // everything the upgrade + validation passes found
+  /// The document carried `"collectTimings": true`. The key is stripped
+  /// from `document` during parse so cache keys, store records, and result
+  /// documents stay byte-identical whether or not timing was requested;
+  /// run() appends the "timings" block to the result only when this is set.
+  bool collect_timings = false;
 
   bool ok() const { return !diagnostics.has_errors(); }
 

@@ -72,6 +72,12 @@ void reset();
 /// or unknown).
 std::uint64_t hits(const std::string& name);
 
+/// Currently armed failpoint terms (the /metrics "active" gauge; the
+/// access log records it per request as "failpointsArmed").
+inline int active_count() {
+  return detail::g_active_count.load(std::memory_order_relaxed);
+}
+
 /// Observability snapshot for /metrics: {"compiledIn": bool,
 /// "active": N, "triggered": {site: count, ...}}.
 json::Value stats_to_json();

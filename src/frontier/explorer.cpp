@@ -8,6 +8,7 @@
 
 #include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace qre::frontier {
 
@@ -236,6 +237,9 @@ class Explorer {
   /// worker pool, per-item error isolation) and records the outcomes.
   /// Returns the global index of the wave's first probe.
   std::size_t run_wave(const std::vector<std::pair<std::size_t, std::uint64_t>>& wave) {
+    // One trace span per wave; the wave's probes appear as the engine.item
+    // spans of the run_batch call below.
+    QRE_TRACE_SPAN("frontier.wave");
     // A cancelled exploration aborts between waves (partial probes are
     // discarded by api::run, which maps the throw onto the response
     // diagnostics); within a wave the engine skips remaining items itself.

@@ -1,0 +1,77 @@
+// Structured access log + request-id correlation helpers.
+//
+// One JSON object per line per request (qre_serve --access-log), written
+// after the response went out — including requests rejected before router
+// dispatch (malformed framing, oversized bodies). The line carries the
+// request id that was echoed to the client in X-Request-Id, so a client
+// report ("request qre-17 failed") greps straight to the server-side record
+// and, with tracing on, to the matching server.request span window. Schema:
+// docs/observability.md.
+//
+// Request ids: clients may supply their own via an X-Request-Id header
+// (sanitized — see sanitize_request_id); otherwise the server assigns
+// "qre-<n>" from a process-local counter (unique per process, not across
+// restarts; clients needing global uniqueness send their own).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "server/http.hpp"
+
+namespace qre::server {
+
+/// Everything one access-log line records. latency/bytes are best effort
+/// for pre-dispatch rejects (no parsed request to measure).
+struct AccessEntry {
+  std::string id;          // request id, as echoed in X-Request-Id
+  std::string method;      // "" when the request never parsed
+  std::string path;        // target path (query stripped); "" when unparsed
+  std::string route;       // bounded-cardinality route label (metrics key)
+  int status = 0;
+  double latency_ms = 0;
+  std::uint64_t bytes_in = 0;   // request body bytes
+  std::uint64_t bytes_out = 0;  // response bytes written (headers + body)
+  bool deadline = false;        // request hit the server-side deadline
+  bool cancelled = false;       // request asked for / performed a cancel
+  int failpoints_armed = 0;     // active failpoint terms while serving
+};
+
+/// Line-buffered JSON-lines sink; concurrency-safe ("-" logs to stderr).
+/// Write failures are silent after construction: losing a log line must
+/// never fail a request.
+class AccessLog {
+ public:
+  explicit AccessLog(const std::string& path);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Whether the sink opened; when false, record() is a no-op.
+  bool ok() const { return file_ != nullptr; }
+
+  /// Appends one line: {"ts": "...Z", "id": ..., ...}\n, flushed.
+  void record(const AccessEntry& entry);
+
+ private:
+  Mutex mutex_;
+  std::FILE* file_ QRE_GUARDED_BY(mutex_) = nullptr;
+  bool owned_ = false;  // false for the stderr sink
+};
+
+/// A fresh server-assigned request id ("qre-<counter>").
+std::string next_request_id();
+
+/// `candidate` when it is a well-formed client id (1-64 chars from
+/// [A-Za-z0-9._-]), empty otherwise (caller falls back to next_request_id).
+std::string sanitize_request_id(const std::string& candidate);
+
+/// The id to use for `request`: its sanitized X-Request-Id, else a fresh
+/// server-assigned one.
+std::string request_id_for(const Request& request);
+
+}  // namespace qre::server

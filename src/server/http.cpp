@@ -256,6 +256,11 @@ std::string Request::path() const {
   return q == std::string::npos ? target : target.substr(0, q);
 }
 
+std::string Request::query() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? std::string() : target.substr(q + 1);
+}
+
 bool Request::keep_alive() const {
   if (const std::string* connection = header("Connection")) {
     if (iequals(*connection, "close")) return false;
@@ -356,7 +361,12 @@ bool write_response(const ByteSink& sink, const Response& r, bool keep_alive) {
 }
 
 bool ChunkedWriter::begin(int status, const std::string& content_type, bool keep_alive) {
-  std::string head = head_lines(status, content_type, !keep_alive, {});
+  return begin(status, content_type, keep_alive, {});
+}
+
+bool ChunkedWriter::begin(int status, const std::string& content_type, bool keep_alive,
+                          const std::vector<Header>& extra_headers) {
+  std::string head = head_lines(status, content_type, !keep_alive, extra_headers);
   head += "Transfer-Encoding: chunked\r\n\r\n";
   begun_ = true;
   return sink_(head);

@@ -63,6 +63,8 @@ struct Request {
 
   /// Target with any "?query" suffix removed.
   std::string path() const;
+  /// The text after the first '?' in the target ("" when absent).
+  std::string query() const;
   const std::string* header(std::string_view name) const {
     return find_header(headers, name);
   }
@@ -119,6 +121,8 @@ class ChunkedWriter {
   explicit ChunkedWriter(ByteSink sink) : sink_(std::move(sink)) {}
 
   bool begin(int status, const std::string& content_type, bool keep_alive);
+  bool begin(int status, const std::string& content_type, bool keep_alive,
+             const std::vector<Header>& extra_headers);
   bool write(std::string_view data);
   bool end();
   /// Whether begin() ran (i.e. headers are already on the wire).

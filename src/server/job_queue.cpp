@@ -1,6 +1,7 @@
 #include "server/job_queue.hpp"
 
 #include "common/failpoint.hpp"
+#include "common/trace.hpp"
 
 namespace qre::server {
 
@@ -34,6 +35,7 @@ std::optional<std::uint64_t> JobQueue::submit(json::Value document) {
     id = next_id_++;
     Job job;
     job.id = id;
+    job.submitted_at = std::chrono::steady_clock::now();
     job.document = std::move(document);
     jobs_.emplace(id, std::move(job));
     pending_.push_back(id);
@@ -142,6 +144,8 @@ void JobQueue::worker_loop() {
     std::uint64_t id = 0;
     json::Value document;
     CancelToken token;
+    std::chrono::steady_clock::time_point submitted_at;
+    std::chrono::steady_clock::time_point started_at;
     {
       MutexLock lock(mutex_);
       while (!draining_ && pending_.empty()) work_available_.wait(mutex_);
@@ -150,12 +154,17 @@ void JobQueue::worker_loop() {
       pending_.pop_front();
       Job& job = jobs_.at(id);
       job.state = JobState::kRunning;
+      job.started_at = std::chrono::steady_clock::now();
       job.cancel = CancelToken::cancellable();
       token = job.cancel;
       document = std::move(job.document);
       job.document = json::Value();
+      submitted_at = job.submitted_at;
+      started_at = job.started_at;
       ++num_running_;
     }
+    // The wait the job spent queued, recorded once the interval is known.
+    trace::record_span("job.queued", submitted_at, started_at);
 
     json::Value response;
     std::string error;
@@ -167,6 +176,7 @@ void JobQueue::worker_loop() {
     } catch (...) {
       error = "unknown error";
     }
+    trace::record_span("job.run", started_at, std::chrono::steady_clock::now());
 
     {
       MutexLock lock(mutex_);

@@ -29,6 +29,7 @@
 // jobs flip to cancelled.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -116,6 +117,9 @@ class JobQueue {
     json::Value response;  // set in kSucceeded / kFailed (when the runner returned)
     std::string error;     // set when the runner threw
     CancelToken cancel;    // armed while running; shared with the runner
+    // Lifecycle instants for the exported job.queued / job.run trace spans.
+    std::chrono::steady_clock::time_point submitted_at;
+    std::chrono::steady_clock::time_point started_at;
   };
 
   void worker_loop();

@@ -1,0 +1,29 @@
+// Prometheus text exposition of the /metrics JSON document.
+//
+// GET /metrics?format=prometheus renders the same document GET /metrics
+// returns as JSON into the Prometheus text format (version 0.0.4): counters
+// and gauges as single samples, the request-latency histogram with
+// cumulative `_bucket{le=...}` counts plus `_sum`/`_count`, and the
+// per-route/per-status-class/per-failpoint maps as labeled families. The
+// JSON-path → metric-name mapping is the kMetricsCatalog table in
+// prometheus.cpp — the single source of truth that qre_lint check #6 keeps
+// in sync with docs/observability.md.
+#pragma once
+
+#include <string>
+
+#include "json/json.hpp"
+
+namespace qre::server {
+
+/// The Content-Type the exposition format requires.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders the /metrics JSON document (router's shape: server / caches /
+/// store / jobs / client / failpoints / trace blocks) as Prometheus text.
+/// Fields absent from the document (e.g. store counters when the store is
+/// disabled) are simply omitted from the output.
+std::string to_prometheus_text(const json::Value& metrics_document);
+
+}  // namespace qre::server

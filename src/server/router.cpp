@@ -8,20 +8,26 @@
 #include "api/schema.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "common/trace.hpp"
 #include "common/version.hpp"
 #include "server/client.hpp"
+#include "server/prometheus.hpp"
 #include "tfactory/factory_cache.hpp"
 
 namespace qre::server {
 
 namespace {
 
-json::Value error_document(const char* code, const std::string& message) {
+/// Router-level error envelope. The request id rides along so a client
+/// holding only the error body can still quote the correlation id.
+json::Value error_document(const char* code, const std::string& message,
+                           const std::string& request_id) {
   json::Object error;
   error.emplace_back("code", std::string(code));
   error.emplace_back("message", message);
   json::Object out;
   out.emplace_back("error", json::Value(std::move(error)));
+  if (!request_id.empty()) out.emplace_back("requestId", request_id);
   return json::Value(std::move(out));
 }
 
@@ -32,8 +38,9 @@ Response json_response(int status, const json::Value& body) {
   return r;
 }
 
-Response error_response(int status, const char* code, const std::string& message) {
-  return json_response(status, error_document(code, message));
+Response error_response(int status, const char* code, const std::string& message,
+                        const std::string& request_id) {
+  return json_response(status, error_document(code, message, request_id));
 }
 
 /// Parses "/v2/jobs/{id}"; false when the suffix is not a plain integer.
@@ -78,6 +85,14 @@ Service::Service(api::Registry& registry, ServiceOptions options)
       jobs_([this](const json::Value& document,
                    const CancelToken& cancel) { return run_document(document, cancel); },
             options.jobs) {
+  if (!options.access_log_path.empty()) {
+    access_log_ = std::make_unique<AccessLog>(options.access_log_path);
+    if (!access_log_->ok()) {
+      std::fprintf(stderr, "access-log: cannot open %s — logging disabled\n",
+                   options.access_log_path.c_str());
+      access_log_.reset();
+    }
+  }
   if (options.cache_dir.empty()) return;
 
   // Prewarm: a usable store file fills the read-through tier, an unusable
@@ -144,53 +159,79 @@ json::Value Service::run_document(const json::Value& document, const CancelToken
 }
 
 bool Router::handle(const Request& request, const ByteSink& sink) {
+  QRE_TRACE_SPAN("server.request");
   const auto start = std::chrono::steady_clock::now();
-  std::string route_label = method_label(request.method) + " (error)";
-  int status = 500;
+  RequestContext ctx;
+  ctx.id = request_id_for(request);
+  ctx.route_label = method_label(request.method) + " (error)";
+  // Count every byte that actually reaches the sink (headers + body +
+  // chunk framing) for the access log's bytesOut.
+  std::uint64_t bytes_out = 0;
+  const ByteSink counting_sink = [&](std::string_view data) {
+    bytes_out += data.size();
+    return sink(data);
+  };
   bool alive;
   try {
-    alive = dispatch(request, sink, route_label, status);
+    alive = dispatch(request, counting_sink, ctx);
   } catch (const std::exception& e) {
     // Handlers map expected failures themselves; anything arriving here is
     // a server bug, reported as 500 without killing the worker.
-    status = 500;
-    alive = write_response(sink, error_response(500, "internal-error", e.what()),
+    ctx.status = 500;
+    alive = write_response(counting_sink,
+                           error_response(500, "internal-error", e.what(), ctx.id),
                            request.keep_alive()) &&
             request.keep_alive();
   }
   const double latency_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
-  service_.metrics().record(route_label, status, latency_ms);
+  service_.metrics().record(ctx.route_label, ctx.status, latency_ms);
+  if (AccessLog* log = service_.access_log()) {
+    AccessEntry entry;
+    entry.id = ctx.id;
+    entry.method = request.method;
+    entry.path = request.path();
+    entry.route = ctx.route_label;
+    entry.status = ctx.status;
+    entry.latency_ms = latency_ms;
+    entry.bytes_in = request.body.size();
+    entry.bytes_out = bytes_out;
+    entry.deadline = ctx.deadline;
+    entry.cancelled = ctx.cancelled;
+    entry.failpoints_armed = failpoint::active_count();
+    log->record(entry);
+  }
   return alive;
 }
 
-bool Router::dispatch(const Request& request, const ByteSink& sink, std::string& route_label,
-                      int& status) {
+bool Router::dispatch(const Request& request, const ByteSink& sink, RequestContext& ctx) {
   const std::string path = request.path();
   const bool keep_alive = request.keep_alive();
 
   auto send = [&](Response r) {
-    status = r.status;
+    ctx.status = r.status;
+    r.extra_headers.push_back({"X-Request-Id", ctx.id});
     return write_response(sink, r, keep_alive) && keep_alive;
   };
   auto method_not_allowed = [&](const char* allow) {
     Response r = error_response(405, "method-not-allowed",
-                                "method " + request.method + " is not supported here");
+                                "method " + request.method + " is not supported here",
+                                ctx.id);
     r.extra_headers.push_back({"Allow", allow});
     return send(std::move(r));
   };
 
   // ------------------------------------------------------------- probes --
   if (path == "/healthz") {
-    route_label = method_label(request.method) + " /healthz";
+    ctx.route_label = method_label(request.method) + " /healthz";
     if (request.method != "GET") return method_not_allowed("GET");
     json::Object body;
     body.emplace_back("status", "ok");
     return send(json_response(200, json::Value(std::move(body))));
   }
   if (path == "/version") {
-    route_label = method_label(request.method) + " /version";
+    ctx.route_label = method_label(request.method) + " /version";
     if (request.method != "GET") return method_not_allowed("GET");
     json::Object body;
     body.emplace_back("version", std::string(version_string()));
@@ -198,8 +239,10 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
     return send(json_response(200, json::Value(std::move(body))));
   }
   if (path == "/metrics") {
-    route_label = method_label(request.method) + " /metrics";
+    ctx.route_label = method_label(request.method) + " /metrics";
     if (request.method != "GET") return method_not_allowed("GET");
+    const bool prometheus =
+        request.query().find("format=prometheus") != std::string::npos;
     json::Object body;
     body.emplace_back("server", service_.metrics().to_json());
     // Engine stats arrive as {"estimateCache": {...}}; splice its entries
@@ -223,25 +266,51 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
     client_stats.emplace_back("retriesTotal", json::Value(Client::process_retries()));
     body.emplace_back("client", json::Value(std::move(client_stats)));
     body.emplace_back("failpoints", failpoint::stats_to_json());
+    body.emplace_back("trace", trace::stats_to_json());
+    if (prometheus) {
+      // Same document, text exposition: see src/server/prometheus.cpp for
+      // the field → family mapping.
+      Response r;
+      r.status = 200;
+      r.content_type = kPrometheusContentType;
+      r.body = to_prometheus_text(json::Value(std::move(body)));
+      return send(std::move(r));
+    }
     return send(json_response(200, json::Value(std::move(body))));
+  }
+  if (path == "/v2/trace") {
+    ctx.route_label = method_label(request.method) + " /v2/trace";
+    if (request.method != "GET") return method_not_allowed("GET");
+    if (!trace::enabled()) {
+      return send(error_response(
+          409, "tracing-disabled",
+          "tracing is off; start qre_serve with --trace or --trace-file", ctx.id));
+    }
+    // Chrome Trace Event JSON array — loads directly in Perfetto /
+    // chrome://tracing. The export flushes this thread's buffer, so the
+    // request's own spans up to this point are included.
+    Response r;
+    r.status = 200;
+    r.body = trace::to_chrome_json();
+    return send(std::move(r));
   }
 
   // ----------------------------------------------------------- registry --
   if (path == "/v2/profiles") {
-    route_label = method_label(request.method) + " /v2/profiles";
+    ctx.route_label = method_label(request.method) + " /v2/profiles";
     if (request.method != "GET") return method_not_allowed("GET");
     return send(json_response(200, service_.registry().to_json()));
   }
 
   // ----------------------------------------------------------- validate --
   if (path == "/v2/validate") {
-    route_label = method_label(request.method) + " /v2/validate";
+    ctx.route_label = method_label(request.method) + " /v2/validate";
     if (request.method != "POST") return method_not_allowed("POST");
     json::Value document;
     try {
       document = json::parse(request.body);
     } catch (const Error& e) {
-      return send(error_response(400, "invalid-json", e.what()));
+      return send(error_response(400, "invalid-json", e.what(), ctx.id));
     }
     api::EstimateRequest parsed = api::EstimateRequest::parse(document, service_.registry());
     if (parsed.ok()) {
@@ -264,13 +333,13 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
 
   // ----------------------------------------------------------- estimate --
   if (path == "/v2/estimate") {
-    route_label = method_label(request.method) + " /v2/estimate";
+    ctx.route_label = method_label(request.method) + " /v2/estimate";
     if (request.method != "POST") return method_not_allowed("POST");
     json::Value document;
     try {
       document = json::parse(request.body);
     } catch (const Error& e) {
-      return send(error_response(400, "invalid-json", e.what()));
+      return send(error_response(400, "invalid-json", e.what(), ctx.id));
     }
     api::EstimateRequest parsed = api::EstimateRequest::parse(document, service_.registry());
     const bool is_streamable = parsed.document.find("items") != nullptr ||
@@ -288,6 +357,7 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
       for (const Diagnostic& d : response.diagnostics.entries()) {
         if (d.code == "deadline-exceeded") {
           service_.metrics().record_deadline_exceeded();
+          ctx.deadline = true;
           return 408;
         }
       }
@@ -304,7 +374,9 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
       service::EngineOptions options = service_.engine().options(
           [&](std::size_t index, const json::Value& result) {
             if (!chunked.begun()) {
-              sink_ok = chunked.begin(200, "application/x-ndjson", keep_alive) && sink_ok;
+              sink_ok = chunked.begin(200, "application/x-ndjson", keep_alive,
+                                      {{"X-Request-Id", ctx.id}}) &&
+                        sink_ok;
             }
             json::Object line;
             line.emplace_back("item", json::Value(static_cast<std::uint64_t>(index)));
@@ -325,7 +397,7 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
         // reported in-stream as a final error line instead of a summary —
         // the client must never mistake a truncated stream for success.
         json::Value error_line = error_document(
-            "estimation-failed", response.diagnostics.summary());
+            "estimation-failed", response.diagnostics.summary(), ctx.id);
         sink_ok = chunked.write(error_line.dump() + "\n") && sink_ok;
       } else {
         const char* stats_key = "batchStats";
@@ -341,7 +413,7 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
         }
       }
       sink_ok = chunked.end() && sink_ok;
-      status = 200;
+      ctx.status = 200;
       return keep_alive && sink_ok;
     }
 
@@ -355,18 +427,19 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
 
   // ---------------------------------------------------------- job queue --
   if (path == "/v2/jobs") {
-    route_label = method_label(request.method) + " /v2/jobs";
+    ctx.route_label = method_label(request.method) + " /v2/jobs";
     if (request.method != "POST") return method_not_allowed("POST");
     json::Value document;
     try {
       document = json::parse(request.body);
     } catch (const Error& e) {
-      return send(error_response(400, "invalid-json", e.what()));
+      return send(error_response(400, "invalid-json", e.what(), ctx.id));
     }
     const std::optional<std::uint64_t> id = service_.jobs().submit(std::move(document));
     if (!id.has_value()) {
       return send(error_response(429, "backlog-full",
-                                 "job backlog is full; retry after queued jobs finish"));
+                                 "job backlog is full; retry after queued jobs finish",
+                                 ctx.id));
     }
     json::Object body;
     body.emplace_back("id", json::Value(*id));
@@ -374,35 +447,40 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
     return send(json_response(202, json::Value(std::move(body))));
   }
   if (path.rfind("/v2/jobs/", 0) == 0) {
-    route_label = method_label(request.method) + " /v2/jobs/{id}";
+    ctx.route_label = method_label(request.method) + " /v2/jobs/{id}";
     if (request.method != "GET" && request.method != "DELETE") {
       return method_not_allowed("GET, DELETE");
     }
     std::uint64_t id = 0;
     if (!parse_job_id(path, id)) {
       return send(error_response(400, "invalid-job-id",
-                                 "job ids are the decimal integers POST /v2/jobs returned"));
+                                 "job ids are the decimal integers POST /v2/jobs returned",
+                                 ctx.id));
     }
     if (request.method == "GET") {
       const std::optional<json::Value> job = service_.jobs().status(id);
       if (!job.has_value()) {
         return send(error_response(404, "unknown-job",
-                                   "no job " + std::to_string(id) + " (unknown or evicted)"));
+                                   "no job " + std::to_string(id) + " (unknown or evicted)",
+                                   ctx.id));
       }
       return send(json_response(200, *job));
     }
     switch (service_.jobs().cancel(id)) {
       case JobQueue::CancelResult::kNotFound:
         return send(error_response(404, "unknown-job",
-                                   "no job " + std::to_string(id) + " (unknown or evicted)"));
+                                   "no job " + std::to_string(id) + " (unknown or evicted)",
+                                   ctx.id));
       case JobQueue::CancelResult::kNotCancellable:
         return send(error_response(409, "not-cancellable",
                                    "job " + std::to_string(id) +
-                                       " already finished; finished jobs cannot be cancelled"));
+                                       " already finished; finished jobs cannot be cancelled",
+                                   ctx.id));
       case JobQueue::CancelResult::kCancelling: {
         // Running: cancellation is cooperative. 202 = accepted, in
         // progress; poll GET /v2/jobs/{id} for the terminal "cancelled".
         service_.metrics().record_cancel_request();
+        ctx.cancelled = true;
         json::Object body;
         body.emplace_back("id", json::Value(id));
         body.emplace_back("status", std::string(to_string(JobState::kCancelling)));
@@ -412,15 +490,16 @@ bool Router::dispatch(const Request& request, const ByteSink& sink, std::string&
         break;
     }
     service_.metrics().record_cancel_request();
+    ctx.cancelled = true;
     json::Object body;
     body.emplace_back("id", json::Value(id));
     body.emplace_back("status", std::string(to_string(JobState::kCancelled)));
     return send(json_response(200, json::Value(std::move(body))));
   }
 
-  route_label = method_label(request.method) + " (unmatched)";
+  ctx.route_label = method_label(request.method) + " (unmatched)";
   return send(error_response(404, "unknown-endpoint",
-                             "no endpoint " + path + "; see docs/server.md"));
+                             "no endpoint " + path + "; see docs/server.md", ctx.id));
 }
 
 }  // namespace qre::server

@@ -19,7 +19,15 @@
 //   GET    /healthz       liveness probe
 //   GET    /version       build + schema version
 //   GET    /metrics       request counts, latency histogram, cache and
-//                         job-queue counters
+//                         job-queue counters; "?format=prometheus" renders
+//                         the same document as text exposition
+//   GET    /v2/trace      Chrome-trace JSON export of the span ring (409
+//                         "tracing-disabled" unless the tracer is on)
+//
+// Every response carries an X-Request-Id header (the client's sanitized id
+// or a server-assigned "qre-<n>"), the same id appears in router-level
+// error documents as "requestId", and — with --access-log — one JSON line
+// per request lands in the access log. See docs/observability.md.
 //
 // The router is transport-free (it writes through a ByteSink), so the full
 // endpoint surface is exercised in-process by tests/test_server.cpp.
@@ -33,6 +41,7 @@
 #include "api/registry.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
+#include "server/access_log.hpp"
 #include "server/http.hpp"
 #include "server/job_queue.hpp"
 #include "server/metrics.hpp"
@@ -63,6 +72,10 @@ struct ServiceOptions {
   /// "deadline-exceeded" diagnostic. Async jobs are not bounded — they are
   /// cancelled explicitly via DELETE.
   double request_deadline_s = 0;
+  /// Path of the structured access log (qre_serve --access-log); "-" logs
+  /// to stderr, empty disables. One JSON line per request — schema in
+  /// docs/observability.md.
+  std::string access_log_path;
 };
 
 /// The process-wide serving state. `registry` must outlive the Service and
@@ -79,6 +92,9 @@ class Service {
   Metrics& metrics() { return metrics_; }
   /// The persistent estimate store, or nullptr when cache_dir was empty.
   store::EstimateStore* store() { return store_.get(); }
+  /// The structured access log, or nullptr when access_log_path was empty
+  /// (or the file failed to open — logging must never fail serving).
+  AccessLog* access_log() { return access_log_.get(); }
 
   /// Persists the store now (no-op without one); called on graceful drain
   /// and by the periodic persist thread.
@@ -96,6 +112,7 @@ class Service {
  private:
   api::Registry& registry_;
   double request_deadline_s_ = 0;
+  std::unique_ptr<AccessLog> access_log_;
   std::unique_ptr<store::EstimateStore> store_;  // before engine_: wired into it
   service::Engine engine_;
   Metrics metrics_;
@@ -112,19 +129,29 @@ class Service {
   JobQueue jobs_;  // declared last: workers use engine_/registry_ via run_document
 };
 
+/// Per-request bookkeeping threaded through dispatch: the correlation id,
+/// the metrics route label, and the flags the access-log line reports.
+struct RequestContext {
+  std::string id;           // echoed as X-Request-Id on every response
+  std::string route_label;  // bounded-cardinality metrics key
+  int status = 500;
+  bool deadline = false;   // the run hit the server-side deadline (408)
+  bool cancelled = false;  // the request asked for a job cancellation
+};
+
 class Router {
  public:
   explicit Router(Service& service) : service_(service) {}
 
   /// Handles one request: writes exactly one response through `sink`
-  /// (Content-Length or chunked) and records metrics. Returns whether the
-  /// connection may be kept alive (request wished it and all writes
-  /// succeeded).
+  /// (Content-Length or chunked) with an X-Request-Id header, records
+  /// metrics, and appends an access-log line when the Service has a log.
+  /// Returns whether the connection may be kept alive (request wished it
+  /// and all writes succeeded).
   bool handle(const Request& request, const ByteSink& sink);
 
  private:
-  bool dispatch(const Request& request, const ByteSink& sink, std::string& route_label,
-                int& status);
+  bool dispatch(const Request& request, const ByteSink& sink, RequestContext& ctx);
 
   Service& service_;
 };

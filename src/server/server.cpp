@@ -240,22 +240,43 @@ void Server::serve_connection(int fd) {
     Request request;
     const ReadStatus status = read_request(source, buffer, request, options_.limits);
     if (status == ReadStatus::kClosed || status == ReadStatus::kTimeout) break;
-    if (status == ReadStatus::kBadRequest) {
-      Response bad;
-      bad.status = 400;
-      bad.body = R"({"error": {"code": "bad-request", "message": "malformed HTTP request"}})"
-                 "\n";
-      bad.close = true;
-      write_response(sink, bad, false);
-      break;
-    }
-    if (status == ReadStatus::kTooLarge) {
-      Response large;
-      large.status = 413;
-      large.body = R"({"error": {"code": "too-large", "message": "request exceeds size limits"}})"
-                   "\n";
-      large.close = true;
-      write_response(sink, large, false);
+    if (status == ReadStatus::kBadRequest || status == ReadStatus::kTooLarge) {
+      // Rejected before router dispatch — still observable: the reject is
+      // counted in Metrics, carries an X-Request-Id, and lands in the
+      // access log, so abusive traffic shows up like any other traffic.
+      const bool too_large = status == ReadStatus::kTooLarge;
+      const char* route = too_large ? "(too-large)" : "(malformed)";
+      Response reject;
+      reject.status = too_large ? 413 : 400;
+      reject.body =
+          too_large
+              ? R"({"error": {"code": "too-large", "message": "request exceeds size limits"}})"
+                "\n"
+              : R"({"error": {"code": "bad-request", "message": "malformed HTTP request"}})"
+                "\n";
+      reject.close = true;
+      const std::string request_id = next_request_id();
+      reject.extra_headers.push_back({"X-Request-Id", request_id});
+      std::uint64_t bytes_out = 0;
+      const ByteSink counting_sink = [&](std::string_view data) {
+        bytes_out += data.size();
+        return sink(data);
+      };
+      write_response(counting_sink, reject, false);
+      if (options_.metrics != nullptr) {
+        options_.metrics->record(route, reject.status, 0.0);
+      }
+      if (options_.access_log != nullptr) {
+        AccessEntry entry;
+        entry.id = request_id;
+        entry.method = request.method;  // usually empty: nothing parsed
+        entry.path = request.method.empty() ? std::string() : request.path();
+        entry.route = route;
+        entry.status = reject.status;
+        entry.bytes_out = bytes_out;
+        entry.failpoints_armed = failpoint::active_count();
+        options_.access_log->record(entry);
+      }
       break;
     }
     const bool alive = router_.handle(request, sink);

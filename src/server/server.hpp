@@ -52,9 +52,14 @@ struct ServerOptions {
   /// Header/body size bounds for request parsing.
   ReadLimits limits;
   /// Optional serving-metrics sink (not owned): when set, workers drive the
-  /// in-flight connection gauge. qre_serve wires the Service's instance so
-  /// GET /metrics sees the transport.
+  /// in-flight connection gauge, and requests rejected before router
+  /// dispatch (malformed framing → 400, oversized → 413) are counted under
+  /// the "(malformed)" / "(too-large)" route labels. qre_serve wires the
+  /// Service's instance so GET /metrics sees the transport.
   Metrics* metrics = nullptr;
+  /// Optional access log (not owned): when set, pre-router rejects are
+  /// logged too — the router logs everything that reaches dispatch.
+  AccessLog* access_log = nullptr;
 };
 
 class Server {

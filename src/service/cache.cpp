@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.hpp"
+
 namespace qre::service {
 
 namespace {
@@ -59,6 +61,11 @@ json::Value EstimateCache::get_or_compute(const std::string& key, const Compute&
       evictions_.fetch_add(entries_.insert(key, future));
       owner = true;
     }
+  }
+  if (owner) {
+    QRE_TRACE_INSTANT("estimate.cache.miss");
+  } else {
+    QRE_TRACE_INSTANT("estimate.cache.hit");
   }
   if (owner) {
     try {

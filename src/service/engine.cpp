@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/mutex.hpp"
+#include "common/trace.hpp"
 #include "tfactory/factory_cache.hpp"
 
 namespace qre::service {
@@ -74,6 +75,10 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
                       const EngineOptions& options, BatchStats* stats) {
   QRE_REQUIRE(runner != nullptr, "run_batch requires a job runner");
   const std::size_t n = items.size();
+  QRE_TRACE_SPAN("engine.batch");
+  // Worker threads re-anchor their span stack on the batch span, so every
+  // engine.item links back to this request in the exported trace.
+  const std::uint64_t batch_span = trace::current_span();
 
   EstimateCache local_cache(options.cache_capacity);
   EstimateCache* cache = nullptr;
@@ -114,6 +119,10 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
   };
 
   auto work = [&] {
+    // Propagate the request's collector and span parentage onto this
+    // thread (restored on exit — the inline num_workers<=1 path runs on
+    // the caller's thread, which has its own state to preserve).
+    trace::CollectorScope scope(options.timings, batch_span);
     for (;;) {
       const std::size_t i = next_item.fetch_add(1);
       if (i >= n) return;
@@ -123,7 +132,12 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
         complete(i, cancelled_value(options.cancel));
         continue;
       }
-      complete(i, run_one(items[i], runner, cache));
+      json::Value result;
+      {
+        QRE_TRACE_SPAN("engine.item");
+        result = run_one(items[i], runner, cache);
+      }
+      complete(i, std::move(result));
     }
   };
 

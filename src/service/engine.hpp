@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "common/trace.hpp"
 #include "json/json.hpp"
 #include "service/cache.hpp"
 
@@ -58,6 +59,12 @@ struct EngineOptions {
   /// "cancelled", ...}} entries without running (and without touching the
   /// cache). The default token never cancels.
   CancelToken cancel;
+  /// Optional per-request timing collector (see common/trace.hpp): when
+  /// set, run_batch installs it on every worker thread so "engine.item"
+  /// spans and cache-hit/miss instants aggregate into the request's
+  /// "timings" block. Not owned; must outlive the run. api::run wires it
+  /// from "collectTimings"; qre_cli --timings supplies its own.
+  trace::Collector* timings = nullptr;
 };
 
 /// Aggregate counters for one batch run, echoed as "batchStats" by run_job.

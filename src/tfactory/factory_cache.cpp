@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/trace.hpp"
+
 namespace qre {
 
 namespace {
@@ -105,10 +107,12 @@ std::optional<TFactory> FactoryCache::design(double required_output_error,
     MutexLock lock(mutex_);
     if (const std::optional<TFactory>* found = entries_.find(key)) {
       hits_.fetch_add(1);
+      QRE_TRACE_INSTANT("factory.cache.hit");
       return *found;
     }
   }
   misses_.fetch_add(1);
+  QRE_TRACE_INSTANT("factory.cache.miss");
   // Design outside the lock: searches take orders of magnitude longer than
   // a map probe, and concurrent misses on the same key just compute the
   // same (deterministic) design twice.

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/trace.hpp"
 
 namespace qre {
 
@@ -523,6 +524,7 @@ std::optional<TFactory> design_tfactory(double required_output_error, const Qubi
                                         const QecScheme& scheme,
                                         const std::vector<DistillationUnit>& units,
                                         const TFactoryOptions& options) {
+  QRE_TRACE_SPAN("tfactory.search");
   QRE_REQUIRE(required_output_error > 0.0, "required T-state error rate must be positive");
   if (qubit.t_gate_error_rate <= required_output_error) {
     TFactory raw;

@@ -8,18 +8,26 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "api/registry.hpp"
 #include "common/failpoint.hpp"
+#include "common/trace.hpp"
 #include "core/job.hpp"
 #include "json/json.hpp"
 #include "server/client.hpp"
 #include "server/http.hpp"
 #include "server/job_queue.hpp"
+#include "server/prometheus.hpp"
 #include "server/router.hpp"
 #include "server/server.hpp"
 #include "tfactory/factory_cache.hpp"
@@ -569,6 +577,205 @@ TEST(Server, RestartedServerAnswersFromTheStoreWithZeroRawEstimates) {
 
   std::error_code ec;
   std::filesystem::remove_all(dir_pattern, ec);
+}
+
+// ------------------------------------------------------- observability ---
+
+TEST(Server, RequestIdIsEchoedGeneratedAndInErrorDocuments) {
+  ServerFixture fx;
+
+  // A well-formed client id is echoed back verbatim.
+  Client::Result echoed =
+      fx.client().get("/healthz", {{"X-Request-Id", "client-id.42"}});
+  ASSERT_TRUE(echoed.ok) << echoed.error;
+  const std::string* id = echoed.header("X-Request-Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(*id, "client-id.42");
+
+  // A malformed client id (spaces) is replaced by a server-assigned one.
+  Client::Result replaced =
+      fx.client().get("/healthz", {{"X-Request-Id", "not a valid id"}});
+  id = replaced.header("X-Request-Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->compare(0, 4, "qre-"), 0);
+
+  // Without a client id the server assigns one; consecutive ids differ.
+  Client::Result first = fx.client().get("/healthz");
+  Client::Result second = fx.client().get("/healthz");
+  ASSERT_NE(first.header("X-Request-Id"), nullptr);
+  ASSERT_NE(second.header("X-Request-Id"), nullptr);
+  EXPECT_NE(*first.header("X-Request-Id"), *second.header("X-Request-Id"));
+
+  // Error documents carry the same id the response header does, so a
+  // client-side error report correlates with the server-side log line.
+  Client::Result error =
+      fx.client().post("/v2/estimate", "not json", {{"X-Request-Id", "err-7"}});
+  EXPECT_EQ(error.status, 400);
+  ASSERT_NE(error.header("X-Request-Id"), nullptr);
+  EXPECT_EQ(*error.header("X-Request-Id"), "err-7");
+  EXPECT_EQ(json::parse(error.body).at("requestId").as_string(), "err-7");
+}
+
+TEST(Server, PrometheusFormatRendersTheLiveDocument) {
+  ServerFixture fx;
+  ASSERT_EQ(fx.client().post("/v2/estimate", kSingleJob).status, 200);
+
+  Client::Result r = fx.client().get("/metrics?format=prometheus");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 200);
+  const std::string* content_type = r.header("Content-Type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_EQ(*content_type, server::kPrometheusContentType);
+
+  EXPECT_NE(r.body.find("# TYPE qre_requests_total counter"), std::string::npos);
+  EXPECT_NE(r.body.find(R"(qre_requests_by_route_total{route="POST /v2/estimate"} 1)"),
+            std::string::npos);
+  EXPECT_NE(r.body.find(R"(qre_cache_misses_total{cache="estimate"} 1)"),
+            std::string::npos);
+  EXPECT_NE(r.body.find(R"(qre_request_latency_ms_bucket{le="+Inf"})"),
+            std::string::npos);
+
+  // The default format is unchanged: plain /metrics still returns JSON.
+  Client::Result plain = fx.client().get("/metrics");
+  EXPECT_TRUE(json::parse(plain.body).at("server").is_object());
+}
+
+TEST(Server, TraceEndpointGatesOnTracingAndExportsSpans) {
+  struct TracerGuard {
+    ~TracerGuard() {
+      trace::disable();
+      trace::clear();
+    }
+  } guard;
+  trace::disable();
+
+  ServerFixture fx;
+  // Tracing off: the endpoint refuses with a structured 409.
+  Client::Result off = fx.client().get("/v2/trace");
+  EXPECT_EQ(off.status, 409);
+  EXPECT_EQ(json::parse(off.body).at("error").at("code").as_string(),
+            "tracing-disabled");
+
+  trace::enable(4096);
+  ASSERT_EQ(fx.client().post("/v2/estimate", kSingleJob).status, 200);
+  Client::Result on = fx.client().get("/v2/trace");
+  ASSERT_TRUE(on.ok) << on.error;
+  EXPECT_EQ(on.status, 200);
+
+  const json::Value events = json::parse(on.body);
+  ASSERT_TRUE(events.is_array());
+  bool saw_request_span = false;
+  bool saw_api_run = false;
+  for (const json::Value& event : events.as_array()) {
+    const std::string& name = event.at("name").as_string();
+    if (name == "server.request") saw_request_span = true;
+    if (name == "api.run") saw_api_run = true;
+  }
+  EXPECT_TRUE(saw_request_span);
+  EXPECT_TRUE(saw_api_run);
+}
+
+/// Sends raw bytes over a fresh loopback connection and returns whatever
+/// the server wrote back (for requests Client cannot express).
+std::string raw_round_trip(std::uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::string response;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0 &&
+      ::send(fd, bytes.data(), bytes.size(), 0) ==
+          static_cast<ssize_t>(bytes.size())) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(Server, PreRouterRejectsAreCountedLoggedAndCarryRequestIds) {
+  char log_pattern[] = "/tmp/qre_access_log.XXXXXX";
+  const int log_fd = ::mkstemp(log_pattern);
+  ASSERT_GE(log_fd, 0);
+  ::close(log_fd);
+
+  // A stack with tiny body limits and the transport observability wired the
+  // way qre_serve wires it: ServerOptions::metrics/access_log point at the
+  // Service's instances.
+  api::Registry registry = api::Registry::with_builtins();
+  server::ServiceOptions service_options;
+  service_options.access_log_path = log_pattern;
+  server::Service service(registry, service_options);
+  server::Router router(service);
+  server::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_workers = 2;
+  server_options.limits.max_body_bytes = 64;
+  server_options.metrics = &service.metrics();
+  server_options.access_log = service.access_log();
+  server::Server server(router, server_options);
+  server.start();
+
+  const std::string malformed = raw_round_trip(server.port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(malformed.find("400"), std::string::npos);
+  EXPECT_NE(malformed.find("X-Request-Id:"), std::string::npos);
+  EXPECT_NE(malformed.find("bad-request"), std::string::npos);
+
+  const std::string body(100, 'x');  // over the 64-byte limit
+  const std::string oversized = raw_round_trip(
+      server.port(), "POST /v2/estimate HTTP/1.1\r\nContent-Length: " +
+                         std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(oversized.find("413"), std::string::npos);
+  EXPECT_NE(oversized.find("too-large"), std::string::npos);
+
+  // Both rejects are visible in the metrics document under their reserved
+  // route labels, alongside normally-dispatched traffic.
+  Client client("127.0.0.1", server.port());
+  const json::Value metrics = json::parse(client.get("/metrics").body);
+  const json::Value& by_route = metrics.at("server").at("requestsByRoute");
+  ASSERT_NE(by_route.find("(malformed)"), nullptr);
+  EXPECT_EQ(by_route.at("(malformed)").as_uint(), 1u);
+  ASSERT_NE(by_route.find("(too-large)"), nullptr);
+  EXPECT_EQ(by_route.at("(too-large)").as_uint(), 1u);
+  EXPECT_GE(metrics.at("server").at("responsesByStatus").at("4xx").as_uint(), 2u);
+
+  server.stop();
+
+  // The access log recorded every request — the two rejects under their
+  // route labels and the /metrics read — as one JSON object per line.
+  std::ifstream log(log_pattern);
+  std::string line;
+  int malformed_lines = 0;
+  int too_large_lines = 0;
+  int dispatched_lines = 0;
+  while (std::getline(log, line)) {
+    const json::Value entry = json::parse(line);
+    EXPECT_FALSE(entry.at("id").as_string().empty());
+    EXPECT_FALSE(entry.at("ts").as_string().empty());
+    const std::string& route = entry.at("route").as_string();
+    if (route == "(malformed)") {
+      ++malformed_lines;
+      EXPECT_EQ(entry.at("status").as_int(), 400);
+    } else if (route == "(too-large)") {
+      ++too_large_lines;
+      EXPECT_EQ(entry.at("status").as_int(), 413);
+    } else if (route == "GET /metrics") {
+      ++dispatched_lines;
+      EXPECT_EQ(entry.at("status").as_int(), 200);
+    }
+  }
+  EXPECT_EQ(malformed_lines, 1);
+  EXPECT_EQ(too_large_lines, 1);
+  EXPECT_EQ(dispatched_lines, 1);
+
+  std::error_code ec;
+  std::filesystem::remove(log_pattern, ec);
 }
 
 TEST(Server, GracefulStopRefusesNewConnections) {

@@ -15,10 +15,13 @@
 //   qre_cli --frontier <job.json> explore the adaptive Pareto frontier
 //   qre_cli --no-cache / --cache-capacity N / --cache-stats   cache control
 //   qre_cli --cache-dir DIR      persistent estimate store (read/write-through)
+//   qre_cli --timings <job.json> per-phase timing summary to stderr
+//   qre_cli --trace-file PATH    write a Chrome-trace JSON of the run
 //   qre_cli store <dump|info|merge|gc> ...   offline store tooling
 //   qre_cli --demo               run a built-in demonstration job
 //   qre_cli --version            print the build and schema version
 //   qre_cli -                    read the job document from stdin
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -31,6 +34,7 @@
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "common/trace.hpp"
 #include "common/version.hpp"
 #include "core/job.hpp"
 #include "report/report.hpp"
@@ -101,6 +105,13 @@ void print_usage(std::FILE* out) {
                "  qre_cli --failpoints SPEC   arm fault-injection sites, e.g.\n"
                "                              'store.persist.before_rename=error' (also\n"
                "                              via QRE_FAILPOINTS; docs/robustness.md)\n"
+               "  qre_cli --timings <job.json>  print a one-line JSON timing summary to\n"
+               "                              stderr after the run: wall time, items/s,\n"
+               "                              cache hit rate, p50/p99 item latency\n"
+               "                              (docs/observability.md)\n"
+               "  qre_cli --trace-file PATH   record spans during the run and write them\n"
+               "                              as Chrome-trace JSON to PATH (loads in\n"
+               "                              Perfetto / chrome://tracing)\n"
                "  qre_cli store dump <store>  print store records as NDJSON, one\n"
                "                              {\"key\", \"result\"} object per line\n"
                "  qre_cli store info <store>  print header/record statistics as JSON\n"
@@ -137,8 +148,10 @@ struct Options {
   bool cache_stats = false;
   std::size_t num_workers = 0;
   std::size_t cache_capacity = qre::service::EstimateCache::kDefaultCapacity;
+  bool timings = false;
   double deadline_s = 0;  // 0 = unbounded
   std::string failpoints;
+  std::string trace_file;
   std::string cache_dir;
   std::vector<std::string> profile_packs;
   std::string path;
@@ -228,6 +241,14 @@ int parse_args(int argc, char** argv, Options& opts) {
         return 2;
       }
       opts.failpoints = argv[++i];
+    } else if (arg == "--timings") {
+      opts.timings = true;
+    } else if (arg == "--trace-file") {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "error: --trace-file requires a file path\n");
+        return 2;
+      }
+      opts.trace_file = argv[++i];
     } else if (arg == "--version") {
       std::printf("qre_cli %s (schema v%d)\n", qre::version_string(),
                   qre::api::kSchemaVersion);
@@ -314,6 +335,38 @@ void print_cache_stats(const qre::service::Engine& engine,
     out.emplace_back("store", qre::json::Value(std::move(disabled)));
   }
   std::fprintf(stderr, "%s\n", qre::json::Value(std::move(out)).dump().c_str());
+}
+
+/// One JSON line (stderr) summarizing the run for qre_cli --timings:
+/// throughput, cache effectiveness, and item-latency percentiles. Batch and
+/// sweep runs have "engine.item" samples; single estimates report items: 0
+/// (the wall time still covers the whole run).
+void print_timings_summary(const qre::trace::Collector& timings,
+                           const qre::service::Engine& engine, double wall_ms) {
+  const std::vector<std::int64_t> items = timings.samples("engine.item");
+  const std::uint64_t hits = engine.cache().hits();
+  const std::uint64_t misses = engine.cache().misses();
+  const std::uint64_t lookups = hits + misses;
+  qre::json::Object out;
+  out.emplace_back("wallMs", qre::json::Value(wall_ms));
+  out.emplace_back("items",
+                   qre::json::Value(static_cast<std::uint64_t>(items.size())));
+  out.emplace_back(
+      "itemsPerSec",
+      qre::json::Value(wall_ms > 0
+                           ? static_cast<double>(items.size()) * 1000.0 / wall_ms
+                           : 0.0));
+  out.emplace_back(
+      "cacheHitRate",
+      qre::json::Value(lookups > 0
+                           ? static_cast<double>(hits) / static_cast<double>(lookups)
+                           : 0.0));
+  out.emplace_back("p50ItemMs", qre::json::Value(
+                                    qre::trace::Collector::percentile(items, 50) / 1e6));
+  out.emplace_back("p99ItemMs", qre::json::Value(
+                                    qre::trace::Collector::percentile(items, 99) / 1e6));
+  std::fprintf(stderr, "timings: %s\n",
+               qre::json::Value(std::move(out)).dump().c_str());
 }
 
 // ------------------------------------------------------- store tooling ---
@@ -461,6 +514,10 @@ int main(int argc, char** argv) {
     qre::failpoint::configure_from_env();
     qre::failpoint::configure(opts.failpoints);
 
+    // Tracing likewise spans the whole invocation, so profile-pack loading
+    // and store prewarming show up in the exported timeline too.
+    if (!opts.trace_file.empty()) qre::trace::enable();
+
     qre::api::Registry& registry = qre::api::Registry::global();
     for (const std::string& pack_path : opts.profile_packs) {
       qre::Diagnostics pack_diags;
@@ -542,11 +599,24 @@ int main(int argc, char** argv) {
       }
       engine.set_store(store.get());
     }
-    // Persists new results (if any) and prints --cache-stats; every run
-    // path below funnels through here before returning.
+    // Persists new results (if any), prints --cache-stats / --timings, and
+    // writes the --trace-file export; every run path below funnels through
+    // here before returning.
+    qre::trace::Collector timings;
+    const auto run_started = std::chrono::steady_clock::now();
     auto finish_run = [&] {
       if (store != nullptr) store->persist();
       if (opts.cache_stats) print_cache_stats(engine, store.get());
+      if (opts.timings) {
+        const double wall_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - run_started)
+                                   .count();
+        print_timings_summary(timings, engine, wall_ms);
+      }
+      if (!opts.trace_file.empty() && !qre::trace::write_chrome_json(opts.trace_file)) {
+        std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                     opts.trace_file.c_str());
+      }
     };
 
     if (opts.text_mode && job.find("items") == nullptr && job.find("sweep") == nullptr &&
@@ -571,6 +641,7 @@ int main(int argc, char** argv) {
     }
 
     qre::service::EngineOptions run_options = engine.options();
+    if (opts.timings) run_options.timings = &timings;
     if (opts.deadline_s > 0) {
       // Offline runs share the server's deadline semantics: batch items past
       // the deadline report per-item "cancelled" entries, single/frontier

@@ -26,6 +26,13 @@
 //      place), and every name must be catalogued with a backticked entry
 //      in docs/robustness.md; conversely every catalogued name must still
 //      exist in the code.
+//   6. Observability names. The trace span/instant names instrumented in
+//      src/ (QRE_TRACE_SPAN, QRE_TRACE_INSTANT, record_span, PhaseTimer)
+//      and the /metrics → Prometheus rows of kMetricsCatalog
+//      (src/server/prometheus.cpp) must each appear in the matching table
+//      of docs/observability.md, and every name the doc tables carry must
+//      still exist in the code — both directions, so the doc is the
+//      registry and can never silently rot.
 //
 // Usage: qre_lint <repo-root>       (exit 0 clean, 1 findings, 2 usage/IO)
 //
@@ -282,6 +289,92 @@ void check_failpoints(const fs::path& root) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// 6. Observability names: trace spans and Prometheus catalog rows ↔
+//    docs/observability.md, both directions.
+
+void check_observability(const fs::path& root) {
+  const fs::path doc_path = root / "docs/observability.md";
+  const std::string doc = read_file(doc_path);
+
+  // -- trace span/instant names instrumented anywhere under src/ ----------
+  const std::vector<std::regex> span_res = {
+      std::regex(R"#(QRE_TRACE_SPAN\(\s*"([a-z0-9_.]+)"\s*\))#"),
+      std::regex(R"#(QRE_TRACE_INSTANT\(\s*"([a-z0-9_.]+)"\s*\))#"),
+      std::regex(R"#(record_span\(\s*"([a-z0-9_.]+)")#"),
+      std::regex(R"#(PhaseTimer\s+\w+\(\s*\w+,\s*"([a-z0-9_.]+)")#"),
+  };
+  std::set<std::string> spans;
+  for (const fs::path& source : collect(root / "src", ".cpp")) {
+    const std::string text = read_file(source);
+    for (const std::regex& re : span_res) {
+      for (const std::string& name : find_all(text, re)) spans.insert(name);
+    }
+  }
+  if (spans.empty()) {
+    finding("src/", "no trace span names found (instrumentation idiom moved?)");
+  }
+
+  // -- kMetricsCatalog rows: {"json.path", "qre_family", ...} -------------
+  const fs::path catalog_path = root / "src/server/prometheus.cpp";
+  const std::string catalog_cpp = read_file(catalog_path);
+  const std::regex row_re(R"#(\{\s*"([A-Za-z0-9_.]+)",\s*"(qre_[a-z_]+)")#");
+  std::set<std::string> catalog_paths;
+  std::set<std::string> catalog_families;
+  std::set<std::string> catalog_pairs;
+  for (auto it = std::sregex_iterator(catalog_cpp.begin(), catalog_cpp.end(), row_re);
+       it != std::sregex_iterator(); ++it) {
+    catalog_paths.insert((*it)[1].str());
+    catalog_families.insert((*it)[2].str());
+    catalog_pairs.insert((*it)[1].str() + " -> " + (*it)[2].str());
+  }
+  if (catalog_pairs.empty()) {
+    finding(catalog_path.string(), "cannot parse any kMetricsCatalog row");
+  }
+
+  // -- the doc's tables ----------------------------------------------------
+  // Dotted names leading a table row cover both the span taxonomy and the
+  // JSON-path column of the Prometheus mapping (same anchor as the
+  // failpoint catalog, so backticked filenames in prose stay out).
+  const std::regex doc_dotted_re(R"#(\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`)#");
+  std::set<std::string> doc_dotted;
+  for (const std::string& name : find_all(doc, doc_dotted_re)) doc_dotted.insert(name);
+  // Mapping rows pair the path cell with the family cell.
+  const std::regex doc_pair_re(R"#(`([A-Za-z0-9_.]+)`\s*\|\s*`(qre_[a-z_]+)`)#");
+  std::set<std::string> doc_pairs;
+  for (auto it = std::sregex_iterator(doc.begin(), doc.end(), doc_pair_re);
+       it != std::sregex_iterator(); ++it) {
+    doc_pairs.insert((*it)[1].str() + " -> " + (*it)[2].str());
+  }
+
+  for (const std::string& name : spans) {
+    if (doc_dotted.count(name) == 0) {
+      finding(doc_path.string(),
+              "trace span '" + name + "' is instrumented but not in the span table");
+    }
+  }
+  for (const std::string& pair : catalog_pairs) {
+    if (doc_pairs.count(pair) == 0) {
+      finding(doc_path.string(),
+              "metrics mapping '" + pair + "' is in kMetricsCatalog but not in the "
+              "Prometheus table");
+    }
+  }
+  for (const std::string& pair : doc_pairs) {
+    if (catalog_pairs.count(pair) == 0) {
+      finding(doc_path.string(),
+              "documented metrics mapping '" + pair + "' matches no kMetricsCatalog row");
+    }
+  }
+  for (const std::string& name : doc_dotted) {
+    if (spans.count(name) == 0 && catalog_paths.count(name) == 0) {
+      finding(doc_path.string(),
+              "documented name '" + name + "' is neither an instrumented span nor a "
+              "kMetricsCatalog JSON path");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,6 +393,7 @@ int main(int argc, char** argv) {
   check_headers(root);
   check_cli_flags(root);
   check_failpoints(root);
+  check_observability(root);
 
   if (g_findings != 0) {
     std::fprintf(stderr, "qre_lint: %d finding(s)\n", g_findings);

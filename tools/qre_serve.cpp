@@ -11,7 +11,8 @@
 //                         ones cancel cooperatively at the next item)
 //   POST /v2/validate     schema dry-run
 //   GET  /v2/profiles     profile registry dump
-//   GET  /healthz /version /metrics
+//   GET  /healthz /version /metrics (JSON or ?format=prometheus)
+//   GET  /v2/trace        Chrome-trace export of recorded spans (--trace)
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, queued async
 // jobs flip to cancelled, then the process exits 0.
@@ -26,6 +27,7 @@
 #include "api/schema.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "common/trace.hpp"
 #include "common/version.hpp"
 #include "server/router.hpp"
 #include "server/server.hpp"
@@ -78,6 +80,15 @@ void print_usage(std::FILE* out) {
                "                      'store.persist.before_rename=crash;engine.evaluate\n"
                "                      .before=5%%error' (also via the QRE_FAILPOINTS env\n"
                "                      var; catalog in docs/robustness.md)\n"
+               "  --trace             record spans into the in-memory trace ring;\n"
+               "                      export live via GET /v2/trace\n"
+               "                      (docs/observability.md)\n"
+               "  --trace-file PATH   implies --trace; additionally write the ring as\n"
+               "                      Chrome-trace JSON to PATH on shutdown (loads in\n"
+               "                      Perfetto / chrome://tracing)\n"
+               "  --access-log PATH   append one JSON line per request to PATH\n"
+               "                      ('-' = stderr): request id, route, status,\n"
+               "                      latency, bytes, deadline/cancel flags\n"
                "  --version           print the version and exit\n"
                "  --help              this text\n",
                qre::service::EstimateCache::kDefaultCapacity);
@@ -88,6 +99,8 @@ struct Options {
   qre::server::ServiceOptions service;
   std::string port_file;
   std::string failpoints;
+  std::string trace_file;
+  bool trace = false;
   std::vector<std::string> profile_packs;
 };
 
@@ -182,6 +195,17 @@ int parse_args(int argc, char** argv, Options& opts) {
       const char* v = next("--failpoints");
       if (v == nullptr) return 2;
       opts.failpoints = v;
+    } else if (arg == "--trace") {
+      opts.trace = true;
+    } else if (arg == "--trace-file") {
+      const char* v = next("--trace-file");
+      if (v == nullptr || *v == '\0') return 2;
+      opts.trace_file = v;
+      opts.trace = true;
+    } else if (arg == "--access-log") {
+      const char* v = next("--access-log");
+      if (v == nullptr || *v == '\0') return 2;
+      opts.service.access_log_path = v;
     } else if (arg == "--version") {
       std::printf("qre_serve %s (schema v%d)\n", qre::version_string(),
                   qre::api::kSchemaVersion);
@@ -229,9 +253,12 @@ int main(int argc, char** argv) {
       qre::store::ensure_directory(opts.service.cache_dir);
     }
 
+    if (opts.trace) qre::trace::enable();
+
     qre::server::Service service(registry, opts.service);
     qre::server::Router router(service);
     opts.server.metrics = &service.metrics();  // transport drives the connection gauge
+    opts.server.access_log = service.access_log();  // pre-router rejects log too
     qre::server::Server server(router, opts.server);
     server.start();
 
@@ -263,6 +290,17 @@ int main(int argc, char** argv) {
     service.jobs().drain();
     service.persist_store();  // final snapshot before the stats line
     g_server = nullptr;
+
+    if (!opts.trace_file.empty()) {
+      if (qre::trace::write_chrome_json(opts.trace_file)) {
+        std::fprintf(stderr, "qre_serve: wrote trace to %s (%llu dropped)\n",
+                     opts.trace_file.c_str(),
+                     static_cast<unsigned long long>(qre::trace::dropped()));
+      } else {
+        std::fprintf(stderr, "qre_serve: cannot write trace file '%s'\n",
+                     opts.trace_file.c_str());
+      }
+    }
 
     std::fprintf(stderr, "qre_serve: served %llu request(s); bye\n",
                  static_cast<unsigned long long>(service.metrics().requests_total()));
