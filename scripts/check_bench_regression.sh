@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Gates CI on sweep-throughput regressions.
+#
+# Compares a freshly measured BENCH_estimator.json against the committed
+# one. Raw items/s depends on the runner, so the gate compares the KERNEL
+# ADVANTAGE instead: sweep_items_per_sec normalized by the same run's
+# sweep_items_per_sec_scalar (the scalar path on the same grid, same
+# machine, same load). A drop of more than the threshold in that ratio
+# means the batch kernel itself regressed, not the hardware.
+#
+# Usage: scripts/check_bench_regression.sh <fresh.json> [committed.json]
+set -euo pipefail
+
+fresh="${1:?usage: check_bench_regression.sh <fresh.json> [committed.json]}"
+committed="${2:-BENCH_estimator.json}"
+threshold="${QRE_BENCH_REGRESSION_THRESHOLD:-0.10}"
+
+python3 - "$fresh" "$committed" "$threshold" <<'PY'
+import json
+import sys
+
+fresh_path, committed_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def speedup(path):
+    with open(path) as f:
+        metrics = json.load(f)["metrics"]
+    kernel = metrics["sweep_items_per_sec"]
+    scalar = metrics["sweep_items_per_sec_scalar"]
+    if scalar <= 0:
+        sys.exit(f"{path}: sweep_items_per_sec_scalar must be positive, got {scalar}")
+    return kernel, scalar, kernel / scalar
+
+fresh_kernel, fresh_scalar, fresh_ratio = speedup(fresh_path)
+committed_kernel, committed_scalar, committed_ratio = speedup(committed_path)
+
+print(f"committed: kernel {committed_kernel:10.0f} items/s  "
+      f"scalar {committed_scalar:10.0f} items/s  advantage {committed_ratio:.3f}x")
+print(f"fresh:     kernel {fresh_kernel:10.0f} items/s  "
+      f"scalar {fresh_scalar:10.0f} items/s  advantage {fresh_ratio:.3f}x")
+
+floor = committed_ratio * (1.0 - threshold)
+if fresh_ratio < floor:
+    sys.exit(f"REGRESSION: kernel advantage {fresh_ratio:.3f}x is more than "
+             f"{threshold:.0%} below the committed {committed_ratio:.3f}x "
+             f"(floor {floor:.3f}x)")
+print(f"OK: kernel advantage within {threshold:.0%} of the committed ratio "
+      f"(floor {floor:.3f}x)")
+PY

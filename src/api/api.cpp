@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/trace.hpp"
 #include "report/report.hpp"
+#include "service/batch_kernel.hpp"
 #include "service/sweep.hpp"
 
 namespace qre::api {
@@ -252,7 +253,29 @@ EstimateResponse run(const EstimateRequest& request, const service::EngineOption
       json::Array results;
       {
         trace::PhaseTimer phase(timings, "api.execute");
-        results = service::run_batch(expanded, runner, run_options, &stats);
+        // Sweep grids go through the SoA batch kernel when its plan covers
+        // them (see service/batch_kernel.hpp); everything else — items
+        // batches, kernel-ineligible sweeps, --no-batch-kernel — runs the
+        // legacy per-item path. Both funnel into run_batch_indexed, so the
+        // result array and batch counters are identical either way.
+        bool ran_kernel = false;
+        if (sweep != nullptr && run_options.use_batch_kernel) {
+          service::BatchKernelPlan plan =
+              service::plan_batch_kernel(doc, expanded, registry);
+          if (plan.eligible()) {
+            results = service::run_batch_kernel(plan, expanded, runner, run_options, &stats);
+            ran_kernel = true;
+          } else {
+            service::BatchKernelStats kernel_stats;
+            kernel_stats.engaged = false;
+            kernel_stats.reason = plan.reason();
+            kernel_stats.fallback_items = expanded.size();
+            stats.kernel = std::move(kernel_stats);
+          }
+        }
+        if (!ran_kernel) {
+          results = service::run_batch(expanded, runner, run_options, &stats);
+        }
       }
       json::Object out;
       out.emplace_back("results", json::Value(std::move(results)));

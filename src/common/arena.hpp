@@ -1,0 +1,165 @@
+#pragma once
+
+// Chunked bump allocator for per-batch transient state.
+//
+// The batch-estimation kernel (src/service/batch_kernel.*) pre-sizes all of
+// its per-sweep columns and scratch buffers out of one Arena so that the
+// steady-state evaluation loop performs no heap allocations at all: memory is
+// carved out of large chunks with a pointer bump, and the whole batch is
+// released in O(#chunks) by `reset()` (which keeps the chunks for reuse by
+// the next batch).
+//
+// Contract:
+//  * `allocate` never returns nullptr — it grows by appending chunks and
+//    throws std::bad_alloc only if the underlying `new` does.
+//  * Individual allocations cannot be freed; `reset()` releases everything
+//    at once. Objects with non-trivial destructors must be destroyed by the
+//    caller before reset (the kernel only places trivially-destructible data
+//    in the arena, enforced by `alloc_array`).
+//  * Not thread-safe; each worker/batch owns its own Arena.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace qre {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns `bytes` bytes aligned to `alignment` (a power of two). The
+  /// memory is uninitialised and stays valid until `reset()` or destruction.
+  void* allocate(std::size_t bytes,
+                 std::size_t alignment = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    if (active_ < chunks_.size()) {
+      if (void* p = try_bump(chunks_[active_], bytes, alignment)) {
+        bytes_allocated_ += bytes;
+        return p;
+      }
+      // The active chunk is exhausted; later chunks (kept by reset) may
+      // still have room.
+      for (std::size_t i = active_ + 1; i < chunks_.size(); ++i) {
+        if (void* p = try_bump(chunks_[i], bytes, alignment)) {
+          active_ = i;
+          bytes_allocated_ += bytes;
+          return p;
+        }
+      }
+    }
+    // Need a fresh chunk. Oversized requests get a dedicated chunk so the
+    // common chunk size stays bounded.
+    const std::size_t needed = bytes + alignment;
+    Chunk chunk;
+    chunk.size = needed > chunk_bytes_ ? needed : chunk_bytes_;
+    chunk.data = std::make_unique<std::byte[]>(chunk.size);
+    chunks_.push_back(std::move(chunk));
+    active_ = chunks_.size() - 1;
+    void* p = try_bump(chunks_.back(), bytes, alignment);
+    bytes_allocated_ += bytes;
+    return p;
+  }
+
+  /// Typed array allocation. Restricted to trivially destructible T because
+  /// reset() never runs destructors. Elements are value-initialised.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::alloc_array requires trivially destructible types");
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) ::new (data + i) T();
+    return data;
+  }
+
+  /// Releases every allocation at once but keeps the chunks, so the next
+  /// batch of identical shape allocates without touching the heap.
+  void reset() {
+    for (Chunk& chunk : chunks_) chunk.used = 0;
+    active_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Live bytes handed out since the last reset (excludes alignment padding).
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total heap footprint currently reserved by the arena's chunks.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+  std::size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static void* try_bump(Chunk& chunk, std::size_t bytes,
+                        std::size_t alignment) {
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    std::uintptr_t cursor = base + chunk.used;
+    const std::uintptr_t aligned = (cursor + alignment - 1) & ~(alignment - 1);
+    const std::size_t end_offset = (aligned - base) + bytes;
+    if (end_offset > chunk.size) return nullptr;
+    chunk.used = end_offset;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+/// Minimal std-compatible allocator over an Arena, for containers whose
+/// lifetime is bounded by one batch. Deallocation is a no-op — memory is
+/// reclaimed wholesale by Arena::reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace qre

@@ -75,14 +75,32 @@ std::uint64_t ts_per_rotation(std::uint64_t num_rotations, double synthesis_budg
   return ceil_to_u64(0.53 * x + 5.3);
 }
 
+/// Assigns a factory into the optional without discarding an existing
+/// engagement: copy-assigning into the live TFactory lets its rounds/name
+/// buffers keep their capacity across reused ResourceEstimates.
+void assign_tfactory(ResourceEstimate& out, const TFactory& factory) {
+  if (out.tfactory.has_value()) {
+    *out.tfactory = factory;
+  } else {
+    out.tfactory = factory;
+  }
+}
+
 }  // namespace
 
 ResourceEstimate estimate(const EstimationInput& input) {
+  ResourceEstimate out;
+  estimate_into(input, out);
+  return out;
+}
+
+void estimate_into(const EstimationInput& input, ResourceEstimate& out) {
   const LogicalCounts& counts = input.counts;
   QRE_REQUIRE(counts.num_qubits > 0, "estimation requires at least one logical qubit");
   input.qubit.validate();
 
-  ResourceEstimate out;
+  // `out` may carry a previous item's values; every field below is either
+  // unconditionally assigned or explicitly reset on the paths that skip it.
   out.pre_layout = counts;
   out.qubit = input.qubit;
   out.qec = input.qec;
@@ -112,14 +130,15 @@ ResourceEstimate estimate(const EstimationInput& input) {
   double depth_factor = input.constraints.logical_depth_factor.value_or(1.0);
   QRE_REQUIRE(depth_factor >= 1.0, "logicalDepthFactor must be >= 1");
 
-  std::optional<TFactory> factory;
+  std::shared_ptr<const TFactory> factory;
+  out.required_tstate_error_rate = 0.0;
   if (out.num_tstates > 0) {
     out.required_tstate_error_rate =
         out.budget.tstates / static_cast<double>(out.num_tstates);
-    factory = FactoryCache::global().design(out.required_tstate_error_rate, input.qubit,
-                                            input.qec, input.distillation_units,
-                                            input.factory_options);
-    if (!factory.has_value()) {
+    factory = FactoryCache::global().design_shared(out.required_tstate_error_rate, input.qubit,
+                                                   input.qec, input.distillation_units,
+                                                   input.factory_options);
+    if (factory == nullptr) {
       std::ostringstream os;
       os << "no T factory configuration reaches the required T-state error rate "
          << out.required_tstate_error_rate << " from physical T error "
@@ -150,7 +169,7 @@ ResourceEstimate estimate(const EstimationInput& input) {
     runtime_ns = static_cast<double>(cycles) * patch.cycle_time_ns;
     out.required_logical_qubit_error_rate = required_logical_error;
 
-    if (!factory.has_value() || factory->no_distillation()) {
+    if (factory == nullptr || factory->no_distillation()) {
       copies = 0;
       break;
     }
@@ -196,17 +215,23 @@ ResourceEstimate estimate(const EstimationInput& input) {
 
   out.physical_qubits_for_algorithm = q * patch.physical_qubits;
   out.num_t_factories = copies;
-  if (factory.has_value() && !factory->no_distillation() && copies > 0) {
-    out.tfactory = factory;
+  out.physical_qubits_for_tfactories = 0;
+  out.num_t_factory_invocations = 0;
+  out.num_invocations_per_factory = 0;
+  out.achieved_tstate_error = 0.0;
+  if (factory != nullptr && !factory->no_distillation() && copies > 0) {
+    assign_tfactory(out, *factory);
     out.physical_qubits_for_tfactories = copies * factory->physical_qubits;
     out.num_t_factory_invocations = invocations_needed;
     out.num_invocations_per_factory = ceil_div(invocations_needed, copies);
     out.achieved_tstate_error =
         static_cast<double>(out.num_tstates) * factory->output_error_rate;
-  } else if (factory.has_value()) {
-    out.tfactory = factory;  // raw physical T states suffice
+  } else if (factory != nullptr) {
+    assign_tfactory(out, *factory);  // raw physical T states suffice
     out.achieved_tstate_error =
         static_cast<double>(out.num_tstates) * factory->output_error_rate;
+  } else {
+    out.tfactory.reset();
   }
   out.total_physical_qubits =
       out.physical_qubits_for_algorithm + out.physical_qubits_for_tfactories;
@@ -279,7 +304,8 @@ ResourceEstimate estimate(const EstimationInput& input) {
       }
     }
     if (best_fit.has_value() && within_duration(*best_fit)) {
-      return *std::move(best_fit);
+      out = *std::move(best_fit);
+      return;
     }
     // Either no cap fits, or the qubit bound is only reachable beyond the
     // duration bound.
@@ -289,8 +315,6 @@ ResourceEstimate estimate(const EstimationInput& input) {
        << " is infeasible";
     throw_error(os.str());
   }
-
-  return out;
 }
 
 ResourceEstimate estimate_with_cap(const EstimationInput& input,

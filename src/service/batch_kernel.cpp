@@ -1,0 +1,408 @@
+#include "service/batch_kernel.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "api/api.hpp"
+#include "api/schema.hpp"
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "report/report.hpp"
+#include "service/cache.hpp"
+#include "service/sweep.hpp"
+
+namespace qre::service {
+
+namespace {
+
+/// Maps an axis path's head segment to its kernel section; false = the axis
+/// targets something the kernel does not model (estimateType, qecScheme,
+/// distillation units, ...), so the whole sweep runs the legacy path.
+bool head_section(const std::string& path, BatchKernelAxis::Section& out) {
+  const std::size_t dot = path.find('.');
+  const std::string_view head =
+      dot == std::string::npos ? std::string_view(path) : std::string_view(path).substr(0, dot);
+  if (head == "logicalCounts") {
+    out = BatchKernelAxis::Section::kLogicalCounts;
+  } else if (head == "errorBudget") {
+    out = BatchKernelAxis::Section::kErrorBudget;
+  } else if (head == "constraints") {
+    out = BatchKernelAxis::Section::kConstraints;
+  } else if (head == "qubitParams") {
+    out = BatchKernelAxis::Section::kQubitParams;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string axis_sentinel(std::size_t axis_index) {
+  return "qre.batch-kernel.axis." + std::to_string(axis_index) + ".sentinel";
+}
+
+/// Finds the unique occurrence of `needle` in `canon` and checks it sits in
+/// string position (surrounded by quotes). Returns npos when the occurrence
+/// is not unique or not a whole JSON string — a degenerate document embeds
+/// the sentinel text somewhere else, and splicing would be ambiguous.
+std::size_t locate_sentinel(const std::string& canon, const std::string& needle) {
+  const std::size_t first = canon.find(needle);
+  if (first == std::string::npos) return std::string::npos;
+  if (canon.find(needle, first + 1) != std::string::npos) return std::string::npos;
+  if (first == 0 || canon[first - 1] != '"') return std::string::npos;
+  const std::size_t end = first + needle.size();
+  if (end >= canon.size() || canon[end] != '"') return std::string::npos;
+  return first - 1;  // include the opening quote
+}
+
+}  // namespace
+
+void BatchKernelPlan::apply(const std::vector<std::uint32_t>& picks,
+                            EstimationInput& input) const {
+  for (std::size_t j = 0; j < axes_.size(); ++j) {
+    const BatchKernelAxis& a = axes_[j];
+    const std::size_t k = picks[j];
+    switch (a.section) {
+      case BatchKernelAxis::Section::kLogicalCounts:
+        input.counts.num_qubits = a.lc_num_qubits[k];
+        input.counts.t_count = a.lc_t_count[k];
+        input.counts.rotation_count = a.lc_rotation_count[k];
+        input.counts.rotation_depth = a.lc_rotation_depth[k];
+        input.counts.ccz_count = a.lc_ccz_count[k];
+        input.counts.ccix_count = a.lc_ccix_count[k];
+        input.counts.measurement_count = a.lc_measurement_count[k];
+        input.counts.clifford_count = a.lc_clifford_count[k];
+        break;
+      case BatchKernelAxis::Section::kErrorBudget:
+        input.budget = a.budgets[k];
+        break;
+      case BatchKernelAxis::Section::kConstraints:
+        input.constraints = a.constraints[k];
+        break;
+      case BatchKernelAxis::Section::kQubitParams:
+        input.qubit.name = a.qp_names[k];
+        input.qubit.instruction_set = static_cast<InstructionSet>(a.qp_instruction_set[k]);
+        input.qubit.one_qubit_measurement_time_ns = a.qp_one_qubit_measurement_time_ns[k];
+        input.qubit.one_qubit_gate_time_ns = a.qp_one_qubit_gate_time_ns[k];
+        input.qubit.two_qubit_gate_time_ns = a.qp_two_qubit_gate_time_ns[k];
+        input.qubit.two_qubit_joint_measurement_time_ns =
+            a.qp_two_qubit_joint_measurement_time_ns[k];
+        input.qubit.t_gate_time_ns = a.qp_t_gate_time_ns[k];
+        input.qubit.one_qubit_measurement_error_rate =
+            a.qp_one_qubit_measurement_error_rate[k];
+        input.qubit.one_qubit_gate_error_rate = a.qp_one_qubit_gate_error_rate[k];
+        input.qubit.two_qubit_gate_error_rate = a.qp_two_qubit_gate_error_rate[k];
+        input.qubit.two_qubit_joint_measurement_error_rate =
+            a.qp_two_qubit_joint_measurement_error_rate[k];
+        input.qubit.t_gate_error_rate = a.qp_t_gate_error_rate[k];
+        input.qubit.idle_error_rate = a.qp_idle_error_rate[k];
+        input.qec = a.qp_qecs[k];
+        break;
+    }
+  }
+}
+
+void BatchKernelPlan::splice_key(const std::vector<std::uint32_t>& picks,
+                                 std::string& out) const {
+  out.clear();
+  for (std::size_t g = 0; g < key_order_.size(); ++g) {
+    out.append(key_literals_[g]);
+    const std::size_t j = key_order_[g];
+    out.append(axes_[j].key_dumps[picks[j]]);
+  }
+  out.append(key_literals_.back());
+}
+
+std::string BatchKernelPlan::item_key(std::size_t index) const {
+  std::vector<std::uint32_t> picks(axes_.size());
+  decompose(index, picks);
+  std::string out;
+  splice_key(picks, out);
+  return out;
+}
+
+BatchKernelPlan plan_batch_kernel(const json::Value& job, const std::vector<json::Value>& items,
+                                  const api::Registry& registry) {
+  BatchKernelPlan plan;
+  auto decline = [&plan](std::string reason) {
+    plan.eligible_ = false;
+    plan.reason_ = std::move(reason);
+    return std::move(plan);
+  };
+  try {
+    if (!job.is_object() || job.find("sweep") == nullptr) {
+      return decline("not a sweep job");
+    }
+    if (job.find("items") != nullptr || job.find("frontier") != nullptr) {
+      return decline("sweep is combined with items/frontier");
+    }
+    if (const json::Value* type = job.find("estimateType")) {
+      if (!type->is_string() || type->as_string() != "singlePoint") {
+        return decline("estimateType is not singlePoint");
+      }
+    }
+
+    const std::vector<SweepAxis> declared = sweep_axes(job.at("sweep"));
+    bool section_used[4] = {false, false, false, false};
+    for (const SweepAxis& axis : declared) {
+      BatchKernelAxis::Section section;
+      if (!head_section(axis.path, section)) {
+        return decline("axis '" + axis.path + "' targets a section outside the kernel");
+      }
+      if (section_used[static_cast<int>(section)]) {
+        return decline("multiple axes target the same section as '" + axis.path + "'");
+      }
+      section_used[static_cast<int>(section)] = true;
+      if (section == BatchKernelAxis::Section::kQubitParams &&
+          job.find("qecScheme") != nullptr) {
+        return decline("qubitParams axis with a base qecScheme (scheme resolution "
+                       "depends on the combined document)");
+      }
+    }
+
+    std::size_t total = 1;
+    for (const SweepAxis& axis : declared) total *= axis.values.size();
+    if (total != items.size()) {
+      return decline("expanded item count does not match the axis grid");
+    }
+    plan.num_items_ = total;
+
+    // Row-major geometry, matching expand_sweep: first axis varies slowest.
+    plan.axes_.resize(declared.size());
+    {
+      std::size_t stride = total;
+      for (std::size_t j = 0; j < declared.size(); ++j) {
+        BatchKernelAxis& a = plan.axes_[j];
+        a.path = declared[j].path;
+        a.size = declared[j].values.size();
+        stride /= a.size;
+        a.stride = stride;
+        head_section(a.path, a.section);
+      }
+    }
+
+    // Parse and validate each axis VALUE once, via its materialized probe
+    // document (base + this value, every other axis at its first value) —
+    // the same parse the legacy path would run for that item, so payloads
+    // are exact. A value whose probe fails validation/parsing is marked
+    // invalid; grid items picking it run the legacy fallback and produce
+    // identical error documents.
+    std::vector<std::vector<EstimationInput>> parsed(plan.axes_.size());
+    for (std::size_t j = 0; j < plan.axes_.size(); ++j) {
+      BatchKernelAxis& a = plan.axes_[j];
+      std::uint8_t* valid = plan.arena_.alloc_array<std::uint8_t>(a.size);
+      parsed[j].resize(a.size);
+      for (std::size_t k = 0; k < a.size; ++k) {
+        const json::Value& probe = items[k * a.stride];
+        Diagnostics probe_diags;
+        api::validate_job(probe, registry, probe_diags);
+        if (probe_diags.has_errors()) continue;
+        try {
+          Diagnostics sink;  // tolerate warnings, as the legacy runner does
+          parsed[j][k] = api::input_from_document(probe, registry, &sink);
+          valid[k] = 1;
+        } catch (const std::exception&) {
+          // leave invalid: the fallback runner reports the exact error
+        }
+      }
+      a.valid = valid;
+    }
+
+    // Reference input: the first grid point whose picks are all valid; its
+    // parse fixes every non-axis section once per sweep.
+    {
+      std::size_t reference = 0;
+      for (std::size_t j = 0; j < plan.axes_.size(); ++j) {
+        const BatchKernelAxis& a = plan.axes_[j];
+        std::size_t first_valid = a.size;
+        for (std::size_t k = 0; k < a.size; ++k) {
+          if (a.valid[k]) {
+            first_valid = k;
+            break;
+          }
+        }
+        if (first_valid == a.size) {
+          return decline("axis '" + a.path + "' has no valid values");
+        }
+        reference += first_valid * a.stride;
+      }
+      Diagnostics sink;
+      plan.reference_input_ = api::input_from_document(items[reference], registry, &sink);
+    }
+
+    // Column fill: one tight pass per field over contiguous arena storage.
+    for (std::size_t j = 0; j < plan.axes_.size(); ++j) {
+      BatchKernelAxis& a = plan.axes_[j];
+      const std::vector<EstimationInput>& in = parsed[j];
+      const std::size_t n = a.size;
+      switch (a.section) {
+        case BatchKernelAxis::Section::kLogicalCounts: {
+          auto fill = [&](std::uint64_t LogicalCounts::* field) {
+            std::uint64_t* col = plan.arena_.alloc_array<std::uint64_t>(n);
+            for (std::size_t k = 0; k < n; ++k) col[k] = in[k].counts.*field;
+            return static_cast<const std::uint64_t*>(col);
+          };
+          a.lc_num_qubits = fill(&LogicalCounts::num_qubits);
+          a.lc_t_count = fill(&LogicalCounts::t_count);
+          a.lc_rotation_count = fill(&LogicalCounts::rotation_count);
+          a.lc_rotation_depth = fill(&LogicalCounts::rotation_depth);
+          a.lc_ccz_count = fill(&LogicalCounts::ccz_count);
+          a.lc_ccix_count = fill(&LogicalCounts::ccix_count);
+          a.lc_measurement_count = fill(&LogicalCounts::measurement_count);
+          a.lc_clifford_count = fill(&LogicalCounts::clifford_count);
+          break;
+        }
+        case BatchKernelAxis::Section::kErrorBudget: {
+          ErrorBudget* col = plan.arena_.alloc_array<ErrorBudget>(n);
+          for (std::size_t k = 0; k < n; ++k) col[k] = in[k].budget;
+          a.budgets = col;
+          break;
+        }
+        case BatchKernelAxis::Section::kConstraints: {
+          Constraints* col = plan.arena_.alloc_array<Constraints>(n);
+          for (std::size_t k = 0; k < n; ++k) col[k] = in[k].constraints;
+          a.constraints = col;
+          break;
+        }
+        case BatchKernelAxis::Section::kQubitParams: {
+          auto fill = [&](double QubitParams::* field) {
+            double* col = plan.arena_.alloc_array<double>(n);
+            for (std::size_t k = 0; k < n; ++k) col[k] = in[k].qubit.*field;
+            return static_cast<const double*>(col);
+          };
+          a.qp_one_qubit_measurement_time_ns = fill(&QubitParams::one_qubit_measurement_time_ns);
+          a.qp_one_qubit_gate_time_ns = fill(&QubitParams::one_qubit_gate_time_ns);
+          a.qp_two_qubit_gate_time_ns = fill(&QubitParams::two_qubit_gate_time_ns);
+          a.qp_two_qubit_joint_measurement_time_ns =
+              fill(&QubitParams::two_qubit_joint_measurement_time_ns);
+          a.qp_t_gate_time_ns = fill(&QubitParams::t_gate_time_ns);
+          a.qp_one_qubit_measurement_error_rate =
+              fill(&QubitParams::one_qubit_measurement_error_rate);
+          a.qp_one_qubit_gate_error_rate = fill(&QubitParams::one_qubit_gate_error_rate);
+          a.qp_two_qubit_gate_error_rate = fill(&QubitParams::two_qubit_gate_error_rate);
+          a.qp_two_qubit_joint_measurement_error_rate =
+              fill(&QubitParams::two_qubit_joint_measurement_error_rate);
+          a.qp_t_gate_error_rate = fill(&QubitParams::t_gate_error_rate);
+          a.qp_idle_error_rate = fill(&QubitParams::idle_error_rate);
+          std::int32_t* sets = plan.arena_.alloc_array<std::int32_t>(n);
+          for (std::size_t k = 0; k < n; ++k) {
+            sets[k] = static_cast<std::int32_t>(in[k].qubit.instruction_set);
+          }
+          a.qp_instruction_set = sets;
+          a.qp_names.resize(n);
+          a.qp_qecs.reserve(n);
+          for (std::size_t k = 0; k < n; ++k) {
+            a.qp_names[k] = in[k].qubit.name;
+            a.qp_qecs.push_back(in[k].qec);
+          }
+          break;
+        }
+      }
+      a.key_dumps.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        a.key_dumps[k] = canonical_key(declared[j].values[k]);
+      }
+    }
+
+    // Cache-key skeleton: substitute a unique sentinel string for each axis
+    // leaf, canonicalize once, and split at the sentinels. Per-item keys are
+    // then literal segments with per-value dumps spliced in — byte-identical
+    // to canonical_key(item) without re-serializing the document.
+    {
+      json::Object base;
+      for (const auto& [key, value] : job.as_object()) {
+        if (key != "sweep" && key != "items") base.emplace_back(key, value);
+      }
+      json::Value skeleton{std::move(base)};
+      for (std::size_t j = 0; j < plan.axes_.size(); ++j) {
+        set_path(skeleton, plan.axes_[j].path, json::Value(axis_sentinel(j)));
+      }
+      const std::string canon = canonical_key(skeleton);
+      std::vector<std::pair<std::size_t, std::size_t>> markers;  // (pos, axis)
+      for (std::size_t j = 0; j < plan.axes_.size(); ++j) {
+        const std::string sentinel = axis_sentinel(j);
+        const std::size_t pos = locate_sentinel(canon, sentinel);
+        if (pos == std::string::npos) {
+          return decline("cache-key skeleton is ambiguous for axis '" +
+                         plan.axes_[j].path + "'");
+        }
+        markers.emplace_back(pos, j);
+      }
+      std::sort(markers.begin(), markers.end());
+      std::size_t cursor = 0;
+      for (const auto& [pos, j] : markers) {
+        plan.key_literals_.push_back(canon.substr(cursor, pos - cursor));
+        plan.key_order_.push_back(j);
+        cursor = pos + axis_sentinel(j).size() + 2;  // skip both quotes
+      }
+      plan.key_literals_.push_back(canon.substr(cursor));
+    }
+
+    plan.eligible_ = true;
+    return plan;
+  } catch (const std::exception& e) {
+    return decline(std::string("plan analysis failed: ") + e.what());
+  }
+}
+
+json::Array run_batch_kernel(const BatchKernelPlan& plan, const std::vector<json::Value>& items,
+                             const JobRunner& fallback, const EngineOptions& options,
+                             BatchStats* stats) {
+  QRE_REQUIRE(plan.eligible(), "run_batch_kernel requires an eligible plan");
+  QRE_REQUIRE(items.size() == plan.num_items(),
+              "run_batch_kernel: item count does not match the plan");
+  QRE_REQUIRE(fallback != nullptr, "run_batch_kernel requires a fallback runner");
+
+  const std::size_t num_workers = resolve_num_workers(options, items.size());
+  std::vector<BatchKernelScratch> scratch(num_workers);
+  for (BatchKernelScratch& s : scratch) {
+    s.input = plan.reference_input();
+    s.picks.resize(plan.num_axes());
+  }
+
+  // Classify every grid item up front (cheap: a few divisions each), so the
+  // engagement counters partition numItems exactly — a duplicated grid
+  // point served from the cache still counts under the path that covers
+  // it, and kernelItems + fallbackItems always equals the grid size.
+  std::uint64_t kernel_items = 0;
+  std::uint64_t fallback_items = 0;
+  {
+    std::vector<std::uint32_t> picks(plan.num_axes());
+    for (std::size_t index = 0; index < items.size(); ++index) {
+      plan.decompose(index, picks);
+      (plan.picks_valid(picks) ? kernel_items : fallback_items) += 1;
+    }
+  }
+
+  // Both closures run under run_batch_indexed, so cancellation, ordering,
+  // error isolation, and cache counters are the engine's — kernel results
+  // and fallback results tally through one code path.
+  const IndexedRunner runner = [&](std::size_t index, std::size_t worker) -> json::Value {
+    BatchKernelScratch& s = scratch[worker];
+    plan.decompose(index, s.picks);
+    if (!plan.picks_valid(s.picks)) {
+      return fallback(items[index]);
+    }
+    plan.apply(s.picks, s.input);
+    estimate_into(s.input, s.estimate);
+    return report_to_json(s.estimate);
+  };
+  const IndexedKeyFn key_fn = [&](std::size_t index, std::size_t worker) -> const std::string& {
+    BatchKernelScratch& s = scratch[worker];
+    plan.decompose(index, s.picks);
+    plan.splice_key(s.picks, s.key_buf);
+    return s.key_buf;
+  };
+
+  json::Array out = run_batch_indexed(items.size(), runner, key_fn, options, stats);
+  if (stats != nullptr) {
+    BatchKernelStats kernel_stats;
+    kernel_stats.engaged = true;
+    kernel_stats.kernel_items = kernel_items;
+    kernel_stats.fallback_items = fallback_items;
+    stats->kernel = std::move(kernel_stats);
+  }
+  return out;
+}
+
+}  // namespace qre::service

@@ -23,6 +23,14 @@ json::Value BatchStats::to_json() const {
   // The factory-cache deltas stay out of the document on purpose: the
   // process-level cache makes them depend on what ran before this batch,
   // and result documents for identical jobs must stay byte-identical.
+  if (kernel.has_value()) {
+    json::Object k;
+    k.emplace_back("engaged", json::Value(kernel->engaged));
+    if (!kernel->reason.empty()) k.emplace_back("reason", kernel->reason);
+    k.emplace_back("kernelItems", json::Value(kernel->kernel_items));
+    k.emplace_back("fallbackItems", json::Value(kernel->fallback_items));
+    o.emplace_back("batchKernel", json::Value(std::move(k)));
+  }
   return json::Value(std::move(o));
 }
 
@@ -57,13 +65,14 @@ json::Value cancelled_value(const CancelToken& cancel) {
 /// Runs one item, memoized when a cache is present. All failures — from the
 /// runner directly or replayed out of the cache — collapse to an error
 /// document, preserving the batch's isolation contract.
-json::Value run_one(const json::Value& item, const JobRunner& runner, EstimateCache* cache) {
+json::Value run_one(std::size_t index, std::size_t worker, const IndexedRunner& runner,
+                    const IndexedKeyFn& key_fn, EstimateCache* cache) {
   try {
     QRE_FAILPOINT("engine.evaluate.before");
     if (cache != nullptr) {
-      return cache->get_or_compute(canonical_key(item), [&] { return runner(item); });
+      return cache->get_or_compute(key_fn(index, worker), [&] { return runner(index, worker); });
     }
-    return runner(item);
+    return runner(index, worker);
   } catch (const std::exception& e) {
     return error_value("estimation-failed", e.what());
   }
@@ -71,10 +80,38 @@ json::Value run_one(const json::Value& item, const JobRunner& runner, EstimateCa
 
 }  // namespace
 
+std::size_t resolve_num_workers(const EngineOptions& options, std::size_t num_items) {
+  std::size_t num_workers = options.num_workers;
+  if (num_workers == 0) {
+    num_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<std::size_t>(1, std::min(num_workers, num_items));
+}
+
 json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& runner,
                       const EngineOptions& options, BatchStats* stats) {
   QRE_REQUIRE(runner != nullptr, "run_batch requires a job runner");
-  const std::size_t n = items.size();
+  // Per-worker key buffers let the key function hand the cache a reference
+  // without a fresh allocation per call site (canonical_key itself still
+  // builds a new string; the batch kernel's key splicer does not).
+  std::vector<std::string> key_bufs(resolve_num_workers(options, items.size()));
+  const IndexedRunner indexed = [&](std::size_t index, std::size_t) {
+    return runner(items[index]);
+  };
+  const IndexedKeyFn key_fn = [&](std::size_t index, std::size_t worker) -> const std::string& {
+    key_bufs[worker] = canonical_key(items[index]);
+    return key_bufs[worker];
+  };
+  return run_batch_indexed(items.size(), indexed, key_fn, options, stats);
+}
+
+json::Array run_batch_indexed(std::size_t num_items, const IndexedRunner& runner,
+                              const IndexedKeyFn& key_fn, const EngineOptions& options,
+                              BatchStats* stats) {
+  QRE_REQUIRE(runner != nullptr, "run_batch_indexed requires an item runner");
+  QRE_REQUIRE(!options.use_cache || key_fn != nullptr,
+              "run_batch_indexed requires a key function when caching is enabled");
+  const std::size_t n = num_items;
   QRE_TRACE_SPAN("engine.batch");
   // Worker threads re-anchor their span stack on the batch span, so every
   // engine.item links back to this request in the exported trace.
@@ -90,11 +127,7 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
   const std::uint64_t factory_hits_before = factory_cache.hits();
   const std::uint64_t factory_misses_before = factory_cache.misses();
 
-  std::size_t num_workers = options.num_workers;
-  if (num_workers == 0) {
-    num_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  num_workers = std::max<std::size_t>(1, std::min(num_workers, n));
+  const std::size_t num_workers = resolve_num_workers(options, n);
 
   std::vector<json::Value> results(n);
   std::vector<char> done(n, 0);
@@ -118,7 +151,7 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
     }
   };
 
-  auto work = [&] {
+  auto work = [&](std::size_t worker) {
     // Propagate the request's collector and span parentage onto this
     // thread (restored on exit — the inline num_workers<=1 path runs on
     // the caller's thread, which has its own state to preserve).
@@ -135,18 +168,18 @@ json::Array run_batch(const std::vector<json::Value>& items, const JobRunner& ru
       json::Value result;
       {
         QRE_TRACE_SPAN("engine.item");
-        result = run_one(items[i], runner, cache);
+        result = run_one(i, worker, runner, key_fn, cache);
       }
       complete(i, std::move(result));
     }
   };
 
   if (num_workers <= 1) {
-    work();
+    work(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(num_workers);
-    for (std::size_t w = 0; w < num_workers; ++w) pool.emplace_back(work);
+    for (std::size_t w = 0; w < num_workers; ++w) pool.emplace_back(work, w);
     for (std::thread& t : pool) t.join();
   }
 

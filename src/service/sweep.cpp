@@ -56,9 +56,20 @@ std::vector<json::Value> resolve_range(const json::Value& spec, const std::strin
   std::vector<json::Value> values;
   values.reserve(static_cast<std::size_t>(steps));
   for (std::int64_t i = 0; i < steps; ++i) {
-    const double t = steps == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(steps - 1);
-    const double v = scale == "linear" ? start + t * (stop - start)
-                                       : start * std::pow(stop / start, t);
+    // The endpoints must reproduce start/stop bit-exactly: pow(stop/start, t)
+    // at t == 1 (and linear interpolation at the last step) can drift by an
+    // ulp, which would give range and explicit-array sweeps over the same
+    // values divergent canonical cache keys and duplicate store records.
+    double v;
+    if (i == 0) {
+      v = start;
+    } else if (i == steps - 1) {
+      v = stop;
+    } else {
+      const double t = static_cast<double>(i) / static_cast<double>(steps - 1);
+      v = scale == "linear" ? start + t * (stop - start)
+                            : start * std::pow(stop / start, t);
+    }
     values.push_back(number_value(v));
   }
   return values;
@@ -80,7 +91,11 @@ void set_path(json::Value& root, const std::string& path, json::Value value) {
               "sweep field path '" + path + "' has an empty segment");
   json::Value child{json::Object{}};
   if (const json::Value* existing = root.find(head)) {
-    if (existing->is_object()) child = *existing;
+    QRE_REQUIRE(existing->is_object(),
+                "sweep axis path '" + path + "': field '" + head +
+                    "' exists but is not an object, so the dotted path cannot "
+                    "descend through it");
+    child = *existing;
   }
   set_path(child, rest, std::move(value));
   root.set(head, std::move(child));

@@ -52,15 +52,18 @@ struct SweepAxis {
 /// (empty arrays, non-positive steps, log scale across zero, ...).
 std::vector<SweepAxis> sweep_axes(const json::Value& sweep);
 
+/// Deep-sets `value` at the (possibly dotted) field path inside `root`,
+/// creating intermediate objects and preserving their sibling fields.
+/// Throws qre::Error when a dotted path would descend through an existing
+/// non-object field — silently clobbering a scalar would hide a mistyped
+/// axis path.
+void set_path(json::Value& root, const std::string& path, json::Value value);
+
 /// Expands job["sweep"] into the cartesian grid of complete job documents.
 /// Each item inherits every non-swept base field; "sweep" and "items" never
 /// appear in the output. Throws qre::Error if "sweep" is missing or the
 /// grid exceeds `max_items`.
 std::vector<json::Value> expand_sweep(const json::Value& job,
                                       std::size_t max_items = 1'000'000);
-
-/// Deep-sets `path` (dot-separated) inside object `root`, creating
-/// intermediate objects as needed. Exposed for tests.
-void set_path(json::Value& root, const std::string& path, json::Value value);
 
 }  // namespace qre::service

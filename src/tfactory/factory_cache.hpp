@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +53,18 @@ class FactoryCache {
                                  const std::vector<DistillationUnit>& units,
                                  const TFactoryOptions& options);
 
+  /// The allocation-free variant design() wraps: a cache hit bumps a
+  /// shared_ptr refcount instead of copying the factory (the rounds vector
+  /// and unit-name strings stay shared), and the fingerprint is built into a
+  /// thread-local reusable buffer. nullptr means "cached as infeasible" —
+  /// the same answer design() reports as nullopt. The batch kernel's
+  /// steady-state path calls this on every item.
+  std::shared_ptr<const TFactory> design_shared(double required_output_error,
+                                                const QubitParams& qubit,
+                                                const QecScheme& scheme,
+                                                const std::vector<DistillationUnit>& units,
+                                                const TFactoryOptions& options);
+
   /// Lookups answered from the cache.
   std::uint64_t hits() const { return hits_.load(); }
   /// Lookups that had to run the search.
@@ -70,7 +83,7 @@ class FactoryCache {
  private:
   std::atomic<bool> enabled_{true};
   mutable Mutex mutex_;
-  LruMap<std::optional<TFactory>> entries_ QRE_GUARDED_BY(mutex_);
+  LruMap<std::shared_ptr<const TFactory>> entries_ QRE_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

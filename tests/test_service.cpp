@@ -133,6 +133,75 @@ TEST(Sweep, DottedPathPreservesSiblingFields) {
   EXPECT_DOUBLE_EQ(items[0].at("constraints").at("logicalDepthFactor").as_double(), 2.0);
 }
 
+TEST(Sweep, RangeEndpointsAreBitExactCacheKeys) {
+  // Regression: ranged axes used to compute every grid value from the
+  // interpolation formula, including the endpoints. For these constants
+  // `start * pow(stop / start, 1.0)` (and the linear analogue
+  // `start + 1.0 * (stop - start)`) lands one ulp off `stop`, so a range
+  // and an explicit array over the same endpoints produced different
+  // canonical cache keys — and therefore duplicate persistent-store rows
+  // for what the user wrote as one grid point. Endpoints are now clamped
+  // to the literal start/stop values.
+  json::Value log_sweep = json::parse(R"({
+    "errorBudget": {"start": 2e-4, "stop": 1.3e-2, "steps": 5, "scale": "log"}
+  })");
+  std::vector<SweepAxis> log_axes = service::sweep_axes(log_sweep);
+  ASSERT_EQ(log_axes[0].values.size(), 5u);
+  EXPECT_EQ(log_axes[0].values.front().dump(), json::parse("2e-4").dump());
+  EXPECT_EQ(log_axes[0].values.back().dump(), json::parse("1.3e-2").dump());
+
+  json::Value lin_sweep = json::parse(R"({
+    "errorBudget": {"start": 0.0031271755102623604, "stop": 0.011773058992986281,
+                    "steps": 3}
+  })");
+  std::vector<SweepAxis> lin_axes = service::sweep_axes(lin_sweep);
+  ASSERT_EQ(lin_axes[0].values.size(), 3u);
+  EXPECT_EQ(lin_axes[0].values.back().dump(),
+            json::parse("0.011773058992986281").dump());
+
+  // The cache-key level consequence: the last item of a ranged sweep must
+  // key identically to an item built from the explicit stop value.
+  json::Value ranged_job = json::parse(R"({
+    "logicalCounts": {"numQubits": 10, "tCount": 100},
+    "sweep": {"errorBudget": {"start": 2e-4, "stop": 1.3e-2, "steps": 5,
+                              "scale": "log"}}
+  })");
+  json::Value explicit_job = json::parse(R"({
+    "logicalCounts": {"numQubits": 10, "tCount": 100},
+    "sweep": {"errorBudget": [2e-4, 1.3e-2]}
+  })");
+  std::vector<json::Value> ranged = service::expand_sweep(ranged_job);
+  std::vector<json::Value> exact = service::expand_sweep(explicit_job);
+  ASSERT_EQ(ranged.size(), 5u);
+  ASSERT_EQ(exact.size(), 2u);
+  EXPECT_EQ(service::canonical_key(ranged.front()), service::canonical_key(exact.front()));
+  EXPECT_EQ(service::canonical_key(ranged.back()), service::canonical_key(exact.back()));
+}
+
+TEST(Sweep, DottedPathThroughNonObjectThrows) {
+  // Regression: set_path used to silently replace an existing non-object
+  // field with a fresh object, so a mistyped axis path clobbered the
+  // base value instead of failing.
+  json::Value root = json::parse(R"({"constraints": 5})");
+  try {
+    service::set_path(root, "constraints.maxTFactories", json::Value(1.0));
+    FAIL() << "expected set_path to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("constraints.maxTFactories"), std::string::npos) << what;
+    EXPECT_NE(what.find("not an object"), std::string::npos) << what;
+  }
+  // The base document is untouched by the failed descent.
+  EXPECT_EQ(root.at("constraints").dump(), "5");
+
+  json::Value job = json::parse(R"({
+    "logicalCounts": {"numQubits": 10, "tCount": 100},
+    "constraints": 5,
+    "sweep": {"constraints.maxTFactories": [1, 2]}
+  })");
+  EXPECT_THROW(service::expand_sweep(job), Error);
+}
+
 TEST(Sweep, GridSizeCap) {
   json::Value job = json::parse(R"({
     "sweep": {
